@@ -1,0 +1,236 @@
+// Package llm4em benchmarks: one testing.B benchmark per table and
+// figure of the paper's evaluation section. Each benchmark runs the
+// same code path as the full experiment harness on a reduced workload
+// (capped test splits, fewer models where the table's claim survives
+// the reduction), so `go test -bench=.` regenerates every experiment
+// end to end in reasonable time. The full-scale tables are produced
+// by `go run ./cmd/emexperiments -table all`.
+package llm4em_test
+
+import (
+	"testing"
+
+	"llm4em/internal/experiments"
+)
+
+// benchSession builds a session scaled for benchmarking.
+func benchSession(models, keys []string, maxTest int) *experiments.Session {
+	cfg := experiments.Quick(maxTest)
+	cfg.Models = models
+	cfg.Datasets = keys
+	return experiments.NewSession(cfg)
+}
+
+var (
+	benchModelsAll = []string{"GPT-mini", "GPT-4", "GPT-4o", "Llama2", "Llama3.1", "Mixtral"}
+	benchModels2   = []string{"GPT-4", "Mixtral"}
+	benchKeysAll   = []string{"wdc", "ab", "wa", "ag", "ds", "da"}
+	benchKeys2     = []string{"wdc", "ds"}
+)
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1(experiments.Default())
+		if len(t.Rows) != 6 {
+			b.Fatal("unexpected Table 1 shape")
+		}
+	}
+}
+
+func BenchmarkTable2ZeroShot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession(benchModelsAll, benchKeys2, 150)
+		if _, err := experiments.Table2(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3ZeroShotAverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession(benchModels2, benchKeysAll, 100)
+		if _, err := experiments.Table3(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4PLMComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession(benchModels2, benchKeys2, 150)
+		if _, err := experiments.Table4(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5FewShotRules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession(benchModels2, benchKeys2, 100)
+		if _, err := experiments.Table5(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6InContextMean(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession(benchModels2, benchKeys2, 100)
+		if _, err := experiments.Table6(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7FineTuning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"GPT-4", "Llama2", "GPT-mini"}, benchKeys2, 100)
+		if _, err := experiments.Table7(s, []string{"Llama2", "GPT-mini"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable8Costs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"GPT-mini", "GPT-4", "GPT-4o"}, []string{"wdc"}, 150)
+		if _, err := experiments.Table8(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable9Runtime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"GPT-mini", "GPT-4", "Llama2", "Llama3.1"}, []string{"wdc"}, 150)
+		if _, err := experiments.Table9(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable10ExplanationAggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"GPT-4"}, []string{"wa", "ds"}, 150)
+		if _, err := experiments.Table10(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExplanationCorrelation(b *testing.B) {
+	// The Section 6.1 validation runs inside Table 10; this benchmark
+	// isolates it on DBLP-Scholar.
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"GPT-4"}, []string{"ds"}, 200)
+		tables, err := experiments.Table10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no Table 10 output")
+		}
+	}
+}
+
+func BenchmarkTable11ErrorClassesDS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"GPT-4"}, []string{"ds"}, 400)
+		if _, err := experiments.Table11(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable12ErrorClassesWA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"GPT-4"}, []string{"wa"}, 400)
+		if _, err := experiments.Table12(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable13ErrorAssignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"GPT-4"}, []string{"wa", "ds"}, 400)
+		if _, err := experiments.Table13(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkFigure(b *testing.B, n int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"GPT-4"}, []string{"wdc", "wa", "ds"}, 200)
+		out, err := experiments.Figure(s, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure1PromptExample(b *testing.B)           { benchmarkFigure(b, 1) }
+func BenchmarkFigure2FewShotPrompt(b *testing.B)           { benchmarkFigure(b, 2) }
+func BenchmarkFigure3RulesPrompt(b *testing.B)             { benchmarkFigure(b, 3) }
+func BenchmarkFigure4ExplanationConversation(b *testing.B) { benchmarkFigure(b, 4) }
+func BenchmarkFigure5ErrorClassPrompt(b *testing.B)        { benchmarkFigure(b, 5) }
+func BenchmarkFigure6ErrorAssignmentPrompt(b *testing.B)   { benchmarkFigure(b, 6) }
+
+func BenchmarkAblationSerialization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession(benchModels2, []string{"wdc"}, 150)
+		if _, err := experiments.AblationSerialization(s, "wdc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationShots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"GPT-4o"}, []string{"wdc"}, 120)
+		if _, err := experiments.AblationShots(s, "wdc", "GPT-4o"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBatchMatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"GPT-mini"}, []string{"wdc"}, 150)
+		if _, err := experiments.AblationBatch(s, "wdc", "GPT-mini"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationAdditionalModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession(nil, []string{"wdc"}, 100)
+		if _, err := experiments.AblationAdditionalModels(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPromptSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"Mixtral"}, []string{"wdc"}, 120)
+		if _, err := experiments.AblationPromptSearch(s, "wdc", "Mixtral"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFutureWorkErrorProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession([]string{"GPT-4", "GPT-mini"}, []string{"wa"}, 250)
+		if _, err := experiments.ErrorProfiles(s, "wa", []string{"GPT-4", "GPT-mini"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/features"
+)
+
+// inspect prints the worst-scoring matches and best-scoring
+// non-matches of a dataset's test split.
+func inspect(key string, n int) {
+	d := datasets.MustLoad(key)
+	ws := features.Ideal()
+	type scored struct {
+		s    float64
+		a, b string
+		m    bool
+	}
+	var pos, neg []scored
+	for _, p := range d.Test {
+		v, pres := features.PairFeaturesText(p.A.Serialize(), p.B.Serialize())
+		s := ws.Score(v, pres)
+		sc := scored{s, p.A.Serialize(), p.B.Serialize(), p.Match}
+		if p.Match {
+			pos = append(pos, sc)
+		} else {
+			neg = append(neg, sc)
+		}
+	}
+	sort.Slice(pos, func(i, j int) bool { return pos[i].s < pos[j].s })
+	sort.Slice(neg, func(i, j int) bool { return neg[i].s > neg[j].s })
+	fmt.Printf("== %s: lowest-scoring MATCHES ==\n", key)
+	for _, x := range pos[:n] {
+		fmt.Printf("  %+.2f  A: %s\n         B: %s\n", x.s, x.a, x.b)
+	}
+	fmt.Printf("== %s: highest-scoring NON-MATCHES ==\n", key)
+	for _, x := range neg[:n] {
+		fmt.Printf("  %+.2f  A: %s\n         B: %s\n", x.s, x.a, x.b)
+	}
+}

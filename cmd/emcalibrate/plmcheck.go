@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/plm"
+)
+
+// plmCheck trains both PLM baselines on each dataset and reports
+// in-domain F1 plus transfer to the WDC test set (Table 4 shape).
+func plmCheck() {
+	wdc := datasets.MustLoad("wdc")
+	for _, key := range datasets.Keys() {
+		ds := datasets.MustLoad(key)
+		for _, v := range []plm.Variant{plm.RoBERTa, plm.Ditto} {
+			m := plm.New(v)
+			m.Train(ds.TrainVal(), key, plm.DefaultOptions())
+			m.FitThreshold(ds.Val)
+			in := m.Evaluate(ds.Test)
+			line := fmt.Sprintf("%-8s %-4s in-domain F1=%.2f", v, key, in.F1())
+			if key != "wdc" {
+				tr := m.Evaluate(wdc.Test)
+				line += fmt.Sprintf("  ->WDC F1=%.2f", tr.F1())
+			}
+			fmt.Println(line)
+		}
+	}
+}

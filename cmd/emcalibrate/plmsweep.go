@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/plm"
+)
+
+// plmSweep tries training hyperparameters on selected datasets.
+func plmSweep(keys []string) {
+	for _, key := range keys {
+		ds := datasets.MustLoad(key)
+		for _, opt := range []plm.Options{
+			{Epochs: 14, LearningRate: 0.14},
+			{Epochs: 30, LearningRate: 0.20},
+			{Epochs: 50, LearningRate: 0.25},
+		} {
+			for _, v := range []plm.Variant{plm.RoBERTa, plm.Ditto} {
+				m := plm.New(v)
+				m.Train(ds.TrainVal(), key, opt)
+				in := m.Evaluate(ds.Test)
+				fmt.Printf("%-8s %-4s ep=%d lr=%.2f F1=%.2f (P=%.2f R=%.2f)\n",
+					v, key, opt.Epochs, opt.LearningRate, in.F1(), in.Precision(), in.Recall())
+			}
+		}
+	}
+}

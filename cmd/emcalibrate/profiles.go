@@ -1,0 +1,25 @@
+package main
+
+import (
+	"fmt"
+
+	"llm4em/internal/llm"
+)
+
+// printProfiles dumps the calibrated capability constants of every
+// model — the transparency view of the simulation substrate.
+func printProfiles() {
+	fmt.Printf("%-14s %5s %5s %5s %6s %6s %6s %6s %6s %6s\n",
+		"model", "fid", "noise", "sens", "hedge", "force", "icl", "rule", "conj", "verb")
+	names := append(llm.StudyModels(), llm.AdditionalModels()...)
+	for _, name := range names {
+		p, ok := llm.ProfileByName(name)
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-14s %5.2f %5.2f %5.2f %6.2f %6.2f %6.2f %6.2f %6.2f %6d\n",
+			name, p.WeightFidelity, p.NoiseSigma, p.PromptSensitivity,
+			p.HedgeRate, p.ForceCompliance, p.ICLGain, p.RuleUtilization,
+			p.RuleConjunctive, p.FreeVerbosity)
+	}
+}

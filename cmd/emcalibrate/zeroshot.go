@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"llm4em/internal/core"
+	"llm4em/internal/datasets"
+	"llm4em/internal/eval"
+	"llm4em/internal/llm"
+	"llm4em/internal/prompt"
+)
+
+// zeroShotTable prints the Table 2/3 analogue: F1 per model and
+// prompt design, per dataset and averaged.
+func zeroShotTable(keys []string, models []string) {
+	designs := prompt.Designs()
+	// f1[model][design][dataset]
+	f1 := map[string]map[string]map[string]float64{}
+	for _, mn := range models {
+		f1[mn] = map[string]map[string]float64{}
+		model := llm.MustNew(mn)
+		for _, dn := range designs {
+			f1[mn][dn.Name] = map[string]float64{}
+			for _, key := range keys {
+				ds := datasets.MustLoad(key)
+				m := core.Matcher{Client: model, Design: dn, Domain: ds.Schema.Domain}
+				res, err := m.Evaluate(ds.Test)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				f1[mn][dn.Name][key] = res.F1()
+			}
+		}
+	}
+	for _, key := range keys {
+		fmt.Printf("== %s ==\n%-24s", key, "prompt")
+		for _, mn := range models {
+			fmt.Printf("%10s", mn)
+		}
+		fmt.Println()
+		for _, dn := range designs {
+			fmt.Printf("%-24s", dn.Name)
+			for _, mn := range models {
+				fmt.Printf("%10.2f", f1[mn][dn.Name][key])
+			}
+			fmt.Println()
+		}
+		fmt.Printf("%-24s", "mean/sd")
+		for _, mn := range models {
+			var xs []float64
+			for _, dn := range designs {
+				xs = append(xs, f1[mn][dn.Name][key])
+			}
+			fmt.Printf("%5.1f/%4.1f", eval.Mean(xs), eval.StdDev(xs))
+		}
+		fmt.Println()
+	}
+	// Averages over datasets (Table 3).
+	fmt.Printf("== average over datasets ==\n%-24s", "prompt")
+	for _, mn := range models {
+		fmt.Printf("%10s", mn)
+	}
+	fmt.Println()
+	var meanByModel = map[string][]float64{}
+	for _, dn := range designs {
+		fmt.Printf("%-24s", dn.Name)
+		for _, mn := range models {
+			var xs []float64
+			for _, key := range keys {
+				xs = append(xs, f1[mn][dn.Name][key])
+			}
+			avg := eval.Mean(xs)
+			meanByModel[mn] = append(meanByModel[mn], avg)
+			fmt.Printf("%10.2f", avg)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-24s", "mean")
+	for _, mn := range models {
+		fmt.Printf("%10.2f", eval.Mean(meanByModel[mn]))
+	}
+	fmt.Printf("\n%-24s", "stddev")
+	for _, mn := range models {
+		fmt.Printf("%10.2f", eval.StdDev(meanByModel[mn]))
+	}
+	fmt.Println()
+}

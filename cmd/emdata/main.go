@@ -1,0 +1,93 @@
+// Command emdata materializes the synthetic benchmark datasets and
+// exports them as CSV or JSON-lines files.
+//
+// Usage:
+//
+//	emdata -list                       # dataset statistics (Table 1)
+//	emdata -dataset wdc -split test -format csv > wdc_test.csv
+//	emdata -all -dir ./data            # export everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print dataset statistics")
+	key := flag.String("dataset", "", "dataset key (wdc, ab, wa, ag, ds, da)")
+	split := flag.String("split", "test", "split: train, val or test")
+	format := flag.String("format", "csv", "output format: csv or jsonl")
+	all := flag.Bool("all", false, "export every dataset and split")
+	dir := flag.String("dir", ".", "output directory for -all")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-6s %-16s %-12s %-12s  train(p/n)   val(p/n)    test(p/n)\n",
+			"key", "name", "scenario", "domain")
+		for _, k := range datasets.Keys() {
+			ds := datasets.MustLoad(k)
+			c := ds.Counts()
+			fmt.Printf("%-6s %-16s %-12s %-12s  %5d/%-6d %4d/%-6d %4d/%-6d\n",
+				k, ds.Name, ds.Scenario, ds.Schema.Domain,
+				c.TrainPos, c.TrainNeg, c.ValPos, c.ValNeg, c.TestPos, c.TestNeg)
+		}
+	case *all:
+		for _, k := range datasets.Keys() {
+			ds := datasets.MustLoad(k)
+			for name, pairs := range map[string][]entity.Pair{
+				"train": ds.Train, "val": ds.Val, "test": ds.Test,
+			} {
+				path := filepath.Join(*dir, fmt.Sprintf("%s_%s.%s", k, name, *format))
+				fail(export(ds, pairs, path, *format))
+				fmt.Println("wrote", path)
+			}
+		}
+	case *key != "":
+		ds, err := datasets.Load(*key)
+		fail(err)
+		pairs := ds.Test
+		switch *split {
+		case "train":
+			pairs = ds.Train
+		case "val":
+			pairs = ds.Val
+		case "test":
+		default:
+			fail(fmt.Errorf("unknown split %q", *split))
+		}
+		if *format == "jsonl" {
+			fail(ds.WriteJSONL(os.Stdout, pairs))
+		} else {
+			fail(ds.WriteCSV(os.Stdout, pairs))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func export(ds *datasets.Dataset, pairs []entity.Pair, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == "jsonl" {
+		return ds.WriteJSONL(f, pairs)
+	}
+	return ds.WriteCSV(f, pairs)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emdata:", err)
+		os.Exit(1)
+	}
+}

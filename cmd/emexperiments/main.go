@@ -1,0 +1,180 @@
+// Command emexperiments regenerates the tables and figures of the
+// paper's evaluation section.
+//
+// Usage:
+//
+//	emexperiments -table 3            # print one table
+//	emexperiments -table all          # print every table (1-13)
+//	emexperiments -figure 4           # print one figure
+//	emexperiments -maxtest 200        # scale down the test splits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"llm4em/internal/experiments"
+)
+
+var renderMarkdown bool
+
+func main() {
+	table := flag.String("table", "", "table number 1-13, or 'all'")
+	figure := flag.Int("figure", 0, "figure number 1-6")
+	ablations := flag.Bool("ablations", false, "run the ablation studies")
+	pr := flag.Bool("pr", false, "print zero-shot precision/recall instead of F1 tables")
+	futurework := flag.Bool("futurework", false, "run the Section 7.2 future-work error-profile comparison")
+	maxTest := flag.Int("maxtest", 0, "cap test pairs per dataset (0 = full)")
+	epochs := flag.Int("epochs", 10, "fine-tuning epochs")
+	format := flag.String("format", "text", "output format: text or md")
+	report := flag.String("report", "", "write the complete markdown report to this file")
+	diagnostics := flag.Bool("diagnostics", false, "print the benchmark difficulty diagnostics")
+	flag.Parse()
+
+	if *table == "" && *figure == 0 && !*ablations && !*pr && !*futurework && *report == "" && !*diagnostics {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	renderMarkdown = *format == "md"
+	cfg := experiments.Default()
+	cfg.MaxTest = *maxTest
+	cfg.FTEpochs = *epochs
+	s := experiments.NewSession(cfg)
+
+	if *diagnostics {
+		t := experiments.DatasetDiagnostics(cfg)
+		if renderMarkdown {
+			fmt.Println(t.Markdown())
+		} else {
+			t.Fprint(os.Stdout)
+		}
+		return
+	}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		fail(err)
+		defer f.Close()
+		fail(experiments.WriteReport(f, s))
+		fmt.Println("wrote", *report)
+		return
+	}
+
+	if *futurework {
+		t, err := experiments.ErrorProfiles(s, "wa", []string{"GPT-4", "GPT-mini", "Llama3.1"})
+		fail(err)
+		t.Fprint(os.Stdout)
+		return
+	}
+
+	if *pr {
+		ts, err := experiments.PrecisionRecall(s)
+		fail(err)
+		for _, t := range ts {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+		return
+	}
+
+	if *ablations {
+		ts, err := experiments.Ablations(s)
+		fail(err)
+		for _, t := range ts {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+		return
+	}
+
+	if *figure != 0 {
+		out, err := experiments.Figure(s, *figure)
+		fail(err)
+		fmt.Println(out)
+		return
+	}
+
+	var numbers []int
+	if *table == "all" {
+		for i := 1; i <= 13; i++ {
+			numbers = append(numbers, i)
+		}
+	} else {
+		n, err := strconv.Atoi(*table)
+		fail(err)
+		numbers = []int{n}
+	}
+	for _, n := range numbers {
+		fail(printTable(s, n))
+		fmt.Println()
+	}
+}
+
+func printTable(s *experiments.Session, n int) error {
+	render := func(t *experiments.Table) {
+		if renderMarkdown {
+			fmt.Println(t.Markdown())
+			return
+		}
+		t.Fprint(os.Stdout)
+	}
+	single := func(t *experiments.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		render(t)
+		return nil
+	}
+	multi := func(ts []*experiments.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, t := range ts {
+			render(t)
+			fmt.Println()
+		}
+		return nil
+	}
+	switch n {
+	case 1:
+		t := experiments.Table1(s.Cfg)
+		render(t)
+		return nil
+	case 2:
+		return multi(experiments.Table2(s))
+	case 3:
+		return single(experiments.Table3(s))
+	case 4:
+		return single(experiments.Table4(s))
+	case 5:
+		return multi(experiments.Table5(s))
+	case 6:
+		return single(experiments.Table6(s))
+	case 7:
+		return single(experiments.Table7(s, experiments.FTDefaults()))
+	case 8:
+		return single(experiments.Table8(s))
+	case 9:
+		return single(experiments.Table9(s))
+	case 10:
+		return multi(experiments.Table10(s))
+	case 11:
+		return single(experiments.Table11(s))
+	case 12:
+		return single(experiments.Table12(s))
+	case 13:
+		return single(experiments.Table13(s))
+	default:
+		return fmt.Errorf("unknown table %d (tables 1-13 exist)", n)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emexperiments:", err)
+		os.Exit(1)
+	}
+}

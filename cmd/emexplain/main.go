@@ -1,0 +1,102 @@
+// Command emexplain demonstrates the explanation and error-analysis
+// pipelines of the paper's Sections 6 and 7: it matches a slice of a
+// benchmark, generates structured explanations, aggregates them into
+// global attribute importances, discovers error classes from the
+// wrong decisions, and classifies one error.
+//
+// Usage:
+//
+//	emexplain -dataset wa -pairs 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llm4em"
+	"llm4em/internal/core"
+	"llm4em/internal/datasets"
+	"llm4em/internal/errorclass"
+	"llm4em/internal/explain"
+	"llm4em/internal/llm"
+)
+
+func main() {
+	key := flag.String("dataset", "wa", "dataset key")
+	n := flag.Int("pairs", 300, "number of test pairs to analyze")
+	flag.Parse()
+
+	ds, err := datasets.Load(*key)
+	fail(err)
+	pairs := ds.Test
+	if *n < len(pairs) {
+		pairs = pairs[:*n]
+	}
+	client := llm.MustNew(llm.GPT4)
+	design, err := llm4em.DesignByName("domain-complex-force")
+	fail(err)
+
+	fmt.Printf("Matching %d pairs of %s with GPT-4 …\n", len(pairs), ds.Name)
+	matcher := &core.Matcher{Client: client, Design: design, Domain: ds.Schema.Domain}
+	res, err := matcher.EvaluateKeeping(pairs)
+	fail(err)
+	fmt.Printf("F1 = %.2f (P %.2f / R %.2f)\n\n", res.F1(), res.Confusion.Precision(), res.Confusion.Recall())
+
+	fmt.Println("Generating structured explanations …")
+	exps, err := explain.GenerateAll(client, design, ds.Schema.Domain, pairs)
+	fail(err)
+
+	fmt.Println("\nGlobal attribute importance (top 5 by frequency):")
+	rows := explain.Aggregate(exps)
+	limit := 5
+	if len(rows) < limit {
+		limit = len(rows)
+	}
+	fmt.Printf("%-12s %8s %10s %8s %10s\n", "attribute", "M freq", "M imp", "N freq", "N imp")
+	for _, r := range rows[:limit] {
+		fmt.Printf("%-12s %8.2f %10.2f %8.2f %10.2f\n",
+			r.Attribute, r.MatchFreq, r.MatchMean, r.NonFreq, r.NonMean)
+	}
+	corr := explain.CorrelationWithStringSims(exps)
+	fmt.Printf("\nExplanation similarity correlation: Cosine %.2f, Generalized Jaccard %.2f (n=%d)\n",
+		corr.Cosine, corr.GeneralizedJaccard, corr.Samples)
+
+	fps, fns := errorclass.CollectErrors(res.Decisions, exps)
+	fmt.Printf("\nErrors: %d false positives, %d false negatives\n", len(fps), len(fns))
+	if len(fps) == 0 {
+		return
+	}
+	turbo := llm.MustNew(llm.GPT4Turbo)
+	classes, err := errorclass.Discover(turbo, ds.Schema.Domain, fps, true)
+	fail(err)
+	fmt.Println("\nGenerated false-positive error classes:")
+	for i, cc := range errorclass.CountByExpert(classes, fps) {
+		fmt.Printf("%d. %s (%d errors)\n   %s\n", i+1, cc.Class.Name, cc.Errors, cc.Class.Description)
+	}
+	assigned, err := errorclass.Assign(turbo, classes, fps[0])
+	fail(err)
+	fmt.Printf("\nClasses assigned to the first false positive: %v\n", keysOf(assigned))
+}
+
+func keysOf(m map[int]bool) []int {
+	var out []int
+	for i := range m {
+		out = append(out, i+1)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emexplain:", err)
+		os.Exit(1)
+	}
+}

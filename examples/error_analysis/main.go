@@ -1,0 +1,88 @@
+// Error analysis: the Section 6/7 workflow — generate structured
+// explanations for matching decisions, aggregate them into global
+// attribute importances, and let the LLM discover error classes from
+// its own mistakes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llm4em"
+	"llm4em/internal/core"
+	"llm4em/internal/datasets"
+	"llm4em/internal/errorclass"
+	"llm4em/internal/explain"
+	"llm4em/internal/llm"
+)
+
+func main() {
+	ds, err := datasets.Load("wa")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := ds.Test[:400]
+	client := llm.MustNew(llm.GPT4)
+	design, err := llm4em.DesignByName("domain-complex-force")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Match and keep the per-pair decisions.
+	matcher := &core.Matcher{Client: client, Design: design, Domain: ds.Schema.Domain}
+	res, err := matcher.EvaluateKeeping(pairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matched %d pairs: F1 = %.2f\n", len(pairs), res.F1())
+
+	// 2. Ask the model to explain one decision (two-turn
+	// conversation, Figure 4).
+	exp, err := llm4em.Explain(client, design, ds.Schema.Domain, pairs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstructured explanation for pair %s (predicted match=%v):\n", pairs[0].ID, exp.Predicted)
+	for _, a := range exp.Attributes {
+		fmt.Printf("  %-10s importance %+5.2f similarity %.2f\n", a.Name, a.Importance, a.Similarity)
+	}
+
+	// 3. Generate explanations for every pair and aggregate.
+	exps, err := explain.GenerateAll(client, design, ds.Schema.Domain, pairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nglobal attribute importance (Table 10 style):")
+	for i, r := range explain.Aggregate(exps) {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-10s matches: freq %.2f imp %+5.2f | non-matches: freq %.2f imp %+5.2f\n",
+			r.Attribute, r.MatchFreq, r.MatchMean, r.NonFreq, r.NonMean)
+	}
+
+	// 4. Discover error classes from the wrong decisions.
+	fps, fns := errorclass.CollectErrors(res.Decisions, exps)
+	fmt.Printf("\n%d false positives, %d false negatives\n", len(fps), len(fns))
+	turbo := llm.MustNew(llm.GPT4Turbo)
+	for _, block := range []struct {
+		label string
+		cases []errorclass.Case
+		fp    bool
+	}{
+		{"false positives", fps, true},
+		{"false negatives", fns, false},
+	} {
+		if len(block.cases) == 0 {
+			continue
+		}
+		classes, err := errorclass.Discover(turbo, ds.Schema.Domain, block.cases, block.fp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nerror classes for %s:\n", block.label)
+		for _, cc := range errorclass.CountByExpert(classes, block.cases) {
+			fmt.Printf("  [%2d errors] %s\n", cc.Errors, cc.Class.Name)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Model selection: the Section 5 cost/quality trade-off — compare
+// matching quality, per-pair cost and latency across hosted models
+// and a locally fine-tuned alternative to pick a deployment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llm4em"
+	"llm4em/internal/cost"
+)
+
+func main() {
+	ds, err := llm4em.LoadDataset("wdc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	test := ds.Test[:300]
+	design, err := llm4em.DesignByName("domain-complex-force")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("deployment comparison on WDC Products (300 test pairs):")
+	fmt.Printf("%-22s %8s %14s %12s\n", "deployment", "F1", "cost/1k pairs", "latency/pair")
+
+	for _, name := range []string{llm4em.GPTMini, llm4em.GPT4o, llm4em.GPT4} {
+		model, err := llm4em.NewModel(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := llm4em.Matcher{Client: model, Design: design, Domain: ds.Schema.Domain}
+		res, err := m.Evaluate(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pricing, _ := cost.For(name)
+		cents := cost.PerPromptCents(pricing, res.MeanPromptTokens(), res.MeanCompletionTokens())
+		fmt.Printf("%-22s %8.2f %13.2f¢ %11.2fs\n",
+			name+" (hosted)", res.F1(), cents*1000, res.MeanLatency().Seconds())
+	}
+
+	// Fine-tuned hosted GPT-mini: the paper's best cost/quality spot
+	// when training data exists.
+	tuned, err := llm4em.FineTune(llm4em.GPTMini, ds, llm4em.FineTuneOptions{Epochs: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := llm4em.Matcher{Client: tuned, Design: design, Domain: ds.Schema.Domain}
+	res, err := m.Evaluate(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ftPricing, _ := cost.ForFineTuned(llm4em.GPTMini)
+	cents := cost.PerPromptCents(ftPricing.Inference, res.MeanPromptTokens(), res.MeanCompletionTokens())
+	fmt.Printf("%-22s %8.2f %13.2f¢ %11.2fs\n",
+		"GPT-mini (fine-tuned)", res.F1(), cents*1000, res.MeanLatency().Seconds())
+
+	// Local open-source model: no API cost, slower hardware.
+	local, err := llm4em.NewModel(llm4em.Llama31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lm := llm4em.Matcher{Client: local, Design: design, Domain: ds.Schema.Domain}
+	lres, err := lm.Evaluate(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %8.2f %14s %11.2fs\n",
+		"Llama3.1 (local)", lres.F1(), "GPU only", lres.MeanLatency().Seconds())
+
+	fmt.Println("\nRule of thumb (paper, Section 9): with training data, fine-tuning the cheap")
+	fmt.Println("hosted model gives near-GPT-4 quality at a fraction of the cost; without")
+	fmt.Println("training data, GPT-4 zero-shot; with privacy constraints, a local model.")
+}

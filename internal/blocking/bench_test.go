@@ -1,0 +1,36 @@
+package blocking
+
+import (
+	"testing"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+)
+
+// BenchmarkDedup measures candidate generation over a dirty
+// collection.
+func BenchmarkDedup(b *testing.B) {
+	ds := datasets.MustLoad("wdc")
+	var recs []entity.Record
+	seen := map[string]bool{}
+	for _, p := range ds.Test {
+		for _, r := range []entity.Record{p.A, p.B} {
+			if !seen[r.ID] {
+				recs = append(recs, r)
+				seen[r.ID] = true
+			}
+			if len(recs) == 400 {
+				break
+			}
+		}
+		if len(recs) == 400 {
+			break
+		}
+	}
+	blocker := &TokenBlocker{MaxCandidates: 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = blocker.Dedup(recs)
+	}
+}

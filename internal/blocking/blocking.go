@@ -1,0 +1,225 @@
+// Package blocking provides candidate generation for end-to-end
+// matching pipelines. The paper's experiments start from given record
+// pairs; a deployed matcher (the "central step in most data
+// integration pipelines" of the introduction) first needs a blocker
+// that reduces the quadratic pair space to likely candidates, and a
+// clusterer that turns pairwise decisions into entity groups.
+package blocking
+
+import (
+	"math"
+	"sort"
+
+	"llm4em/internal/entity"
+	"llm4em/internal/tokenize"
+)
+
+// TokenBlocker generates candidate pairs by shared-token overlap with
+// inverse-document-frequency weighting: pairs sharing rare tokens
+// (model numbers, distinctive title words) are ranked first.
+type TokenBlocker struct {
+	// MaxCandidates is the maximum number of candidates kept per left
+	// record (default 10).
+	MaxCandidates int
+	// MinScore is the minimum summed IDF weight for a candidate
+	// (default 1.0).
+	MinScore float64
+	// StopDocFrac drops tokens occurring in more than this fraction
+	// of records from the index (default 0.2).
+	StopDocFrac float64
+}
+
+func (b *TokenBlocker) maxCandidates() int {
+	if b.MaxCandidates <= 0 {
+		return 10
+	}
+	return b.MaxCandidates
+}
+
+func (b *TokenBlocker) minScore() float64 {
+	if b.MinScore <= 0 {
+		return 1.0
+	}
+	return b.MinScore
+}
+
+func (b *TokenBlocker) stopDocFrac() float64 {
+	if b.StopDocFrac <= 0 {
+		return 0.2
+	}
+	return b.StopDocFrac
+}
+
+// Candidates blocks two record collections and returns unlabelled
+// candidate pairs, ranked per left record by IDF-weighted token
+// overlap.
+func (b *TokenBlocker) Candidates(left, right []entity.Record) []entity.Pair {
+	index, idf := buildIndex(right, b.stopDocFrac())
+	var out []entity.Pair
+	for _, l := range left {
+		scores := map[int]float64{}
+		seen := map[string]bool{}
+		for _, t := range tokenize.Words(l.Serialize()) {
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			w, ok := idf[t]
+			if !ok {
+				continue
+			}
+			for _, ri := range index[t] {
+				scores[ri] += w
+			}
+		}
+		type cand struct {
+			ri    int
+			score float64
+		}
+		cands := make([]cand, 0, len(scores))
+		for ri, sc := range scores {
+			if sc >= b.minScore() {
+				cands = append(cands, cand{ri, sc})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].score != cands[j].score {
+				return cands[i].score > cands[j].score
+			}
+			return cands[i].ri < cands[j].ri
+		})
+		if len(cands) > b.maxCandidates() {
+			cands = cands[:b.maxCandidates()]
+		}
+		for _, c := range cands {
+			out = append(out, entity.Pair{
+				ID: l.ID + "|" + right[c.ri].ID,
+				A:  l,
+				B:  right[c.ri],
+			})
+		}
+	}
+	return out
+}
+
+// Dedup blocks one collection against itself, returning each
+// unordered candidate pair once and never pairing a record with
+// itself.
+func (b *TokenBlocker) Dedup(records []entity.Record) []entity.Pair {
+	raw := b.Candidates(records, records)
+	seen := map[string]bool{}
+	pos := map[string]int{}
+	for i, r := range records {
+		pos[r.ID] = i
+	}
+	out := raw[:0]
+	for _, p := range raw {
+		if p.A.ID == p.B.ID {
+			continue
+		}
+		i, j := pos[p.A.ID], pos[p.B.ID]
+		if j < i {
+			i, j = j, i
+		}
+		key := records[i].ID + "|" + records[j].ID
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, entity.Pair{ID: key, A: records[i], B: records[j]})
+	}
+	return out
+}
+
+// buildIndex builds an inverted token index with IDF weights over the
+// records, dropping tokens more frequent than stopFrac.
+func buildIndex(records []entity.Record, stopFrac float64) (map[string][]int, map[string]float64) {
+	index := map[string][]int{}
+	for i, r := range records {
+		seen := map[string]bool{}
+		for _, t := range tokenize.Words(r.Serialize()) {
+			if !seen[t] {
+				index[t] = append(index[t], i)
+				seen[t] = true
+			}
+		}
+	}
+	n := float64(len(records))
+	idf := map[string]float64{}
+	for t, postings := range index {
+		df := float64(len(postings))
+		// Drop stop tokens: frequent both relatively and absolutely,
+		// so tiny collections keep their vocabulary.
+		if df/n > stopFrac && df >= 5 {
+			delete(index, t)
+			continue
+		}
+		idf[t] = math.Log(1 + n/df)
+	}
+	return index, idf
+}
+
+// PairRecall measures which fraction of gold matching pairs survived
+// blocking — the standard blocker quality metric.
+func PairRecall(candidates []entity.Pair, gold []entity.Pair) float64 {
+	if len(gold) == 0 {
+		return 1
+	}
+	have := map[string]bool{}
+	for _, c := range candidates {
+		have[c.A.ID+"|"+c.B.ID] = true
+		have[c.B.ID+"|"+c.A.ID] = true
+	}
+	hit := 0
+	for _, g := range gold {
+		if have[g.A.ID+"|"+g.B.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(gold))
+}
+
+// Cluster groups records into entities from pairwise match decisions
+// using union-find over the decided-match pairs. It returns the
+// clusters as slices of record IDs, sorted for determinism.
+func Cluster(pairs []entity.Pair, decisions []bool) [][]string {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == "" || parent[x] == x {
+			parent[x] = x
+			return x
+		}
+		root := find(parent[x])
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for i, p := range pairs {
+		find(p.A.ID)
+		find(p.B.ID)
+		if i < len(decisions) && decisions[i] {
+			union(p.A.ID, p.B.ID)
+		}
+	}
+	groups := map[string][]string{}
+	for id := range parent {
+		root := find(id)
+		groups[root] = append(groups[root], id)
+	}
+	out := make([][]string, 0, len(groups))
+	for _, g := range groups {
+		sort.Strings(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,170 @@
+package blocking
+
+import (
+	"testing"
+	"testing/quick"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+)
+
+func rec(id, title string) entity.Record {
+	return entity.Record{ID: id, Attrs: []entity.Attr{{Name: "title", Value: title}}}
+}
+
+func TestCandidatesFindSharedRareTokens(t *testing.T) {
+	left := []entity.Record{rec("l1", "sony dsc120b camera")}
+	right := []entity.Record{
+		rec("r1", "sony dsc120b digital camera black"),
+		rec("r2", "makita drill kit"),
+		rec("r3", "sony walkman player"),
+	}
+	b := &TokenBlocker{}
+	cands := b.Candidates(left, right)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if cands[0].B.ID != "r1" {
+		t.Errorf("top candidate = %s, want r1 (shares the rare model token)", cands[0].B.ID)
+	}
+	for _, c := range cands {
+		if c.B.ID == "r2" {
+			t.Error("unrelated record should not be a candidate")
+		}
+	}
+}
+
+func TestDedupNoSelfOrDuplicatePairs(t *testing.T) {
+	records := []entity.Record{
+		rec("a", "sony dsc120b camera"),
+		rec("b", "sony dsc120b camera black"),
+		rec("c", "makita drill"),
+	}
+	b := &TokenBlocker{}
+	pairs := b.Dedup(records)
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		if p.A.ID == p.B.ID {
+			t.Errorf("self pair %s", p.ID)
+		}
+		if seen[p.ID] {
+			t.Errorf("duplicate pair %s", p.ID)
+		}
+		seen[p.ID] = true
+		if seen[p.B.ID+"|"+p.A.ID] {
+			t.Errorf("both orientations of %s emitted", p.ID)
+		}
+	}
+}
+
+func TestBlockingRecallOnBenchmark(t *testing.T) {
+	// Blocking the two sides of WDC test pairs must retain most gold
+	// matches while pruning the pair space drastically.
+	ds := datasets.MustLoad("wdc")
+	var left, right []entity.Record
+	var gold []entity.Pair
+	for _, p := range ds.Test[:400] {
+		left = append(left, p.A)
+		right = append(right, p.B)
+		if p.Match {
+			gold = append(gold, p)
+		}
+	}
+	b := &TokenBlocker{MaxCandidates: 10}
+	cands := b.Candidates(left, right)
+	recall := PairRecall(cands, gold)
+	if recall < 0.9 {
+		t.Errorf("blocking recall %.3f, want >= 0.9", recall)
+	}
+	if len(cands) > len(left)*10 {
+		t.Errorf("candidate budget exceeded: %d", len(cands))
+	}
+}
+
+func TestPairRecallEdgeCases(t *testing.T) {
+	if PairRecall(nil, nil) != 1 {
+		t.Error("no gold pairs means recall 1")
+	}
+	gold := []entity.Pair{{A: rec("a", ""), B: rec("b", "")}}
+	if PairRecall(nil, gold) != 0 {
+		t.Error("no candidates means recall 0")
+	}
+	// Orientation must not matter.
+	cands := []entity.Pair{{A: rec("b", ""), B: rec("a", "")}}
+	if PairRecall(cands, gold) != 1 {
+		t.Error("reversed candidate should count")
+	}
+}
+
+func TestCluster(t *testing.T) {
+	pairs := []entity.Pair{
+		{A: rec("a", ""), B: rec("b", "")},
+		{A: rec("b", ""), B: rec("c", "")},
+		{A: rec("d", ""), B: rec("e", "")},
+		{A: rec("e", ""), B: rec("f", "")},
+	}
+	decisions := []bool{true, true, false, true}
+	clusters := Cluster(pairs, decisions)
+	byFirst := map[string][]string{}
+	for _, c := range clusters {
+		byFirst[c[0]] = c
+	}
+	if got := byFirst["a"]; len(got) != 3 {
+		t.Errorf("cluster a = %v, want a,b,c", got)
+	}
+	if got := byFirst["d"]; len(got) != 1 {
+		t.Errorf("cluster d = %v, want singleton", got)
+	}
+	if got := byFirst["e"]; len(got) != 2 {
+		t.Errorf("cluster e = %v, want e,f", got)
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	pairs := []entity.Pair{
+		{A: rec("x", ""), B: rec("y", "")},
+		{A: rec("y", ""), B: rec("z", "")},
+	}
+	a := Cluster(pairs, []bool{true, true})
+	b := Cluster(pairs, []bool{true, true})
+	if len(a) != len(b) || len(a) != 1 || len(a[0]) != 3 {
+		t.Fatalf("clusters: %v vs %v", a, b)
+	}
+	for i := range a[0] {
+		if a[0][i] != b[0][i] {
+			t.Error("cluster order not deterministic")
+		}
+	}
+}
+
+func TestClusterIsPartition(t *testing.T) {
+	// Property: clustering yields a partition — every mentioned record
+	// in exactly one cluster.
+	f := func(edges []uint8, decisions []bool) bool {
+		ids := []string{"a", "b", "c", "d", "e", "f"}
+		var pairs []entity.Pair
+		for _, e := range edges {
+			i, j := int(e)%len(ids), int(e/8)%len(ids)
+			if i == j {
+				continue
+			}
+			pairs = append(pairs, entity.Pair{A: rec(ids[i], ""), B: rec(ids[j], "")})
+		}
+		clusters := Cluster(pairs, decisions)
+		seen := map[string]int{}
+		for _, c := range clusters {
+			for _, id := range c {
+				seen[id]++
+			}
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

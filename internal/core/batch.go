@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"llm4em/internal/entity"
+	"llm4em/internal/llm"
+	"llm4em/internal/prompt"
+)
+
+// BatchMatcher packs several pairs into one prompt — the in-context
+// batching technique of Fan et al. (paper Section 8) that reduces the
+// per-pair token cost at some accuracy expense.
+type BatchMatcher struct {
+	// Client is the language model to query.
+	Client llm.Client
+	// Domain is the topical domain of the task.
+	Domain entity.Domain
+	// BatchSize is the number of pairs per request (minimum 1).
+	BatchSize int
+}
+
+// Evaluate runs batched matching over the pairs and aggregates the
+// usual metrics.
+func (m *BatchMatcher) Evaluate(pairs []entity.Pair) (Result, error) {
+	size := m.BatchSize
+	if size < 1 {
+		size = 1
+	}
+	var r Result
+	for start := 0; start < len(pairs); start += size {
+		end := start + size
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		batch := pairs[start:end]
+		decisions, resp, err := m.MatchBatch(batch)
+		if err != nil {
+			return Result{}, err
+		}
+		for i, p := range batch {
+			r.Confusion.Add(p.Match, decisions[i])
+		}
+		r.PromptTokens += resp.PromptTokens
+		r.CompletionTokens += resp.CompletionTokens
+		r.TotalLatency += resp.Latency
+		r.Requests++
+	}
+	return r, nil
+}
+
+// MatchBatch sends one batched request and parses the per-pair
+// decisions. Missing answers count as non-matches, mirroring the
+// paper's conservative answer parsing.
+func (m *BatchMatcher) MatchBatch(pairs []entity.Pair) ([]bool, llm.Response, error) {
+	p := prompt.BuildBatch(m.Domain, pairs)
+	resp, err := m.Client.Chat([]llm.Message{{Role: llm.User, Content: p}})
+	if err != nil {
+		return nil, llm.Response{}, fmt.Errorf("core: batch chat: %w", err)
+	}
+	return ParseBatchAnswers(resp.Content, len(pairs)), resp, nil
+}
+
+// ParseBatchAnswers reads numbered Yes/No lines ("3. Yes") into a
+// decision slice of length n; absent numbers default to false.
+func ParseBatchAnswers(answer string, n int) []bool {
+	out := make([]bool, n)
+	for _, line := range strings.Split(answer, "\n") {
+		trimmed := strings.TrimSpace(line)
+		num, rest, ok := strings.Cut(trimmed, ".")
+		if !ok {
+			continue
+		}
+		idx, err := strconv.Atoi(strings.TrimSpace(num))
+		if err != nil || idx < 1 || idx > n {
+			continue
+		}
+		out[idx-1] = ParseAnswer(rest)
+	}
+	return out
+}
+
+// MeanLatencyPerPair returns the mean simulated latency per matched
+// pair (requests are shared across batched pairs).
+func MeanLatencyPerPair(r Result, pairs int) time.Duration {
+	if pairs == 0 {
+		return 0
+	}
+	return r.TotalLatency / time.Duration(pairs)
+}

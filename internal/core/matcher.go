@@ -1,0 +1,186 @@
+// Package core implements the paper's primary contribution: the
+// LLM-based entity matching pipeline. A Matcher serializes a pair of
+// entity descriptions, builds a prompt from the configured design
+// (optionally with in-context demonstrations and matching rules),
+// queries a chat model, and parses the natural-language answer into a
+// binary matching decision using the paper's rule (Section 2):
+// lower-case the answer and look for the word "yes".
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"llm4em/internal/entity"
+	"llm4em/internal/eval"
+	"llm4em/internal/llm"
+	"llm4em/internal/prompt"
+)
+
+// DemoSelector supplies per-query in-context demonstrations
+// (Section 4.1). Implementations live in internal/icl.
+type DemoSelector interface {
+	// Select returns k demonstrations for the query pair, balanced
+	// between matches and non-matches.
+	Select(query entity.Pair, k int) []entity.Pair
+}
+
+// Matcher is the configured matching pipeline.
+type Matcher struct {
+	// Client is the language model to query.
+	Client llm.Client
+	// Design is the prompt design to use.
+	Design prompt.Design
+	// Domain is the topical domain of the task (selects the wording of
+	// domain-scoped task descriptions).
+	Domain entity.Domain
+	// Rules are optional textual matching rules (Section 4.2).
+	Rules []string
+	// Demos optionally selects in-context demonstrations; Shots is how
+	// many to request per query.
+	Demos DemoSelector
+	Shots int
+}
+
+// Decision is the outcome of matching one pair.
+type Decision struct {
+	// Pair is the evaluated pair.
+	Pair entity.Pair
+	// Match is the parsed decision.
+	Match bool
+	// Answer is the model's raw reply.
+	Answer string
+	// Prompt is the full prompt that was sent.
+	Prompt string
+	// Usage is the model's token and latency accounting.
+	Usage llm.Response
+}
+
+// Correct reports whether the decision agrees with the gold label.
+func (d Decision) Correct() bool { return d.Match == d.Pair.Match }
+
+// BuildPrompt renders the prompt this matcher would send for a pair.
+func (m *Matcher) BuildPrompt(pair entity.Pair) string {
+	spec := prompt.Spec{Design: m.Design, Domain: m.Domain, Rules: m.Rules}
+	if m.Demos != nil && m.Shots > 0 {
+		spec.Demonstrations = m.Demos.Select(pair, m.Shots)
+	}
+	return spec.Build(pair)
+}
+
+// MatchPair runs the pipeline on a single pair.
+func (m *Matcher) MatchPair(pair entity.Pair) (Decision, error) {
+	p := m.BuildPrompt(pair)
+	resp, err := m.Client.Chat([]llm.Message{{Role: llm.User, Content: p}})
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: chat for pair %s: %w", pair.ID, err)
+	}
+	return Decision{
+		Pair:   pair,
+		Match:  ParseAnswer(resp.Content),
+		Answer: resp.Content,
+		Prompt: p,
+		Usage:  resp,
+	}, nil
+}
+
+// ParseAnswer converts a model reply into a binary matching decision
+// using the paper's parsing rule: lower-case the answer and parse for
+// the word "yes"; any other reply counts as a non-match.
+func ParseAnswer(answer string) bool {
+	lower := strings.ToLower(answer)
+	// Word-level containment: "yes" must appear as its own token.
+	start := 0
+	for i := 0; i <= len(lower)-3; i++ {
+		if lower[i:i+3] != "yes" {
+			continue
+		}
+		beforeOK := i == start || !isWordByte(lower[i-1])
+		afterOK := i+3 == len(lower) || !isWordByte(lower[i+3])
+		if beforeOK && afterOK {
+			return true
+		}
+	}
+	return false
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= '0' && b <= '9'
+}
+
+// Result aggregates the evaluation of a matcher over a pair set.
+type Result struct {
+	// Confusion tallies the decisions against gold labels.
+	Confusion eval.Confusion
+	// PromptTokens and CompletionTokens are summed over all requests.
+	PromptTokens     int
+	CompletionTokens int
+	// TotalLatency is the summed simulated request latency.
+	TotalLatency time.Duration
+	// Requests is the number of pairs evaluated.
+	Requests int
+	// Decisions holds per-pair outcomes when requested via
+	// EvaluateKeeping.
+	Decisions []Decision
+}
+
+// F1 returns the F1-score of the run in percent.
+func (r Result) F1() float64 { return r.Confusion.F1() }
+
+// MeanPromptTokens returns the mean prompt length in tokens.
+func (r Result) MeanPromptTokens() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.PromptTokens) / float64(r.Requests)
+}
+
+// MeanCompletionTokens returns the mean completion length in tokens.
+func (r Result) MeanCompletionTokens() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.CompletionTokens) / float64(r.Requests)
+}
+
+// MeanLatency returns the mean simulated latency per request.
+func (r Result) MeanLatency() time.Duration {
+	if r.Requests == 0 {
+		return 0
+	}
+	return r.TotalLatency / time.Duration(r.Requests)
+}
+
+// Evaluate runs the matcher over the pairs and aggregates metrics.
+func (m *Matcher) Evaluate(pairs []entity.Pair) (Result, error) {
+	return m.evaluate(pairs, false)
+}
+
+// EvaluateKeeping is Evaluate but additionally retains every per-pair
+// decision, which the explanation and error-analysis pipelines need.
+func (m *Matcher) EvaluateKeeping(pairs []entity.Pair) (Result, error) {
+	return m.evaluate(pairs, true)
+}
+
+func (m *Matcher) evaluate(pairs []entity.Pair, keep bool) (Result, error) {
+	var r Result
+	if keep {
+		r.Decisions = make([]Decision, 0, len(pairs))
+	}
+	for _, p := range pairs {
+		d, err := m.MatchPair(p)
+		if err != nil {
+			return Result{}, err
+		}
+		r.Confusion.Add(p.Match, d.Match)
+		r.PromptTokens += d.Usage.PromptTokens
+		r.CompletionTokens += d.Usage.CompletionTokens
+		r.TotalLatency += d.Usage.Latency
+		r.Requests++
+		if keep {
+			r.Decisions = append(r.Decisions, d)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,61 @@
+// Package cost implements the cost analysis of Section 5: the
+// August-2024 OpenAI price snapshot the paper reports, per-prompt
+// cost computation from token counts, and the derived cost ratios of
+// Table 8.
+package cost
+
+// Pricing is the price of one million prompt/completion tokens in
+// USD.
+type Pricing struct {
+	PromptPerM     float64
+	CompletionPerM float64
+}
+
+// Fine-tuning price components for hosted fine-tunable models (USD
+// per million tokens).
+type FineTunePricing struct {
+	TrainingPerM float64
+	Inference    Pricing
+}
+
+// prices is the paper's August-2024 snapshot (Section 5): $0.15/$0.60
+// for GPT-mini, $30.00/$60.00 for GPT-4, and $2.50/$10.00 for GPT-4o.
+var prices = map[string]Pricing{
+	"GPT-mini": {PromptPerM: 0.15, CompletionPerM: 0.60},
+	"GPT-4":    {PromptPerM: 30.00, CompletionPerM: 60.00},
+	"GPT-4o":   {PromptPerM: 2.50, CompletionPerM: 10.00},
+}
+
+// ftPrices holds fine-tuning prices for the hosted models that
+// support it.
+var ftPrices = map[string]FineTunePricing{
+	"GPT-mini": {
+		TrainingPerM: 3.00,
+		Inference:    Pricing{PromptPerM: 0.30, CompletionPerM: 1.20},
+	},
+}
+
+// For returns the pricing of a hosted model.
+func For(model string) (Pricing, bool) {
+	p, ok := prices[model]
+	return p, ok
+}
+
+// ForFineTuned returns the fine-tuning pricing of a hosted model.
+func ForFineTuned(model string) (FineTunePricing, bool) {
+	p, ok := ftPrices[model]
+	return p, ok
+}
+
+// PerPromptCents returns the cost of one request in US cents given
+// mean token counts.
+func PerPromptCents(p Pricing, promptTokens, completionTokens float64) float64 {
+	usd := promptTokens/1e6*p.PromptPerM + completionTokens/1e6*p.CompletionPerM
+	return usd * 100
+}
+
+// TrainingPerExampleCents returns the training cost per example in US
+// cents: tokens per example times epochs at the training price.
+func TrainingPerExampleCents(ft FineTunePricing, tokensPerExample float64, epochs int) float64 {
+	return tokensPerExample * float64(epochs) / 1e6 * ft.TrainingPerM * 100
+}

@@ -1,0 +1,61 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperPriceSnapshot(t *testing.T) {
+	tests := []struct {
+		model         string
+		prompt, compl float64
+	}{
+		{"GPT-mini", 0.15, 0.60},
+		{"GPT-4", 30.00, 60.00},
+		{"GPT-4o", 2.50, 10.00},
+	}
+	for _, tt := range tests {
+		p, ok := For(tt.model)
+		if !ok {
+			t.Fatalf("no pricing for %s", tt.model)
+		}
+		if p.PromptPerM != tt.prompt || p.CompletionPerM != tt.compl {
+			t.Errorf("%s pricing = %+v", tt.model, p)
+		}
+	}
+	if _, ok := For("Llama2"); ok {
+		t.Error("open-source models have no hosted pricing")
+	}
+}
+
+func TestPerPromptCentsMatchesPaperZeroShot(t *testing.T) {
+	// Paper Table 8, zero-shot GPT-4: 77 prompt + 40 completion tokens
+	// cost 0.474 cents.
+	p, _ := For("GPT-4")
+	got := PerPromptCents(p, 77, 40)
+	if math.Abs(got-0.471) > 0.02 {
+		t.Errorf("GPT-4 zero-shot cost = %.4f cents, want ~0.471", got)
+	}
+	// GPT-mini: 76 prompt + 89 completion = 0.006 cents.
+	pm, _ := For("GPT-mini")
+	if got := PerPromptCents(pm, 76, 89); math.Abs(got-0.0065) > 0.002 {
+		t.Errorf("GPT-mini zero-shot cost = %.4f cents, want ~0.0065", got)
+	}
+}
+
+func TestFineTunePricing(t *testing.T) {
+	ft, ok := ForFineTuned("GPT-mini")
+	if !ok {
+		t.Fatal("GPT-mini should have fine-tune pricing")
+	}
+	if ft.Inference.PromptPerM <= 0 || ft.TrainingPerM <= 0 {
+		t.Errorf("bad fine-tune pricing %+v", ft)
+	}
+	if _, ok := ForFineTuned("GPT-4"); ok {
+		t.Error("GPT-4 was not fine-tunable in the study")
+	}
+	c := TrainingPerExampleCents(ft, 97, 10)
+	if c <= 0 || c > 1 {
+		t.Errorf("training cost per example = %.4f cents", c)
+	}
+}

@@ -1,0 +1,269 @@
+package datasets
+
+import (
+	"fmt"
+	"strings"
+
+	"llm4em/internal/detrand"
+	"llm4em/internal/entity"
+	"llm4em/internal/vocab"
+)
+
+// author is a generated publication author.
+type author struct {
+	first, last string
+}
+
+func (a author) full() string    { return a.first + " " + a.last }
+func (a author) initial() string { return a.first[:1] + ". " + a.last }
+
+// publication is one entry of the bibliographic universe. Families
+// group sibling publications (extended versions, same-topic papers by
+// the same group) that produce bibliographic corner cases.
+type publication struct {
+	authors []author
+	title   string
+	venue   vocab.Venue
+	year    int
+	family  int
+}
+
+// bibStyle controls how a bibliographic source renders records.
+// DBLP is clean; Google Scholar records are noisy (initials, missing
+// fields, venue variants); ACM is clean with minor variants.
+type bibStyle struct {
+	initialsProb    float64 // render author first names as initials
+	dropAuthorProb  float64 // drop trailing authors ("et al." effect)
+	venueVariantP   float64 // use an alternative venue surface form
+	missingVenueP   float64
+	missingYearP    float64
+	wrongYearProb   float64 // off-by-one year (common Scholar error)
+	titleAbbrevProb float64
+	titleTruncProb  float64 // drop trailing title words
+	typoProb        float64
+	lowercaseProb   float64
+}
+
+// bibConfig describes one bibliographic benchmark.
+type bibConfig struct {
+	key, name, abbrev string
+	counts            SplitCounts
+	schema            entity.Schema
+
+	families       int
+	cornerNegRate  float64
+	hardMatchRate  float64
+	styleA, styleB bibStyle
+}
+
+// buildBibUniverse creates cfg.families publication families. Each
+// family contains a base paper plus 1-2 siblings: an extended journal
+// version (same authors and topic, later year, journal venue) and/or
+// a same-topic paper with an overlapping author list.
+func buildBibUniverse(cfg bibConfig) []publication {
+	rng := detrand.New("universe", cfg.key)
+	confVenues, journalVenues := splitVenues()
+	var all []publication
+	for f := 0; f < cfg.families; f++ {
+		nAuthors := 1 + rng.Intn(4)
+		authors := make([]author, nAuthors)
+		for i := range authors {
+			authors[i] = author{
+				first: vocab.FirstNames[rng.Intn(len(vocab.FirstNames))],
+				last:  vocab.LastNames[rng.Intn(len(vocab.LastNames))],
+			}
+		}
+		topic := vocab.TopicPhrases[rng.Intn(len(vocab.TopicPhrases))]
+		title := strings.Join(topic, " ")
+		if rng.Bool(0.4) {
+			title = vocab.TitleModifiers[rng.Intn(len(vocab.TitleModifiers))] + " " + title
+		}
+		venue := confVenues[rng.Intn(len(confVenues))]
+		year := 1995 + rng.Intn(15)
+
+		base := publication{authors: authors, title: title, venue: venue, year: year, family: f}
+		all = append(all, base)
+
+		if rng.Bool(0.55) {
+			// Extended journal version: same authors, near-identical
+			// title, later year, journal venue — a non-match despite
+			// extreme surface similarity.
+			ext := base
+			ext.venue = journalVenues[rng.Intn(len(journalVenues))]
+			ext.year = year + 1 + rng.Intn(2)
+			if rng.Bool(0.5) {
+				ext.title = base.title + ": an extended study"
+			}
+			all = append(all, ext)
+		}
+		if rng.Bool(0.45) {
+			// Same-group follow-up on the same topic. The follow-up is
+			// forced to differ in contribution word, year and venue —
+			// two distinct same-topic papers at the same venue in the
+			// same year would be indistinguishable even to an expert.
+			sib := base
+			mod := vocab.TitleModifiers[rng.Intn(len(vocab.TitleModifiers))]
+			for strings.HasPrefix(base.title, mod) {
+				mod = vocab.TitleModifiers[rng.Intn(len(vocab.TitleModifiers))]
+			}
+			sib.title = mod + " " + strings.Join(topic, " ")
+			sib.year = year + 1 + rng.Intn(2)
+			if len(sib.authors) > 1 && rng.Bool(0.5) {
+				sib.authors = sib.authors[:len(sib.authors)-1]
+			}
+			sv := confVenues[rng.Intn(len(confVenues))]
+			for sv.Full == base.venue.Full {
+				sv = confVenues[rng.Intn(len(confVenues))]
+			}
+			sib.venue = sv
+			all = append(all, sib)
+		}
+	}
+	return all
+}
+
+func splitVenues() (conf, journal []vocab.Venue) {
+	for _, v := range vocab.Venues {
+		if v.Journal {
+			journal = append(journal, v)
+		} else {
+			conf = append(conf, v)
+		}
+	}
+	return conf, journal
+}
+
+// renderBib produces one record for a publication under a style.
+func renderBib(cfg bibConfig, p publication, st bibStyle, rng *detrand.RNG, id string) entity.Record {
+	// Authors.
+	var names []string
+	for i, a := range p.authors {
+		if i > 0 && rng.Bool(st.dropAuthorProb) {
+			break
+		}
+		if rng.Bool(st.initialsProb) {
+			names = append(names, a.initial())
+		} else {
+			names = append(names, a.full())
+		}
+	}
+	authors := strings.Join(names, ", ")
+
+	// Title.
+	title := p.title
+	if rng.Bool(st.titleTruncProb) {
+		words := strings.Fields(title)
+		if len(words) > 3 {
+			title = strings.Join(words[:len(words)-1-rng.Intn(2)], " ")
+		}
+	}
+	title = maybeAbbreviate(title, st.titleAbbrevProb, rng)
+	title = maybeTypo(title, st.typoProb, rng)
+	if rng.Bool(st.lowercaseProb) {
+		title = strings.ToLower(title)
+	}
+
+	// Venue.
+	venue := p.venue.Full
+	if rng.Bool(st.venueVariantP) {
+		venue = p.venue.Variants[rng.Intn(len(p.venue.Variants))]
+	}
+	if rng.Bool(st.missingVenueP) {
+		venue = ""
+	}
+
+	// Year.
+	year := fmt.Sprintf("%d", p.year)
+	if rng.Bool(st.wrongYearProb) {
+		year = fmt.Sprintf("%d", p.year+1-2*rng.Intn(2))
+	}
+	if rng.Bool(st.missingYearP) {
+		year = ""
+	}
+
+	values := map[string]string{"authors": authors, "title": title, "venue": venue, "year": year}
+	r := entity.Record{ID: id, Attrs: make([]entity.Attr, len(cfg.schema.Attributes))}
+	for i, a := range cfg.schema.Attributes {
+		r.Attrs[i] = entity.Attr{Name: a, Value: values[a]}
+	}
+	return r
+}
+
+// hardenBib intensifies a style for corner-case matches.
+func hardenBib(st bibStyle) bibStyle {
+	st.initialsProb = minf(st.initialsProb+0.5, 0.95)
+	st.dropAuthorProb = minf(st.dropAuthorProb+0.3, 0.6)
+	st.venueVariantP = minf(st.venueVariantP+0.4, 0.95)
+	st.titleTruncProb = minf(st.titleTruncProb+0.3, 0.6)
+	st.titleAbbrevProb = minf(st.titleAbbrevProb+0.2, 0.5)
+	st.missingYearP = minf(st.missingYearP+0.25, 0.5)
+	return st
+}
+
+// generateBibPairs materializes one split of a bibliographic
+// benchmark.
+func generateBibPairs(cfg bibConfig, universe []publication, split string, pos, neg int) []entity.Pair {
+	rng := detrand.New("pairs", cfg.key, split)
+	pairs := make([]entity.Pair, 0, pos+neg)
+	families := map[int][]int{}
+	for i, p := range universe {
+		families[p.family] = append(families[p.family], i)
+	}
+
+	for i := 0; i < pos; i++ {
+		p := universe[rng.Intn(len(universe))]
+		stB := cfg.styleB
+		if rng.Bool(cfg.hardMatchRate) {
+			stB = hardenBib(stB)
+		}
+		a := renderBib(cfg, p, cfg.styleA, rng, fmt.Sprintf("%s-%s-p%d-a", cfg.key, split, i))
+		b := renderBib(cfg, p, stB, rng, fmt.Sprintf("%s-%s-p%d-b", cfg.key, split, i))
+		pairs = append(pairs, entity.Pair{ID: fmt.Sprintf("%s-%s-pos-%d", cfg.key, split, i), A: a, B: b, Match: true})
+	}
+	for i := 0; i < neg; i++ {
+		pi := rng.Intn(len(universe))
+		p := universe[pi]
+		var q publication
+		if rng.Bool(cfg.cornerNegRate) {
+			sibs := families[p.family]
+			qi := sibs[rng.Intn(len(sibs))]
+			for qi == pi && len(sibs) > 1 {
+				qi = sibs[rng.Intn(len(sibs))]
+			}
+			if qi == pi {
+				qi = (pi + 1) % len(universe)
+			}
+			q = universe[qi]
+		} else {
+			qi := rng.Intn(len(universe))
+			for universe[qi].family == p.family {
+				qi = rng.Intn(len(universe))
+			}
+			q = universe[qi]
+		}
+		a := renderBib(cfg, p, cfg.styleA, rng, fmt.Sprintf("%s-%s-n%d-a", cfg.key, split, i))
+		b := renderBib(cfg, q, cfg.styleB, rng, fmt.Sprintf("%s-%s-n%d-b", cfg.key, split, i))
+		pairs = append(pairs, entity.Pair{ID: fmt.Sprintf("%s-%s-neg-%d", cfg.key, split, i), A: a, B: b, Match: false})
+	}
+	// Shuffle so matches and non-matches interleave, as in the
+	// published benchmark files; any prefix of a split keeps a
+	// realistic class mix.
+	detrand.Shuffle(detrand.New("shuffle", cfg.key, split), pairs)
+	return pairs
+}
+
+// generateBibDataset materializes a bibliographic benchmark.
+func generateBibDataset(cfg bibConfig) *Dataset {
+	universe := buildBibUniverse(cfg)
+	c := cfg.counts
+	return &Dataset{
+		Name:     cfg.name,
+		Key:      cfg.key,
+		Abbrev:   cfg.abbrev,
+		Schema:   cfg.schema,
+		Scenario: CleanClean,
+		Train:    generateBibPairs(cfg, universe, "train", c.TrainPos, c.TrainNeg),
+		Val:      generateBibPairs(cfg, universe, "val", c.ValPos, c.ValNeg),
+		Test:     generateBibPairs(cfg, universe, "test", c.TestPos, c.TestNeg),
+	}
+}

@@ -1,0 +1,81 @@
+package datasets
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"llm4em/internal/entity"
+)
+
+// WriteCSV writes pairs as CSV with one row per pair: pair id, label,
+// then the attributes of both records prefixed with "left_" and
+// "right_". The column set follows the dataset schema.
+func (d *Dataset) WriteCSV(w io.Writer, pairs []entity.Pair) error {
+	cw := csv.NewWriter(w)
+	header := []string{"pair_id", "label"}
+	for _, a := range d.Schema.Attributes {
+		header = append(header, "left_"+a)
+	}
+	for _, a := range d.Schema.Attributes {
+		header = append(header, "right_"+a)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("datasets: write csv header: %w", err)
+	}
+	for _, p := range pairs {
+		row := []string{p.ID, boolLabel(p.Match)}
+		for _, a := range d.Schema.Attributes {
+			v, _ := p.A.Get(a)
+			row = append(row, v)
+		}
+		for _, a := range d.Schema.Attributes {
+			v, _ := p.B.Get(a)
+			row = append(row, v)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("datasets: write csv row %s: %w", p.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func boolLabel(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// pairJSON is the JSON wire form of a labelled pair.
+type pairJSON struct {
+	ID    string            `json:"id"`
+	Left  map[string]string `json:"left"`
+	Right map[string]string `json:"right"`
+	Label int               `json:"label"`
+}
+
+// WriteJSONL writes pairs in JSON-lines format, one object per pair.
+func (d *Dataset) WriteJSONL(w io.Writer, pairs []entity.Pair) error {
+	enc := json.NewEncoder(w)
+	for _, p := range pairs {
+		obj := pairJSON{ID: p.ID, Left: attrMap(p.A), Right: attrMap(p.B)}
+		if p.Match {
+			obj.Label = 1
+		}
+		if err := enc.Encode(obj); err != nil {
+			return fmt.Errorf("datasets: encode pair %s: %w", p.ID, err)
+		}
+	}
+	return nil
+}
+
+func attrMap(r entity.Record) map[string]string {
+	m := make(map[string]string, len(r.Attrs))
+	for _, a := range r.Attrs {
+		m[a.Name] = a.Value
+	}
+	return m
+}

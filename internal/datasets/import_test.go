@@ -1,0 +1,79 @@
+package datasets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"llm4em/internal/entity"
+)
+
+func TestReadCSVPairsRoundTrip(t *testing.T) {
+	d := MustLoad("wa")
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf, d.Test[:25]); err != nil {
+		t.Fatal(err)
+	}
+	schema, pairs, err := ReadCSVPairs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 25 {
+		t.Fatalf("read %d pairs, want 25", len(pairs))
+	}
+	if len(schema.Attributes) != len(d.Schema.Attributes) {
+		t.Fatalf("schema = %v, want %v", schema.Attributes, d.Schema.Attributes)
+	}
+	if schema.Domain != entity.Product {
+		t.Errorf("domain = %v, want product", schema.Domain)
+	}
+	for i, p := range pairs {
+		orig := d.Test[i]
+		if p.Match != orig.Match {
+			t.Errorf("pair %d label mismatch", i)
+		}
+		if p.A.Serialize() != orig.A.Serialize() || p.B.Serialize() != orig.B.Serialize() {
+			t.Errorf("pair %d serialization mismatch:\n%q\n%q", i, p.A.Serialize(), orig.A.Serialize())
+		}
+	}
+}
+
+func TestReadCSVPairsPublicationDomain(t *testing.T) {
+	d := MustLoad("ds")
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf, d.Test[:5]); err != nil {
+		t.Fatal(err)
+	}
+	schema, _, err := ReadCSVPairs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Domain != entity.Publication {
+		t.Errorf("domain = %v, want publication", schema.Domain)
+	}
+}
+
+func TestReadCSVPairsRejectsBadHeaders(t *testing.T) {
+	bad := []string{
+		"id,label,left_title,right_title\nx,1,a,b",       // wrong first column
+		"pair_id,label\nx,1",                             // no attributes
+		"pair_id,label,left_title,right_name\nx,1,a,b",   // mismatched right
+		"pair_id,label,left_a,left_b,right_a\nx,1,a,b,c", // unbalanced
+	}
+	for _, csv := range bad {
+		if _, _, err := ReadCSVPairs(strings.NewReader(csv)); err == nil {
+			t.Errorf("header should be rejected: %q", strings.SplitN(csv, "\n", 2)[0])
+		}
+	}
+}
+
+func TestReadCSVPairsLabelForms(t *testing.T) {
+	csv := "pair_id,label,left_title,right_title\np1,1,a,b\np2,0,c,d\np3,true,e,f\n"
+	_, pairs, err := ReadCSVPairs(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairs[0].Match || pairs[1].Match || !pairs[2].Match {
+		t.Errorf("labels parsed wrong: %v %v %v", pairs[0].Match, pairs[1].Match, pairs[2].Match)
+	}
+}

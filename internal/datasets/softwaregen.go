@@ -1,0 +1,249 @@
+package datasets
+
+import (
+	"fmt"
+	"strings"
+
+	"llm4em/internal/detrand"
+	"llm4em/internal/entity"
+	"llm4em/internal/vocab"
+)
+
+// softwareItem is one entry of the Amazon-Google software universe:
+// a vendor product at a specific version and edition. Sibling items
+// (same product, different version or edition) produce the dataset's
+// notorious corner cases, e.g. "different versions of the Windows
+// operating system" (Section 2).
+type softwareItem struct {
+	vendor  string
+	product string
+	version string // "5.0", "2007", may be empty
+	edition string // "upgrade", "full version", ... may be empty
+	price   float64
+	family  int
+	// editionCritical marks items whose identity depends on the
+	// edition word alone (same product and version as a sibling);
+	// offers for such items always state the edition.
+	editionCritical bool
+}
+
+// softwareConfig describes the Amazon-Google style benchmark.
+type softwareConfig struct {
+	key, name, abbrev string
+	counts            SplitCounts
+	schema            entity.Schema
+
+	families       int
+	cornerNegRate  float64
+	hardMatchRate  float64
+	styleA, styleB softwareStyle
+}
+
+// softwareStyle controls how a source renders software offers.
+type softwareStyle struct {
+	dropVendorProb  float64
+	dropVersionProb float64
+	dropEditionProb float64
+	versionReformat float64 // "5.0" <-> "5", "2007" <-> "07"
+	noiseWordProb   float64
+	priceJitter     float64
+	missingPriceP   float64
+	wordShuffleProb float64
+}
+
+// buildSoftwareUniverse creates cfg.families product families of 2-4
+// version/edition siblings each.
+func buildSoftwareUniverse(cfg softwareConfig) []softwareItem {
+	rng := detrand.New("universe", cfg.key)
+	var all []softwareItem
+	versionsFor := func() []string {
+		if rng.Bool(0.5) {
+			// Point versions.
+			base := 1 + rng.Intn(9)
+			return []string{
+				fmt.Sprintf("%d.0", base),
+				fmt.Sprintf("%d.0", base+1),
+				fmt.Sprintf("%d.5", base),
+			}
+		}
+		// Year versions.
+		base := 2003 + rng.Intn(6)
+		return []string{
+			fmt.Sprintf("%d", base),
+			fmt.Sprintf("%d", base+1),
+			fmt.Sprintf("%d", base+2),
+		}
+	}
+	for f := 0; f < cfg.families; f++ {
+		vendor := vocab.SoftwareVendors[rng.Intn(len(vocab.SoftwareVendors))]
+		prod := vendor.Products[rng.Intn(len(vendor.Products))]
+		versions := versionsFor()
+		basePrice := 20 + rng.Float64()*480
+		siblings := 2 + rng.Intn(3)
+		for s := 0; s < siblings; s++ {
+			item := softwareItem{
+				vendor:  vendor.Name,
+				product: prod,
+				version: versions[s%len(versions)],
+				price:   basePrice * (0.7 + 0.6*rng.Float64()),
+				family:  f,
+			}
+			if rng.Bool(0.55) {
+				item.edition = vocab.SoftwareEditionWords[rng.Intn(len(vocab.SoftwareEditionWords))]
+			}
+			all = append(all, item)
+		}
+		// Edition sibling: identical version, different edition — the
+		// hardest corner case (upgrade vs full version). The edition
+		// word is its only distinguishing surface attribute, so it is
+		// marked edition-critical: its offers always state the edition,
+		// as real listings for upgrade SKUs do. It must also differ
+		// from the base item's edition.
+		if rng.Bool(0.6) {
+			ed := vocab.SoftwareEditionWords[rng.Intn(len(vocab.SoftwareEditionWords))]
+			for ed == all[len(all)-siblings].edition {
+				ed = vocab.SoftwareEditionWords[rng.Intn(len(vocab.SoftwareEditionWords))]
+			}
+			all = append(all, softwareItem{
+				vendor: vendor.Name, product: prod, version: versions[0],
+				edition: ed, price: basePrice * 0.5, family: f,
+				editionCritical: true,
+			})
+		}
+	}
+	return all
+}
+
+// renderSoftware produces one record for a software item.
+func renderSoftware(cfg softwareConfig, it softwareItem, st softwareStyle, rng *detrand.RNG, id string) entity.Record {
+	var words []string
+	if !rng.Bool(st.dropVendorProb) {
+		words = append(words, it.vendor)
+	}
+	words = append(words, it.product)
+	if it.version != "" && !rng.Bool(st.dropVersionProb) {
+		v := it.version
+		if rng.Bool(st.versionReformat) {
+			v = reformatVersion(v)
+		}
+		words = append(words, v)
+	}
+	if it.edition != "" && (it.editionCritical || !rng.Bool(st.dropEditionProb)) {
+		words = append(words, it.edition)
+	}
+	if rng.Bool(st.noiseWordProb) {
+		words = append(words, vocab.MarketingNoise[rng.Intn(len(vocab.MarketingNoise))])
+	}
+	if rng.Bool(st.wordShuffleProb) && len(words) > 2 {
+		// Swap two interior word positions (sources order fields
+		// differently).
+		i := 1 + rng.Intn(len(words)-1)
+		j := 1 + rng.Intn(len(words)-1)
+		words[i], words[j] = words[j], words[i]
+	}
+	title := strings.ToLower(strings.Join(words, " "))
+
+	price := ""
+	if !rng.Bool(st.missingPriceP) {
+		j := it.price * (1 + st.priceJitter*rng.Gauss())
+		if j < 1 {
+			j = 1
+		}
+		price = fmt.Sprintf("%.2f", j)
+	}
+	brand := it.vendor
+	if rng.Bool(st.dropVendorProb) {
+		brand = ""
+	}
+	values := map[string]string{"brand": brand, "title": title, "price": price}
+	r := entity.Record{ID: id, Attrs: make([]entity.Attr, len(cfg.schema.Attributes))}
+	for i, a := range cfg.schema.Attributes {
+		r.Attrs[i] = entity.Attr{Name: a, Value: values[a]}
+	}
+	return r
+}
+
+// reformatVersion maps between common version surface forms:
+// "5.0" -> "5", "5.5" -> "v5.5", "2007" -> "07".
+func reformatVersion(v string) string {
+	switch {
+	case strings.HasSuffix(v, ".0"):
+		return strings.TrimSuffix(v, ".0")
+	case len(v) == 4 && strings.HasPrefix(v, "20"):
+		return v[2:]
+	default:
+		return "v" + v
+	}
+}
+
+// generateSoftwarePairs materializes one split of the software
+// benchmark.
+func generateSoftwarePairs(cfg softwareConfig, universe []softwareItem, split string, pos, neg int) []entity.Pair {
+	rng := detrand.New("pairs", cfg.key, split)
+	pairs := make([]entity.Pair, 0, pos+neg)
+	families := map[int][]int{}
+	for i, it := range universe {
+		families[it.family] = append(families[it.family], i)
+	}
+
+	for i := 0; i < pos; i++ {
+		it := universe[rng.Intn(len(universe))]
+		stB := cfg.styleB
+		if rng.Bool(cfg.hardMatchRate) {
+			stB.dropVersionProb = minf(stB.dropVersionProb+0.5, 0.9)
+			stB.dropEditionProb = minf(stB.dropEditionProb+0.5, 0.95)
+			stB.priceJitter *= 2
+			stB.versionReformat = 0.45
+		}
+		a := renderSoftware(cfg, it, cfg.styleA, rng, fmt.Sprintf("%s-%s-p%d-a", cfg.key, split, i))
+		b := renderSoftware(cfg, it, stB, rng, fmt.Sprintf("%s-%s-p%d-b", cfg.key, split, i))
+		pairs = append(pairs, entity.Pair{ID: fmt.Sprintf("%s-%s-pos-%d", cfg.key, split, i), A: a, B: b, Match: true})
+	}
+	for i := 0; i < neg; i++ {
+		pi := rng.Intn(len(universe))
+		it := universe[pi]
+		var other softwareItem
+		if rng.Bool(cfg.cornerNegRate) {
+			sibs := families[it.family]
+			qi := sibs[rng.Intn(len(sibs))]
+			for qi == pi && len(sibs) > 1 {
+				qi = sibs[rng.Intn(len(sibs))]
+			}
+			if qi == pi {
+				qi = (pi + 1) % len(universe)
+			}
+			other = universe[qi]
+		} else {
+			qi := rng.Intn(len(universe))
+			for universe[qi].family == it.family {
+				qi = rng.Intn(len(universe))
+			}
+			other = universe[qi]
+		}
+		a := renderSoftware(cfg, it, cfg.styleA, rng, fmt.Sprintf("%s-%s-n%d-a", cfg.key, split, i))
+		b := renderSoftware(cfg, other, cfg.styleB, rng, fmt.Sprintf("%s-%s-n%d-b", cfg.key, split, i))
+		pairs = append(pairs, entity.Pair{ID: fmt.Sprintf("%s-%s-neg-%d", cfg.key, split, i), A: a, B: b, Match: false})
+	}
+	// Shuffle so matches and non-matches interleave, as in the
+	// published benchmark files; any prefix of a split keeps a
+	// realistic class mix.
+	detrand.Shuffle(detrand.New("shuffle", cfg.key, split), pairs)
+	return pairs
+}
+
+// generateSoftwareDataset materializes the Amazon-Google style
+// benchmark.
+func generateSoftwareDataset(cfg softwareConfig) *Dataset {
+	universe := buildSoftwareUniverse(cfg)
+	c := cfg.counts
+	return &Dataset{
+		Name:     cfg.name,
+		Key:      cfg.key,
+		Abbrev:   cfg.abbrev,
+		Schema:   cfg.schema,
+		Scenario: CleanClean,
+		Train:    generateSoftwarePairs(cfg, universe, "train", c.TrainPos, c.TrainNeg),
+		Val:      generateSoftwarePairs(cfg, universe, "val", c.ValPos, c.ValNeg),
+		Test:     generateSoftwarePairs(cfg, universe, "test", c.TestPos, c.TestNeg),
+	}
+}

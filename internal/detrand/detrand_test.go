@@ -1,0 +1,209 @@
+package detrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64("a", "b") != Hash64("a", "b") {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64("ab", "c") == Hash64("a", "bc") {
+		t.Fatal("Hash64 does not separate part boundaries")
+	}
+	if Hash64("x") == Hash64("y") {
+		t.Fatal("Hash64 collides on trivial inputs")
+	}
+}
+
+func TestUnitRange(t *testing.T) {
+	f := func(a, b string) bool {
+		u := Unit(a, b)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignedRange(t *testing.T) {
+	f := func(a string) bool {
+		s := Signed(a)
+		return s >= -1 && s < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussFinite(t *testing.T) {
+	f := func(a string) bool {
+		g := Gauss(a)
+		return !math.IsNaN(g) && !math.IsInf(g, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussMoments(t *testing.T) {
+	r := New("gauss-moments")
+	n := 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		g := r.Gauss()
+		sum += g
+		sumsq += g * g
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean = %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("variance = %.4f, want ~1", variance)
+	}
+}
+
+func TestRNGDeterministicStreams(t *testing.T) {
+	a, b := New("seed"), New("seed")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at step %d", i)
+		}
+	}
+	c := New("other-seed")
+	same := true
+	a = New("seed")
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New("intn")
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New("p").Intn(0)
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := New("uniform")
+	buckets := make([]int, 10)
+	n := 50000
+	for i := 0; i < n; i++ {
+		buckets[int(r.Float64()*10)]++
+	}
+	for i, c := range buckets {
+		frac := float64(c) / float64(n)
+		if frac < 0.08 || frac > 0.12 {
+			t.Errorf("bucket %d has fraction %.3f, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New("shuffle")
+	items := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	cp := make([]int, len(items))
+	copy(cp, items)
+	Shuffle(r, cp)
+	seen := map[int]int{}
+	for _, v := range cp {
+		seen[v]++
+	}
+	for _, v := range items {
+		if seen[v] != 1 {
+			t.Fatalf("element %d occurs %d times after shuffle", v, seen[v])
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New("perm")
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSample(t *testing.T) {
+	r := New("sample")
+	items := []string{"a", "b", "c", "d", "e"}
+	s := Sample(r, items, 3)
+	if len(s) != 3 {
+		t.Fatalf("Sample returned %d items, want 3", len(s))
+	}
+	seen := map[string]bool{}
+	valid := map[string]bool{"a": true, "b": true, "c": true, "d": true, "e": true}
+	for _, v := range s {
+		if !valid[v] || seen[v] {
+			t.Fatalf("invalid sample %v", s)
+		}
+		seen[v] = true
+	}
+	all := Sample(r, items, 10)
+	if len(all) != len(items) {
+		t.Fatalf("oversized Sample returned %d items, want %d", len(all), len(items))
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New("bool")
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("Bool(0.3) hit fraction %.3f, want ~0.3", frac)
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New("pick")
+	items := []int{10, 20, 30}
+	for i := 0; i < 100; i++ {
+		v := Pick(r, items)
+		if v != 10 && v != 20 && v != 30 {
+			t.Fatalf("Pick returned %d, not in items", v)
+		}
+	}
+}
+
+func TestNewSeedStream(t *testing.T) {
+	a, b := NewSeed(42), NewSeed(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("NewSeed streams diverge")
+		}
+	}
+	if NewSeed(1).Uint64() == NewSeed(2).Uint64() {
+		t.Error("different numeric seeds should differ")
+	}
+}

@@ -1,0 +1,301 @@
+// Package errorclass implements the automated error analysis of
+// Section 7: selecting the wrong decisions of a matching run together
+// with their structured explanations, asking an LLM to synthesise
+// named error classes from them (Tables 11 and 12), asking the LLM to
+// assign individual errors to the classes, and measuring the
+// assignment accuracy against an expert annotation rubric (Table 13).
+package errorclass
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"llm4em/internal/core"
+	"llm4em/internal/entity"
+	"llm4em/internal/explain"
+	"llm4em/internal/llm"
+	"llm4em/internal/prompt"
+)
+
+// Case is one wrong matching decision with its structured
+// explanation.
+type Case struct {
+	Decision    core.Decision
+	Explanation explain.Explanation
+}
+
+// FalsePositive reports whether the case is a wrongly predicted
+// match.
+func (c Case) FalsePositive() bool {
+	return c.Decision.Match && !c.Decision.Pair.Match
+}
+
+// CollectErrors pairs up the wrong decisions of a matching run with
+// their explanations and splits them into false positives and false
+// negatives.
+func CollectErrors(decisions []core.Decision, explanations []explain.Explanation) (fps, fns []Case) {
+	byPair := map[string]explain.Explanation{}
+	for _, e := range explanations {
+		byPair[e.Pair.ID] = e
+	}
+	for _, d := range decisions {
+		if d.Correct() {
+			continue
+		}
+		c := Case{Decision: d, Explanation: byPair[d.Pair.ID]}
+		if c.FalsePositive() {
+			fps = append(fps, c)
+		} else {
+			fns = append(fns, c)
+		}
+	}
+	return fps, fns
+}
+
+// Render formats a case in the layout the analysis prompts use (and
+// the models parse): gold and predicted labels, both serializations,
+// then the explanation rows.
+func Render(c Case) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gold: %s, Predicted: %s\n", label(c.Decision.Pair.Match), label(c.Decision.Match))
+	fmt.Fprintf(&b, "Entity 1: '%s'\n", c.Decision.Pair.A.Serialize())
+	fmt.Fprintf(&b, "Entity 2: '%s'\n", c.Decision.Pair.B.Serialize())
+	b.WriteString("Explanation:\n")
+	for _, a := range c.Explanation.Attributes {
+		fmt.Fprintf(&b, "%s | %.2f | %.2f\n", a.Name, a.Importance, a.Similarity)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func label(match bool) string {
+	if match {
+		return "match"
+	}
+	return "non-match"
+}
+
+// Class is one generated error class.
+type Class struct {
+	Name        string
+	Description string
+}
+
+// String renders "Name: Description" as listed in assignment prompts.
+func (c Class) String() string { return c.Name + ": " + c.Description }
+
+// Discover runs the Section 7.1 prompt: it shows the model all cases
+// of one error direction and parses the generated error classes out
+// of the reply.
+func Discover(client llm.Client, domain entity.Domain, cases []Case, falsePositive bool) ([]Class, error) {
+	kind := "false negative"
+	if falsePositive {
+		kind = "false positive"
+	}
+	rendered := make([]string, len(cases))
+	for i, c := range cases {
+		rendered[i] = Render(c)
+	}
+	p := prompt.ErrorClassRequest(kind, domain, rendered)
+	resp, err := client.Chat([]llm.Message{{Role: llm.User, Content: p}})
+	if err != nil {
+		return nil, fmt.Errorf("errorclass: discovery chat: %w", err)
+	}
+	classes := parseClasses(resp.Content)
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("errorclass: no classes in reply %q", resp.Content)
+	}
+	return classes, nil
+}
+
+// parseClasses reads "N. Name: Description" lines.
+func parseClasses(reply string) []Class {
+	var out []Class
+	for _, line := range strings.Split(reply, "\n") {
+		trimmed := strings.TrimSpace(line)
+		i := 0
+		for i < len(trimmed) && trimmed[i] >= '0' && trimmed[i] <= '9' {
+			i++
+		}
+		if i == 0 || i >= len(trimmed) || trimmed[i] != '.' {
+			continue
+		}
+		rest := strings.TrimSpace(trimmed[i+1:])
+		name, desc, ok := strings.Cut(rest, ":")
+		if !ok {
+			continue
+		}
+		out = append(out, Class{Name: strings.TrimSpace(name), Description: strings.TrimSpace(desc)})
+	}
+	return out
+}
+
+// Assign runs the Section 7.2 prompt for one case and returns the
+// set of class indices (0-based) the model considers applicable.
+func Assign(client llm.Client, classes []Class, c Case) (map[int]bool, error) {
+	listed := make([]string, len(classes))
+	for i, cl := range classes {
+		listed[i] = cl.String()
+	}
+	p := prompt.ErrorAssignRequest(listed, Render(c))
+	resp, err := client.Chat([]llm.Message{{Role: llm.User, Content: p}})
+	if err != nil {
+		return nil, fmt.Errorf("errorclass: assignment chat: %w", err)
+	}
+	return parseAssignment(resp.Content, len(classes)), nil
+}
+
+// parseAssignment extracts the class numbers of an assignment reply
+// such as "Applicable error classes: 2 (confidence 0.90), 4
+// (confidence 0.71)".
+func parseAssignment(reply string, nClasses int) map[int]bool {
+	out := map[int]bool{}
+	_, list, ok := strings.Cut(reply, "Applicable error classes:")
+	if !ok {
+		return out
+	}
+	for _, part := range strings.Split(list, ",") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) == 0 {
+			continue
+		}
+		if n, err := strconv.Atoi(fields[0]); err == nil && n >= 1 && n <= nClasses {
+			out[n-1] = true
+		}
+	}
+	return out
+}
+
+// ExpertAnnotate applies the domain-expert rubric to a case: for each
+// class, whether the expert considers it applicable. The rubric is
+// looser than the model's reading — an expert credits a class when
+// the explanation shows *any* evidence of the named attribute pushing
+// toward the wrong decision — which produces the partial agreement of
+// Table 13.
+func ExpertAnnotate(classes []Class, c Case) []bool {
+	out := make([]bool, len(classes))
+	fp := c.FalsePositive()
+	for i, cl := range classes {
+		out[i] = expertApplies(cl, c, fp)
+	}
+	return out
+}
+
+// expertApplies is the expert rubric for one class.
+func expertApplies(cl Class, c Case, falsePositive bool) bool {
+	lower := strings.ToLower(cl.Name + " " + cl.Description)
+	attrs := expertKeywordAttrs(lower)
+	if strings.Contains(lower, "incomplete") || strings.Contains(lower, "partial") || strings.Contains(lower, "missing") {
+		// Information asymmetry between the two descriptions.
+		la := len(strings.Fields(c.Decision.Pair.A.Serialize()))
+		lb := len(strings.Fields(c.Decision.Pair.B.Serialize()))
+		d := la - lb
+		if d < 0 {
+			d = -d
+		}
+		mn := la
+		if lb < mn {
+			mn = lb
+		}
+		if mn > 0 && float64(d)/float64(mn) > 0.3 {
+			return true
+		}
+	}
+	for _, a := range c.Explanation.Attributes {
+		for _, kw := range attrs {
+			if !strings.Contains(a.Name, kw) {
+				continue
+			}
+			// The expert threshold is lower than the model's: mild
+			// evidence suffices.
+			if falsePositive && a.Importance > 0.05 {
+				return true
+			}
+			if !falsePositive && a.Importance < -0.05 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// expertKeywordAttrs maps class wording to explanation attributes.
+func expertKeywordAttrs(lower string) []string {
+	var attrs []string
+	pairs := []struct {
+		kw    string
+		attrs []string
+	}{
+		{"year", []string{"year"}},
+		{"venue", []string{"conference", "journal", "venue"}},
+		{"publication type", []string{"conference", "journal"}},
+		{"author", []string{"authors"}},
+		{"title", []string{"title"}},
+		{"description", []string{"title"}},
+		{"model", []string{"model"}},
+		{"price", []string{"price"}},
+		{"variant", []string{"variant", "color", "capacity", "size", "edition", "version", "license"}},
+		{"accessory", []string{"variant", "color", "capacity", "size", "edition", "version", "license"}},
+		{"condition", []string{"edition"}},
+		{"quality", []string{"edition"}},
+		{"brand", []string{"brand"}},
+		{"matching attributes", []string{"brand", "model", "title"}},
+		{"significant differences", []string{"title", "model"}},
+	}
+	for _, p := range pairs {
+		if strings.Contains(lower, p.kw) {
+			attrs = append(attrs, p.attrs...)
+		}
+	}
+	return attrs
+}
+
+// ClassCount is one row of Tables 11/12: a generated class and the
+// number of errors the expert annotation assigns to it.
+type ClassCount struct {
+	Class  Class
+	Errors int
+}
+
+// CountByExpert tallies the expert annotation per class over cases.
+func CountByExpert(classes []Class, cases []Case) []ClassCount {
+	out := make([]ClassCount, len(classes))
+	for i, cl := range classes {
+		out[i].Class = cl
+	}
+	for _, c := range cases {
+		ann := ExpertAnnotate(classes, c)
+		for i, a := range ann {
+			if a {
+				out[i].Errors++
+			}
+		}
+	}
+	return out
+}
+
+// AssignmentAccuracy measures, per class, how often the model's
+// assignment agrees with the expert annotation over the cases
+// (Table 13).
+func AssignmentAccuracy(client llm.Client, classes []Class, cases []Case) ([]float64, error) {
+	agree := make([]int, len(classes))
+	for _, c := range cases {
+		model, err := Assign(client, classes, c)
+		if err != nil {
+			return nil, err
+		}
+		expert := ExpertAnnotate(classes, c)
+		for i := range classes {
+			if model[i] == expert[i] {
+				agree[i]++
+			}
+		}
+	}
+	out := make([]float64, len(classes))
+	for i, a := range agree {
+		if len(cases) > 0 {
+			out[i] = 100 * float64(a) / float64(len(cases))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package errorclass
+
+import (
+	"strings"
+	"testing"
+
+	"llm4em/internal/core"
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+	"llm4em/internal/explain"
+	"llm4em/internal/llm"
+	"llm4em/internal/prompt"
+)
+
+// buildCases runs a real matching + explanation pass over a dataset
+// slice and returns the errors.
+func buildCases(t *testing.T, key string, n int) (fps, fns []Case, domain entity.Domain) {
+	t.Helper()
+	ds := datasets.MustLoad(key)
+	client := llm.MustNew(llm.GPT4)
+	d, err := prompt.DesignByName("domain-complex-force")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher := &core.Matcher{Client: client, Design: d, Domain: ds.Schema.Domain}
+	res, err := matcher.EvaluateKeeping(ds.Test[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps, err := explain.GenerateAll(client, d, ds.Schema.Domain, ds.Test[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps, fns = CollectErrors(res.Decisions, exps)
+	return fps, fns, ds.Schema.Domain
+}
+
+func TestCollectErrorsSplitsDirections(t *testing.T) {
+	fps, fns, _ := buildCases(t, "wa", 400)
+	if len(fps)+len(fns) == 0 {
+		t.Fatal("no errors found — matching unexpectedly perfect")
+	}
+	for _, c := range fps {
+		if !c.FalsePositive() || c.Decision.Correct() {
+			t.Error("false positive misclassified")
+		}
+	}
+	for _, c := range fns {
+		if c.FalsePositive() || c.Decision.Correct() {
+			t.Error("false negative misclassified")
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	fps, fns, _ := buildCases(t, "wa", 300)
+	cases := append(fps, fns...)
+	if len(cases) == 0 {
+		t.Skip("no errors to render")
+	}
+	r := Render(cases[0])
+	for _, want := range []string{"Gold:", "Predicted:", "Entity 1: '", "Entity 2: '", "Explanation:"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("rendered case misses %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestDiscoverProducesFiveNamedClasses(t *testing.T) {
+	fps, _, domain := buildCases(t, "wa", 500)
+	if len(fps) < 3 {
+		t.Skip("too few false positives")
+	}
+	classes, err := Discover(llm.MustNew(llm.GPT4Turbo), domain, fps, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 5 {
+		t.Fatalf("discovered %d classes, want 5", len(classes))
+	}
+	seen := map[string]bool{}
+	for _, c := range classes {
+		if c.Name == "" || c.Description == "" {
+			t.Errorf("incomplete class %+v", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate class %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestDiscoverOrdersByIncidence(t *testing.T) {
+	fps, _, domain := buildCases(t, "wa", 500)
+	if len(fps) < 5 {
+		t.Skip("too few false positives")
+	}
+	classes, err := Discover(llm.MustNew(llm.GPT4Turbo), domain, fps, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := CountByExpert(classes, fps)
+	// The classes come ranked by the model's incidence estimate; the
+	// expert counts should be loosely decreasing (first class should
+	// not be the rarest).
+	if counts[0].Errors < counts[len(counts)-1].Errors {
+		t.Errorf("first class (%d errors) rarer than last (%d)", counts[0].Errors, counts[len(counts)-1].Errors)
+	}
+}
+
+func TestAssignAndAccuracy(t *testing.T) {
+	fps, _, domain := buildCases(t, "ds", 600)
+	if len(fps) < 5 {
+		t.Skip("too few false positives")
+	}
+	turbo := llm.MustNew(llm.GPT4Turbo)
+	classes, err := Discover(turbo, domain, fps, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned, err := Assign(turbo, classes, fps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range assigned {
+		if idx < 0 || idx >= len(classes) {
+			t.Errorf("assignment index %d out of range", idx)
+		}
+	}
+	acc, err := AssignmentAccuracy(turbo, classes, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acc) != len(classes) {
+		t.Fatalf("accuracy for %d classes, want %d", len(acc), len(classes))
+	}
+	mean := 0.0
+	for _, a := range acc {
+		if a < 0 || a > 100 {
+			t.Errorf("accuracy %v out of range", a)
+		}
+		mean += a
+	}
+	mean /= float64(len(acc))
+	// Table 13: mean accuracy of ~73-88% per column.
+	if mean < 50 {
+		t.Errorf("mean assignment accuracy %.2f too low — model and expert rubric diverge entirely", mean)
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	reply := "I identify:\n1. Year Discrepancy: years differ.\n2. Venue Variability: venue forms vary.\nnot numbered\n3. NoColon here-no\n"
+	classes := parseClasses(reply)
+	if len(classes) != 2 {
+		t.Fatalf("parsed %d classes (colon-less lines must be skipped): %+v", len(classes), classes)
+	}
+	if classes[0].Name != "Year Discrepancy" || classes[0].Description != "years differ." {
+		t.Errorf("classes[0] = %+v", classes[0])
+	}
+}
+
+func TestParseAssignment(t *testing.T) {
+	got := parseAssignment("Applicable error classes: 2 (confidence 0.90), 4 (confidence 0.71)", 5)
+	if !got[1] || !got[3] || len(got) != 2 {
+		t.Errorf("parseAssignment = %v", got)
+	}
+	if len(parseAssignment("None of the error classes apply.", 5)) != 0 {
+		t.Error("no-assignment reply should parse empty")
+	}
+	if len(parseAssignment("Applicable error classes: 9 (confidence 0.5)", 5)) != 0 {
+		t.Error("out-of-range class numbers must be dropped")
+	}
+}
+
+func TestExpertAnnotateDirections(t *testing.T) {
+	mkCase := func(gold, pred bool, attr string, imp float64) Case {
+		return Case{
+			Decision: core.Decision{
+				Pair:  entity.Pair{A: entity.Record{}, B: entity.Record{}, Match: gold},
+				Match: pred,
+			},
+			Explanation: explain.Explanation{
+				Attributes: []explain.Attribute{{Name: attr, Importance: imp}},
+			},
+		}
+	}
+	classes := []Class{{Name: "Year Discrepancy", Description: "years differ"}}
+	fn := mkCase(true, false, "year", -0.6) // year pushed toward non-match on a gold match
+	if got := ExpertAnnotate(classes, fn); !got[0] {
+		t.Error("expert should credit Year Discrepancy for the false negative")
+	}
+	fnWeak := mkCase(true, false, "year", 0.5) // year supported match; not the cause
+	if got := ExpertAnnotate(classes, fnWeak); got[0] {
+		t.Error("expert should not credit year when it supported the right direction")
+	}
+}

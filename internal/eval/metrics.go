@@ -1,0 +1,90 @@
+// Package eval implements the evaluation metrics of the paper
+// (Section 2): precision, recall and F1 on the matching (positive)
+// class, plus aggregate helpers (means, standard deviations) used by
+// the sensitivity analysis and table rendering.
+package eval
+
+import "math"
+
+// Confusion tallies binary matching decisions against gold labels.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one decision.
+func (c *Confusion) Add(gold, predicted bool) {
+	switch {
+	case gold && predicted:
+		c.TP++
+	case !gold && predicted:
+		c.FP++
+	case gold && !predicted:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of recorded decisions.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision returns TP / (TP + FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall as a
+// percentage in [0, 100], the unit used by all of the paper's tables.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 100 * 2 * p * r / (p + r)
+}
+
+// Accuracy returns the fraction of correct decisions in [0, 100].
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return 100 * float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs — the
+// prompt-sensitivity measure of Section 3.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}

@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounting(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 || c.Total() != 4 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 {
+		t.Errorf("P=%v R=%v", c.Precision(), c.Recall())
+	}
+	if c.F1() != 50 {
+		t.Errorf("F1 = %v, want 50", c.F1())
+	}
+	if c.Accuracy() != 50 {
+		t.Errorf("Accuracy = %v, want 50", c.Accuracy())
+	}
+}
+
+func TestConfusionDegenerateCases(t *testing.T) {
+	var empty Confusion
+	if empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 || empty.Accuracy() != 0 {
+		t.Error("empty confusion should yield zeros")
+	}
+	allNeg := Confusion{TN: 10}
+	if allNeg.F1() != 0 {
+		t.Error("no positives should give F1 0")
+	}
+	perfect := Confusion{TP: 5, TN: 5}
+	if perfect.F1() != 100 || perfect.Accuracy() != 100 {
+		t.Error("perfect classification should give 100")
+	}
+}
+
+func TestF1Bounds(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		f1 := c.F1()
+		return f1 >= 0 && f1 <= 100 && !math.IsNaN(f1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF1HarmonicMean(t *testing.T) {
+	// P = 1, R = 0.5 -> F1 = 2/3.
+	c := Confusion{TP: 1, FN: 1}
+	if math.Abs(c.F1()-100*2.0/3.0) > 1e-9 {
+		t.Errorf("F1 = %v, want 66.67", c.F1())
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty slices should yield 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("Mean = %v, want 5", Mean(xs))
+	}
+	if math.Abs(StdDev(xs)-2) > 1e-9 {
+		t.Errorf("StdDev = %v, want 2", StdDev(xs))
+	}
+	if StdDev([]float64{3}) != 0 {
+		t.Error("single value has zero deviation")
+	}
+}
+
+func TestStdDevNonNegative(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		return StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

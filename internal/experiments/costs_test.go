@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func costSession() *Session {
+	cfg := Quick(120)
+	cfg.Models = []string{"GPT-mini", "GPT-4", "GPT-4o"}
+	cfg.Datasets = []string{"wdc"}
+	return NewSession(cfg)
+}
+
+func TestTable8Shapes(t *testing.T) {
+	s := costSession()
+	tb, err := Table8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 scenarios x 3 hosted models + fine-tune train + inference rows.
+	if len(tb.Rows) != 17 {
+		t.Fatalf("Table 8 has %d rows, want 17:\n%s", len(tb.Rows), tb.String())
+	}
+	// GPT-4 must be the most expensive model in every scenario.
+	costOf := map[string]map[string]string{}
+	for _, row := range tb.Rows {
+		if costOf[row[0]] == nil {
+			costOf[row[0]] = map[string]string{}
+		}
+		costOf[row[0]][row[1]] = row[7]
+	}
+	for _, sc := range []string{"Zeroshot", "6-Shot", "10-Shot"} {
+		g4 := costOf[sc]["GPT-4"]
+		mini := costOf[sc]["GPT-mini"]
+		if g4 <= mini { // string compare works: same format, g4 has larger magnitude
+			if len(g4) <= len(mini) {
+				t.Errorf("%s: GPT-4 cost %s should exceed GPT-mini cost %s", sc, g4, mini)
+			}
+		}
+	}
+}
+
+func TestTable9Shapes(t *testing.T) {
+	cfg := Quick(120)
+	cfg.Models = []string{"GPT-4", "Llama2"}
+	cfg.Datasets = []string{"wdc"}
+	s := NewSession(cfg)
+	tb, err := Table9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("Table 9 has %d rows", len(tb.Rows))
+	}
+	var llamaRow, gptRow []string
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "Llama2":
+			llamaRow = row
+		case "GPT-4":
+			gptRow = row
+		}
+	}
+	// GPT-4 is not fine-tunable: its last column must be "-"; Llama2's
+	// must carry the quantized latency.
+	if gptRow[len(gptRow)-1] != "-" {
+		t.Errorf("GPT-4 fine-tune latency = %q, want -", gptRow[len(gptRow)-1])
+	}
+	if llamaRow[len(llamaRow)-1] != "0.30 s" {
+		t.Errorf("Llama2 fine-tuned latency = %q, want 0.30 s", llamaRow[len(llamaRow)-1])
+	}
+}
+
+func TestPrecisionRecallTables(t *testing.T) {
+	s := quickSession()
+	ts, err := PrecisionRecall(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("%d P/R tables, want 2", len(ts))
+	}
+	for _, row := range ts[0].Rows {
+		for _, cell := range row[1:] {
+			if !strings.Contains(cell, "/") {
+				t.Errorf("P/R cell %q lacks the P/R separator", cell)
+			}
+		}
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Columns: []string{"a", "b"}}
+	tb.AddRow("1", "with|pipe")
+	md := tb.Markdown()
+	for _, want := range []string{"### X — demo", "| a | b |", "| --- | --- |", "with\\|pipe"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestAblationSerializationShape(t *testing.T) {
+	s := quickSession()
+	tb, err := AblationSerialization(s, "wdc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 { // two models in the quick session
+		t.Fatalf("A1 has %d rows", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if len(row) != 4 {
+			t.Errorf("A1 row %v malformed", row)
+		}
+	}
+}
+
+func TestAblationBatchShape(t *testing.T) {
+	cfg := Quick(100)
+	cfg.Models = []string{"GPT-mini"}
+	cfg.Datasets = []string{"wdc"}
+	s := NewSession(cfg)
+	tb, err := AblationBatch(s, "wdc", "GPT-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("A3 has %d rows", len(tb.Rows))
+	}
+	// Prompt tokens per pair must fall monotonically with batch size.
+	prev := 1 << 30
+	for _, row := range tb.Rows {
+		var toks int
+		if _, err := parseInt(row[2], &toks); err != nil {
+			t.Fatalf("bad token cell %q", row[2])
+		}
+		if toks >= prev {
+			t.Errorf("tokens per pair should shrink with batch size: %v", tb.Rows)
+			break
+		}
+		prev = toks
+	}
+}
+
+func parseInt(s string, out *int) (int, error) {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+	}
+	*out = n
+	return n, nil
+}
+
+func TestErrorProfilesShape(t *testing.T) {
+	cfg := Quick(300)
+	cfg.Models = []string{"GPT-4", "GPT-mini"}
+	cfg.Datasets = []string{"wa"}
+	s := NewSession(cfg)
+	tb, err := ErrorProfiles(s, "wa", []string{"GPT-4", "GPT-mini"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("future-work table has %d rows", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if !strings.Contains(row[1], "/") {
+			t.Errorf("errors cell %q malformed", row[1])
+		}
+		for _, cell := range row[2:] {
+			if !strings.HasSuffix(cell, "%") {
+				t.Errorf("share cell %q should be a percentage", cell)
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+	"llm4em/internal/errorclass"
+	"llm4em/internal/llm"
+	"llm4em/internal/prompt"
+	"llm4em/internal/rules"
+)
+
+// Figure renders one of the paper's figures as text: the figures are
+// example prompts and conversations rather than charts.
+func Figure(s *Session, number int) (string, error) {
+	switch number {
+	case 1:
+		return s.figure1()
+	case 2:
+		return s.figure2()
+	case 3:
+		return s.figure3()
+	case 4:
+		return s.figure4()
+	case 5:
+		return s.figure5()
+	case 6:
+		return s.figure6()
+	default:
+		return "", fmt.Errorf("experiments: unknown figure %d (figures 1-6 exist)", number)
+	}
+}
+
+// samplePair returns a deterministic illustrative pair of a dataset.
+func samplePair(key string, match bool) entity.Pair {
+	ds := datasets.MustLoad(key)
+	for _, p := range ds.Test {
+		if p.Match == match {
+			return p
+		}
+	}
+	return ds.Test[0]
+}
+
+// chat is a small helper running one user prompt.
+func (s *Session) chat(model, content string) (string, error) {
+	resp, err := s.Model(model).Chat([]llm.Message{{Role: llm.User, Content: content}})
+	if err != nil {
+		return "", err
+	}
+	return resp.Content, nil
+}
+
+// figure1 renders the paper's opening example: a zero-shot
+// general-complex-free prompt and the model's answer.
+func (s *Session) figure1() (string, error) {
+	design := mustDesign("general-complex-free")
+	pair := samplePair("wdc", true)
+	p := prompt.Spec{Design: design, Domain: entity.Product}.Build(pair)
+	answer, err := s.chat(llm.GPT4, p)
+	if err != nil {
+		return "", err
+	}
+	return "Figure 1 — Example of prompting an LLM to match two entity descriptions.\n\n[PROMPT]\n" +
+		p + "\n\n[AI ANSWER]\n" + answer + "\n", nil
+}
+
+// figure2 renders a few-shot prompt with one positive and one
+// negative demonstration.
+func (s *Session) figure2() (string, error) {
+	design := mustDesign("general-complex-force")
+	ds := datasets.MustLoad("wdc")
+	demos := []entity.Pair{}
+	var havePos, haveNeg bool
+	for _, p := range ds.Train {
+		if p.Match && !havePos {
+			demos = append(demos, p)
+			havePos = true
+		}
+		if !p.Match && !haveNeg {
+			demos = append(demos, p)
+			haveNeg = true
+		}
+		if havePos && haveNeg {
+			break
+		}
+	}
+	pair := samplePair("wdc", false)
+	p := prompt.Spec{Design: design, Domain: entity.Product, Demonstrations: demos}.Build(pair)
+	answer, err := s.chat(llm.GPT4, p)
+	if err != nil {
+		return "", err
+	}
+	return "Figure 2 — Prompt containing a positive and a negative demonstration.\n\n[PROMPT]\n" +
+		p + "\n\n[AI ANSWER]\n" + answer + "\n", nil
+}
+
+// figure3 renders the handwritten-rules prompt for the product domain
+// plus a subset of the learned rules.
+func (s *Session) figure3() (string, error) {
+	design := mustDesign("domain-complex-force")
+	pair := samplePair("wdc", true)
+	hw := rules.Handwritten(entity.Product)
+	p := prompt.Spec{Design: design, Domain: entity.Product, Rules: hw}.Build(pair)
+	learned, err := s.RuleSet(RulesLearned, entity.Product)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3 — Prompt containing handwritten matching rules for the product domain.\n\n[PROMPT]\n")
+	b.WriteString(p)
+	b.WriteString("\n\n[SUBSET OF LEARNED RULES]\n")
+	limit := 3
+	if len(learned) < limit {
+		limit = len(learned)
+	}
+	for i := 0; i < limit; i++ {
+		fmt.Fprintf(&b, "%d. %s\n", i+1, learned[i])
+	}
+	return b.String(), nil
+}
+
+// figure4 renders the two explanation conversations (Walmart-Amazon
+// and DBLP-Scholar).
+func (s *Session) figure4() (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 4 — Conversations asking for structured explanations of matching decisions.\n")
+	for _, key := range []string{"wa", "ds"} {
+		ds := datasets.MustLoad(key)
+		design, _, err := s.BestZeroShot(llm.GPT4, key)
+		if err != nil {
+			return "", err
+		}
+		pair := samplePair(key, false)
+		matchPrompt := prompt.Spec{Design: design, Domain: ds.Schema.Domain}.Build(pair)
+		client := s.Model(llm.GPT4)
+		first, err := client.Chat([]llm.Message{{Role: llm.User, Content: matchPrompt}})
+		if err != nil {
+			return "", err
+		}
+		second, err := client.Chat([]llm.Message{
+			{Role: llm.User, Content: matchPrompt},
+			{Role: llm.Assistant, Content: first.Content},
+			{Role: llm.User, Content: prompt.ExplanationRequest},
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\n=== %s ===\n[USER]\n%s\n[AI]\n%s\n[USER]\n%s\n[AI]\n%s\n",
+			ds.Name, matchPrompt, first.Content, prompt.ExplanationRequest, second.Content)
+	}
+	return b.String(), nil
+}
+
+// figure5 renders the error-class generation prompt with the first
+// part of the model's answer.
+func (s *Session) figure5() (string, error) {
+	fps, _, err := s.errorCases("ds")
+	if err != nil {
+		return "", err
+	}
+	if len(fps) == 0 {
+		return "Figure 5 — no false positives available to analyze.\n", nil
+	}
+	limit := 2
+	if len(fps) < limit {
+		limit = len(fps)
+	}
+	rendered := make([]string, limit)
+	for i := 0; i < limit; i++ {
+		rendered[i] = errorclass.Render(fps[i])
+	}
+	p := prompt.ErrorClassRequest("false positive", entity.Publication, rendered)
+	answer, err := s.chat(llm.GPT4Turbo, p)
+	if err != nil {
+		return "", err
+	}
+	return "Figure 5 — Prompt for the automatic generation of error classes (excerpt: 2 cases).\n\n[PROMPT]\n" +
+		p + "\n[AI ANSWER]\n" + answer + "\n", nil
+}
+
+// figure6 renders the error-classification prompt for one case.
+func (s *Session) figure6() (string, error) {
+	fps, _, err := s.errorCases("ds")
+	if err != nil {
+		return "", err
+	}
+	if len(fps) == 0 {
+		return "Figure 6 — no false positives available to classify.\n", nil
+	}
+	turbo := s.Model(llm.GPT4Turbo)
+	classes, err := errorclass.Discover(turbo, entity.Publication, fps, true)
+	if err != nil {
+		return "", err
+	}
+	listed := make([]string, len(classes))
+	for i, cl := range classes {
+		listed[i] = cl.String()
+	}
+	p := prompt.ErrorAssignRequest(listed, errorclass.Render(fps[0]))
+	answer, err := s.chat(llm.GPT4Turbo, p)
+	if err != nil {
+		return "", err
+	}
+	return "Figure 6 — Prompt used for the classification of errors.\n\n[PROMPT]\n" +
+		p + "\n[AI ANSWER]\n" + answer + "\n", nil
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/prompt"
+)
+
+// runParallel executes job(0..n-1) on a bounded worker pool and
+// returns the first error. Jobs must be independent; all experiment
+// evaluations are pure and their results land in the session caches,
+// so parallel prefetching never changes results — it only reorders
+// when they are computed.
+func runParallel(n int, job func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := job(i); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// PrefetchZeroShot evaluates the full zero-shot grid (models × prompt
+// designs × datasets) in parallel, filling the session cache so that
+// subsequent table construction is pure lookup.
+func (s *Session) PrefetchZeroShot() error {
+	type job struct {
+		model   string
+		design  prompt.Design
+		dataset string
+	}
+	var jobs []job
+	for _, mn := range s.Cfg.models() {
+		for _, d := range prompt.Designs() {
+			for _, key := range s.Cfg.datasets() {
+				jobs = append(jobs, job{mn, d, key})
+			}
+		}
+	}
+	return runParallel(len(jobs), func(i int) error {
+		_, err := s.ZeroShot(jobs[i].model, jobs[i].design, jobs[i].dataset)
+		return err
+	})
+}
+
+// PrefetchInContext evaluates the Section 4 grid (few-shot methods ×
+// shot counts plus both rule kinds, per model and dataset) in
+// parallel. Rule sets and demonstration selectors are built up front
+// to avoid duplicate construction across workers.
+func (s *Session) PrefetchInContext() error {
+	for _, key := range s.Cfg.datasets() {
+		for _, method := range DemoMethods() {
+			s.selector(method, key)
+		}
+		domain := datasets.MustLoad(key).Schema.Domain
+		for _, kind := range []RuleKind{RulesHandwritten, RulesLearned} {
+			if _, err := s.RuleSet(kind, domain); err != nil {
+				return err
+			}
+		}
+	}
+	type job struct {
+		model, dataset string
+		method         DemoMethod
+		shots          int
+		rules          RuleKind
+	}
+	var jobs []job
+	for _, mn := range s.Cfg.models() {
+		for _, key := range s.Cfg.datasets() {
+			for _, method := range DemoMethods() {
+				for _, k := range []int{6, 10} {
+					jobs = append(jobs, job{model: mn, dataset: key, method: method, shots: k})
+				}
+			}
+			for _, kind := range []RuleKind{RulesHandwritten, RulesLearned} {
+				jobs = append(jobs, job{model: mn, dataset: key, rules: kind})
+			}
+		}
+	}
+	return runParallel(len(jobs), func(i int) error {
+		j := jobs[i]
+		if j.shots > 0 {
+			_, err := s.FewShot(j.model, j.dataset, j.method, j.shots)
+			return err
+		}
+		_, err := s.WithRules(j.model, j.dataset, j.rules)
+		return err
+	})
+}

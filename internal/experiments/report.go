@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport renders the complete evaluation — every table, the
+// ablations and the future-work analysis — as one markdown document.
+// It is the single-artifact counterpart of `emexperiments -table all`.
+func WriteReport(w io.Writer, s *Session) error {
+	fmt.Fprintln(w, "# llm4em — full experiment report")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Regenerated deterministically by `emexperiments -report`. Tables mirror")
+	fmt.Fprintln(w, "the evaluation section of *Entity Matching using Large Language Models*")
+	fmt.Fprintln(w, "(EDBT 2025); see EXPERIMENTS.md for the paper-vs-measured discussion.")
+	fmt.Fprintln(w)
+
+	emit := func(t *Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, t.Markdown())
+		return nil
+	}
+	emitAll := func(ts []*Table, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, t := range ts {
+			fmt.Fprintln(w, t.Markdown())
+		}
+		return nil
+	}
+
+	if err := emit(Table1(s.Cfg), nil); err != nil {
+		return err
+	}
+	if err := emitAll(Table2(s)); err != nil {
+		return err
+	}
+	if err := emit(Table3(s)); err != nil {
+		return err
+	}
+	if err := emit(Table4(s)); err != nil {
+		return err
+	}
+	if err := emitAll(Table5(s)); err != nil {
+		return err
+	}
+	if err := emit(Table6(s)); err != nil {
+		return err
+	}
+	if err := emit(Table7(s, FTDefaults())); err != nil {
+		return err
+	}
+	if err := emit(Table8(s)); err != nil {
+		return err
+	}
+	if err := emit(Table9(s)); err != nil {
+		return err
+	}
+	if err := emitAll(Table10(s)); err != nil {
+		return err
+	}
+	if err := emit(Table11(s)); err != nil {
+		return err
+	}
+	if err := emit(Table12(s)); err != nil {
+		return err
+	}
+	if err := emit(Table13(s)); err != nil {
+		return err
+	}
+	if err := emitAll(Ablations(s)); err != nil {
+		return err
+	}
+	t, err := ErrorProfiles(s, "wa", []string{"GPT-4", "GPT-mini", "Llama3.1"})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, t.Markdown())
+	return nil
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteReport runs the consolidated report end to end on a
+// reduced workload and checks that every section is present.
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report generation is slow")
+	}
+	cfg := Quick(150)
+	cfg.Models = []string{"GPT-4", "GPT-mini", "Llama3.1"}
+	cfg.Datasets = []string{"wdc", "wa", "ds"}
+	s := NewSession(cfg)
+	var b strings.Builder
+	if err := WriteReport(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# llm4em — full experiment report",
+		"### Table 1 —",
+		"### Table 3 —",
+		"### Table 7 —",
+		"### Table 10 (D-S)",
+		"### Table 13 —",
+		"### Ablation A1 —",
+		"### Ablation A5 —",
+		"### Future work (§7.2)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+	if strings.Count(out, "### ") < 20 {
+		t.Errorf("report has only %d sections", strings.Count(out, "### "))
+	}
+}

@@ -1,0 +1,402 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"llm4em/internal/core"
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+	"llm4em/internal/finetune"
+	"llm4em/internal/icl"
+	"llm4em/internal/llm"
+	"llm4em/internal/plm"
+	"llm4em/internal/prompt"
+	"llm4em/internal/rules"
+)
+
+// Session caches the expensive shared inputs of the table runners.
+// All cached computations are deterministic, so caching never changes
+// results.
+type Session struct {
+	Cfg Config
+
+	mu          sync.Mutex
+	zeroShot    map[string]core.Result // model|design|dataset
+	fewShot     map[string]core.Result // model|dataset|method|k
+	ruleRuns    map[string]core.Result // model|dataset|kind
+	ftRuns      map[string]core.Result // model|trainedOn|dataset
+	adapters    map[string]llm.Adapter // model|dataset
+	plms        map[string]*plm.Model  // variant|dataset
+	ruleSets    map[string][]string    // kind|domain
+	selectors   map[string]core.DemoSelector
+	models      map[string]*llm.Model
+	explainData map[string]explanationData
+}
+
+// NewSession prepares a session for the configuration.
+func NewSession(cfg Config) *Session {
+	if cfg.FTEpochs == 0 {
+		cfg.FTEpochs = 10
+	}
+	return &Session{
+		Cfg:       cfg,
+		zeroShot:  map[string]core.Result{},
+		fewShot:   map[string]core.Result{},
+		ruleRuns:  map[string]core.Result{},
+		ftRuns:    map[string]core.Result{},
+		adapters:  map[string]llm.Adapter{},
+		plms:      map[string]*plm.Model{},
+		ruleSets:  map[string][]string{},
+		selectors: map[string]core.DemoSelector{},
+		models:    map[string]*llm.Model{},
+	}
+}
+
+// Model returns the (cached) simulated model.
+func (s *Session) Model(name string) *llm.Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.models[name]; ok {
+		return m
+	}
+	m := llm.MustNew(name)
+	s.models[name] = m
+	return m
+}
+
+// ZeroShot evaluates one model with one prompt design on one
+// dataset's test split.
+func (s *Session) ZeroShot(model string, design prompt.Design, dataset string) (core.Result, error) {
+	key := model + "|" + design.Name + "|" + dataset
+	s.mu.Lock()
+	if r, ok := s.zeroShot[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	ds := datasets.MustLoad(dataset)
+	m := &core.Matcher{Client: s.Model(model), Design: design, Domain: ds.Schema.Domain}
+	r, err := m.Evaluate(s.Cfg.testPairs(ds))
+	if err != nil {
+		return core.Result{}, fmt.Errorf("experiments: zero-shot %s/%s/%s: %w", model, design.Name, dataset, err)
+	}
+	s.mu.Lock()
+	s.zeroShot[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// BestZeroShot returns the best zero-shot design and its result for a
+// model/dataset combination, evaluating all ten designs.
+func (s *Session) BestZeroShot(model, dataset string) (prompt.Design, core.Result, error) {
+	var bestDesign prompt.Design
+	var best core.Result
+	bestF1 := -1.0
+	for _, d := range prompt.Designs() {
+		r, err := s.ZeroShot(model, d, dataset)
+		if err != nil {
+			return prompt.Design{}, core.Result{}, err
+		}
+		if r.F1() > bestF1 {
+			bestF1, best, bestDesign = r.F1(), r, d
+		}
+	}
+	return bestDesign, best, nil
+}
+
+// DemoMethod identifies a demonstration selection heuristic of
+// Section 4.1.
+type DemoMethod string
+
+// The three selection heuristics.
+const (
+	DemoRelated    DemoMethod = "related"
+	DemoRandom     DemoMethod = "random"
+	DemoHandpicked DemoMethod = "handpicked"
+)
+
+// DemoMethods returns the heuristics in the paper's row order.
+func DemoMethods() []DemoMethod {
+	return []DemoMethod{DemoRelated, DemoRandom, DemoHandpicked}
+}
+
+// selector returns the (cached) demonstration selector for a dataset
+// and method. Hand-picked demonstrations come from the WDC Products
+// training pool for product datasets and from DBLP-Scholar for
+// publication datasets, as in the paper.
+func (s *Session) selector(method DemoMethod, dataset string) core.DemoSelector {
+	key := string(method) + "|" + dataset
+	s.mu.Lock()
+	if sel, ok := s.selectors[key]; ok {
+		s.mu.Unlock()
+		return sel
+	}
+	s.mu.Unlock()
+
+	ds := datasets.MustLoad(dataset)
+	var sel core.DemoSelector
+	switch method {
+	case DemoRandom:
+		sel = icl.NewRandom(ds.TrainVal(), dataset)
+	case DemoRelated:
+		sel = icl.NewRelated(ds.TrainVal())
+	case DemoHandpicked:
+		sourceKey := "wdc"
+		if ds.Schema.Domain == entity.Publication {
+			sourceKey = "ds"
+		}
+		source := datasets.MustLoad(sourceKey)
+		sel = icl.NewHandpicked(icl.CurateHandpicked(source.Train, 10))
+	default:
+		panic("experiments: unknown demo method " + string(method))
+	}
+	// Selection depends only on the query and k, not on the model;
+	// memoize it so the six models share one selection pass.
+	sel = &memoSelector{inner: sel}
+	s.mu.Lock()
+	s.selectors[key] = sel
+	s.mu.Unlock()
+	return sel
+}
+
+// memoSelector caches one maximal demonstration selection per query
+// and derives smaller shot counts by balanced slicing, so the six
+// models and both shot counts share a single selection pass.
+type memoSelector struct {
+	inner core.DemoSelector
+	mu    sync.Mutex
+	cache map[string][]entity.Pair
+}
+
+// maxShots is the largest shot count of the study (Section 4.1).
+const maxShots = 10
+
+// Select implements core.DemoSelector with memoization.
+func (m *memoSelector) Select(query entity.Pair, k int) []entity.Pair {
+	m.mu.Lock()
+	if m.cache == nil {
+		m.cache = map[string][]entity.Pair{}
+	}
+	full, ok := m.cache[query.ID]
+	m.mu.Unlock()
+	if !ok {
+		full = m.inner.Select(query, maxShots)
+		m.mu.Lock()
+		m.cache[query.ID] = full
+		m.mu.Unlock()
+	}
+	if k >= len(full) {
+		return full
+	}
+	// Balanced prefix: (k+1)/2 matches and k/2 non-matches in the
+	// cached order.
+	nPos, nNeg := (k+1)/2, k/2
+	out := make([]entity.Pair, 0, k)
+	for _, d := range full {
+		switch {
+		case d.Match && nPos > 0:
+			out = append(out, d)
+			nPos--
+		case !d.Match && nNeg > 0:
+			out = append(out, d)
+			nNeg--
+		}
+		if nPos == 0 && nNeg == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// fewShotDesign is the prompt design used for the Section 4
+// experiments.
+var fewShotDesign = mustDesign("general-complex-force")
+
+// ftDesign is the prompt design used for fine-tuning (Section 4.3).
+var ftDesign = mustDesign("domain-simple-force")
+
+func mustDesign(name string) prompt.Design {
+	d, err := prompt.DesignByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// FewShot evaluates a model with k demonstrations selected by the
+// given method.
+func (s *Session) FewShot(model, dataset string, method DemoMethod, k int) (core.Result, error) {
+	key := fmt.Sprintf("%s|%s|%s|%d", model, dataset, method, k)
+	s.mu.Lock()
+	if r, ok := s.fewShot[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	ds := datasets.MustLoad(dataset)
+	m := &core.Matcher{
+		Client: s.Model(model),
+		Design: fewShotDesign,
+		Domain: ds.Schema.Domain,
+		Demos:  s.selector(method, dataset),
+		Shots:  k,
+	}
+	r, err := m.Evaluate(s.Cfg.testPairs(ds))
+	if err != nil {
+		return core.Result{}, fmt.Errorf("experiments: few-shot %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.fewShot[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// RuleKind distinguishes handwritten from learned rules.
+type RuleKind string
+
+// The two rule sources of Section 4.2.
+const (
+	RulesHandwritten RuleKind = "handwritten"
+	RulesLearned     RuleKind = "learned"
+)
+
+// RuleSet returns the (cached) rule set of a kind for a domain.
+// Learned rules are generated by GPT-4 from the hand-picked
+// demonstration pool of the domain, per the paper.
+func (s *Session) RuleSet(kind RuleKind, domain entity.Domain) ([]string, error) {
+	key := string(kind) + "|" + domain.String()
+	s.mu.Lock()
+	if rs, ok := s.ruleSets[key]; ok {
+		s.mu.Unlock()
+		return rs, nil
+	}
+	s.mu.Unlock()
+
+	var rs []string
+	if kind == RulesHandwritten {
+		rs = rules.Handwritten(domain)
+	} else {
+		sourceKey := "wdc"
+		if domain == entity.Publication {
+			sourceKey = "ds"
+		}
+		examples := icl.CurateHandpicked(datasets.MustLoad(sourceKey).Train, 10)
+		var err error
+		rs, err = rules.Learn(s.Model(llm.GPT4), domain, examples)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	s.ruleSets[key] = rs
+	s.mu.Unlock()
+	return rs, nil
+}
+
+// WithRules evaluates a model with a rule-augmented prompt.
+func (s *Session) WithRules(model, dataset string, kind RuleKind) (core.Result, error) {
+	key := model + "|" + dataset + "|" + string(kind)
+	s.mu.Lock()
+	if r, ok := s.ruleRuns[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	ds := datasets.MustLoad(dataset)
+	rs, err := s.RuleSet(kind, ds.Schema.Domain)
+	if err != nil {
+		return core.Result{}, err
+	}
+	m := &core.Matcher{
+		Client: s.Model(model),
+		Design: fewShotDesign,
+		Domain: ds.Schema.Domain,
+		Rules:  rs,
+	}
+	r, err := m.Evaluate(s.Cfg.testPairs(ds))
+	if err != nil {
+		return core.Result{}, fmt.Errorf("experiments: rules %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.ruleRuns[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Adapter fine-tunes (or returns the cached adapter of) a model on a
+// dataset.
+func (s *Session) Adapter(model, dataset string) (llm.Adapter, error) {
+	key := model + "|" + dataset
+	s.mu.Lock()
+	if a, ok := s.adapters[key]; ok {
+		s.mu.Unlock()
+		return a, nil
+	}
+	s.mu.Unlock()
+
+	a, err := finetune.Train(model, datasets.MustLoad(dataset), finetune.Options{Epochs: s.Cfg.FTEpochs})
+	if err != nil {
+		return llm.Adapter{}, err
+	}
+	s.mu.Lock()
+	s.adapters[key] = a
+	s.mu.Unlock()
+	return a, nil
+}
+
+// FineTuned evaluates a model fine-tuned on trainedOn against another
+// dataset's test split (the Table 7 transfer matrix).
+func (s *Session) FineTuned(model, trainedOn, dataset string) (core.Result, error) {
+	key := model + "|" + trainedOn + "|" + dataset
+	s.mu.Lock()
+	if r, ok := s.ftRuns[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	adapter, err := s.Adapter(model, trainedOn)
+	if err != nil {
+		return core.Result{}, err
+	}
+	client, err := llm.NewFineTuned(model, adapter)
+	if err != nil {
+		return core.Result{}, err
+	}
+	ds := datasets.MustLoad(dataset)
+	m := &core.Matcher{Client: client, Design: ftDesign, Domain: ds.Schema.Domain}
+	r, err := m.Evaluate(s.Cfg.testPairs(ds))
+	if err != nil {
+		return core.Result{}, fmt.Errorf("experiments: fine-tuned %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.ftRuns[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// PLM trains (or returns the cached) baseline of a variant on a
+// dataset, with its decision threshold fitted on the validation
+// split.
+func (s *Session) PLM(variant plm.Variant, dataset string) *plm.Model {
+	key := variant.String() + "|" + dataset
+	s.mu.Lock()
+	if m, ok := s.plms[key]; ok {
+		s.mu.Unlock()
+		return m
+	}
+	s.mu.Unlock()
+
+	ds := datasets.MustLoad(dataset)
+	m := plm.New(variant)
+	m.Train(ds.TrainVal(), dataset, plm.DefaultOptions())
+	m.FitThreshold(ds.Val)
+	s.mu.Lock()
+	s.plms[key] = m
+	s.mu.Unlock()
+	return m
+}

@@ -1,0 +1,210 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+	"llm4em/internal/llm"
+	"llm4em/internal/prompt"
+)
+
+func design(t *testing.T) prompt.Design {
+	t.Helper()
+	d, err := prompt.DesignByName("domain-complex-force")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParse(t *testing.T) {
+	text := "The decision was based on:\nbrand | 0.62 | 0.98\nmodel | -0.81 | 0.30\nnot a row\nprice | bad | 0.5\n"
+	attrs := Parse(text)
+	if len(attrs) != 2 {
+		t.Fatalf("parsed %d attrs, want 2: %+v", len(attrs), attrs)
+	}
+	if attrs[0].Name != "brand" || attrs[0].Importance != 0.62 || attrs[0].Similarity != 0.98 {
+		t.Errorf("attrs[0] = %+v", attrs[0])
+	}
+	if attrs[1].Importance != -0.81 {
+		t.Errorf("attrs[1] = %+v", attrs[1])
+	}
+}
+
+func TestGenerateRoundTrip(t *testing.T) {
+	ds := datasets.MustLoad("wa")
+	client := llm.MustNew(llm.GPT4)
+	e, err := Generate(client, design(t), ds.Schema.Domain, ds.Test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Attributes) < 3 {
+		t.Fatalf("explanation has %d attributes:\n%s", len(e.Attributes), e.Raw)
+	}
+	for _, a := range e.Attributes {
+		if a.Importance < -1 || a.Importance > 1 {
+			t.Errorf("importance %v of %s out of range", a.Importance, a.Name)
+		}
+		if a.Similarity < 0 || a.Similarity > 1 {
+			t.Errorf("similarity %v of %s out of range", a.Similarity, a.Name)
+		}
+	}
+}
+
+func TestExplanationConsistentWithDecision(t *testing.T) {
+	// The sum of importances should lean toward the predicted label:
+	// positive for predicted matches, negative for non-matches, in
+	// the clear majority of cases.
+	ds := datasets.MustLoad("wa")
+	client := llm.MustNew(llm.GPT4)
+	agree, total := 0, 0
+	for _, p := range ds.Test[:60] {
+		e, err := Generate(client, design(t), ds.Schema.Domain, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, a := range e.Attributes {
+			sum += a.Importance
+		}
+		total++
+		if (sum > 0) == e.Predicted {
+			agree++
+		}
+	}
+	if agree < total*2/3 {
+		t.Errorf("importance sums agree with decisions in only %d/%d cases", agree, total)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	mk := func(pred bool, attrs ...Attribute) Explanation {
+		return Explanation{Predicted: pred, Attributes: attrs}
+	}
+	exps := []Explanation{
+		mk(true, Attribute{Name: "title", Importance: 0.8}, Attribute{Name: "price", Importance: 0.1}),
+		mk(true, Attribute{Name: "title", Importance: 0.6}),
+		mk(false, Attribute{Name: "title", Importance: -0.5}),
+	}
+	rows := Aggregate(exps)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	title := rows[0]
+	if title.Attribute != "title" {
+		t.Fatalf("first row should be title (most frequent): %+v", rows)
+	}
+	if title.MatchFreq != 1.0 || title.NonFreq != 1.0 {
+		t.Errorf("title freq = %v/%v", title.MatchFreq, title.NonFreq)
+	}
+	if title.MatchMean != 0.7 || title.NonMean != -0.5 {
+		t.Errorf("title means = %v/%v", title.MatchMean, title.NonMean)
+	}
+	price := rows[1]
+	if price.MatchFreq != 0.5 || price.NonFreq != 0 {
+		t.Errorf("price freq = %v/%v", price.MatchFreq, price.NonFreq)
+	}
+}
+
+func TestAggregateTable10Shape(t *testing.T) {
+	// On Walmart-Amazon the aggregation must reproduce Table 10's
+	// qualitative structure: model is highly important for matches and
+	// strongly negative for non-matches; price is frequent but weak.
+	ds := datasets.MustLoad("wa")
+	client := llm.MustNew(llm.GPT4)
+	exps, err := GenerateAll(client, design(t), ds.Schema.Domain, ds.Test[:300])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Aggregate(exps)
+	byName := map[string]AggregateRow{}
+	for _, r := range rows {
+		byName[r.Attribute] = r
+	}
+	model, ok := byName["model"]
+	if !ok {
+		t.Fatal("model attribute missing from aggregation")
+	}
+	if model.MatchMean < 0.3 {
+		t.Errorf("model match importance %v, want strongly positive", model.MatchMean)
+	}
+	if model.NonMean > -0.3 {
+		t.Errorf("model non-match importance %v, want strongly negative", model.NonMean)
+	}
+	price, ok := byName["price"]
+	if !ok {
+		t.Fatal("price attribute missing")
+	}
+	if abs(price.MatchMean) > abs(model.MatchMean) {
+		t.Error("price should matter less than model for matches")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestCorrelationWithStringSims(t *testing.T) {
+	ds := datasets.MustLoad("ds")
+	client := llm.MustNew(llm.GPT4)
+	exps, err := GenerateAll(client, design(t), ds.Schema.Domain, ds.Test[:250])
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := CorrelationWithStringSims(exps)
+	if corr.Samples < 200 {
+		t.Fatalf("only %d correlation samples", corr.Samples)
+	}
+	// Section 6.1: strong positive correlation (paper: 0.75-0.85
+	// Cosine, 0.73-0.83 Generalized Jaccard).
+	if corr.Cosine < 0.55 {
+		t.Errorf("Cosine correlation %v too low", corr.Cosine)
+	}
+	if corr.GeneralizedJaccard < 0.5 {
+		t.Errorf("Generalized Jaccard correlation %v too low", corr.GeneralizedJaccard)
+	}
+}
+
+func TestAttributeValueRecovery(t *testing.T) {
+	s := entity.Schema{Domain: entity.Publication, Attributes: []string{"authors", "title", "venue", "year"}}
+	rec := s.NewRecord("x", "Michael Stonebraker", "adaptive indexing", "SIGMOD Conference", "1997")
+	e := Explanation{Pair: entity.Pair{A: rec, B: rec}}
+	_ = e
+	// attributeValue is internal; exercise it through correlation with
+	// a synthetic explanation.
+	exp := Explanation{
+		Pair: entity.Pair{A: rec, B: rec},
+		Attributes: []Attribute{
+			{Name: "authors", Similarity: 1},
+			{Name: "year", Similarity: 1},
+			{Name: "conference", Similarity: 1},
+			{Name: "nonexistent", Similarity: 1},
+		},
+	}
+	corr := CorrelationWithStringSims([]Explanation{exp})
+	if corr.Samples != 3 {
+		t.Errorf("samples = %d, want 3 (unknown attribute skipped)", corr.Samples)
+	}
+}
+
+func TestGenerateAllLength(t *testing.T) {
+	ds := datasets.MustLoad("wa")
+	client := llm.MustNew(llm.GPT4)
+	exps, err := GenerateAll(client, design(t), ds.Schema.Domain, ds.Test[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 10 {
+		t.Fatalf("generated %d explanations, want 10", len(exps))
+	}
+	for _, e := range exps {
+		if !strings.Contains(e.Raw, "|") {
+			t.Error("raw explanation lacks structured rows")
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package features
+
+import "testing"
+
+var benchStrings = [][2]string{
+	{"Sony Cybershot DSC-120B digital camera black 348.00", "sony dsc120b camera black 351.99"},
+	{"Michael Stonebraker, David DeWitt adaptive indexing SIGMOD Conference 1997", "M. Stonebraker adaptive indexing sigmod 1997"},
+	{"adobe photoshop elements 5.0 full version 79.99", "photoshop elements 5 upgrade 49.99"},
+}
+
+// BenchmarkExtractText measures the entity-reading substrate.
+func BenchmarkExtractText(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ExtractText(benchStrings[i%len(benchStrings)][0])
+	}
+}
+
+// BenchmarkPairFeatures measures the full pair-feature computation.
+func BenchmarkPairFeatures(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := benchStrings[i%len(benchStrings)]
+		_, _ = PairFeaturesText(s[0], s[1])
+	}
+}

@@ -1,0 +1,87 @@
+package features
+
+import "math"
+
+// Weights parameterizes a linear matcher over the unified feature
+// vector: score = Σ_i present_i · w_i · (v_i − center_i) + bias.
+// Positive scores indicate a match.
+//
+// The simulated LLMs, the fine-tuning adapters and the calibration
+// oracle all share this scoring form; they differ in where the
+// weights come from (innate world knowledge, gradient fitting, or the
+// ideal reference below).
+type Weights struct {
+	W      Vector
+	Center Vector
+	Bias   float64
+}
+
+// Score computes the linear matching score of a feature vector under
+// the weights, skipping missing features.
+func (ws Weights) Score(v Vector, p Presence) float64 {
+	s := ws.Bias
+	for i := 0; i < int(NumFeatures); i++ {
+		if p[i] {
+			s += ws.W[i] * (v[i] - ws.Center[i])
+		}
+	}
+	return s
+}
+
+// Probability maps a score through the logistic function.
+func (ws Weights) Probability(v Vector, p Presence) float64 {
+	return Sigmoid(ws.Score(v, p))
+}
+
+// Sigmoid is the standard logistic function.
+func Sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// Ideal returns the reference weights of a well-calibrated matcher.
+// They encode the domain knowledge a strong LLM applies: model
+// numbers and versions decide product identity, titles support it,
+// prices are weak evidence; author lists and titles decide
+// publication identity, venues and years separate extended versions.
+func Ideal() Weights {
+	var w, c Vector
+	w[TitleGenJaccard], c[TitleGenJaccard] = 2.6, 0.62
+	w[TitleCosine], c[TitleCosine] = 1.0, 0.55
+	w[TitleContainment], c[TitleContainment] = 0.8, 0.62
+	w[BrandMatch], c[BrandMatch] = 0.6, 0.85
+	w[ModelMatch], c[ModelMatch] = 6.5, 0.80
+	w[PriceMatch], c[PriceMatch] = 1.4, 0.76
+	w[VersionMatch], c[VersionMatch] = 5.0, 0.76
+	w[VariantMatch], c[VariantMatch] = 2.2, 0.72
+	w[EditionMatch], c[EditionMatch] = 2.6, 0.72
+	w[AuthorMatch], c[AuthorMatch] = 2.2, 0.84
+	w[VenueMatch], c[VenueMatch] = 2.2, 0.74
+	w[YearMatch], c[YearMatch] = 2.6, 0.84
+	w[OverallJaccard], c[OverallJaccard] = 1.2, 0.48
+	return Weights{W: w, Center: c, Bias: -0.1}
+}
+
+// TitleOnly returns degenerate weights that rely almost exclusively on
+// title surface similarity — the naive strategy weak models fall back
+// to. Interpolating between TitleOnly and Ideal models answer quality.
+func TitleOnly() Weights {
+	var w, c Vector
+	w[TitleGenJaccard], c[TitleGenJaccard] = 5.0, 0.55
+	w[TitleCosine], c[TitleCosine] = 2.0, 0.50
+	w[OverallJaccard], c[OverallJaccard] = 2.5, 0.45
+	w[BrandMatch], c[BrandMatch] = 0.4, 0.85
+	w[PriceMatch], c[PriceMatch] = 0.5, 0.78
+	return Weights{W: w, Center: c, Bias: 0.3}
+}
+
+// Blend linearly interpolates between two weight sets: t = 0 yields a,
+// t = 1 yields b.
+func Blend(a, b Weights, t float64) Weights {
+	var out Weights
+	for i := 0; i < int(NumFeatures); i++ {
+		out.W[i] = a.W[i]*(1-t) + b.W[i]*t
+		out.Center[i] = a.Center[i]*(1-t) + b.Center[i]*t
+	}
+	out.Bias = a.Bias*(1-t) + b.Bias*t
+	return out
+}

@@ -1,0 +1,117 @@
+package finetune
+
+import (
+	"testing"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+	"llm4em/internal/eval"
+	"llm4em/internal/features"
+	"llm4em/internal/llm"
+)
+
+func evalAdapter(t *testing.T, w features.Weights, pairs []entity.Pair) float64 {
+	t.Helper()
+	var c eval.Confusion
+	for _, p := range pairs {
+		v, pres := features.PairFeaturesText(p.A.Serialize(), p.B.Serialize())
+		c.Add(p.Match, w.Score(v, pres) > 0)
+	}
+	return c.F1()
+}
+
+func TestTrainRejectsNonTunableModel(t *testing.T) {
+	ds := datasets.MustLoad("wdc")
+	if _, err := Train(llm.GPT4, ds, DefaultOptions()); err == nil {
+		t.Fatal("GPT-4 is not fine-tunable in the study; Train should refuse")
+	}
+	if _, err := Train("nope", ds, DefaultOptions()); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestTrainImprovesWeakModelInDomain(t *testing.T) {
+	ds := datasets.MustLoad("wa")
+	base := llm.MustNew(llm.Llama2).BaseWeights()
+	adapter, err := Train(llm.Llama2, ds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adapter.TrainedOn != "wa" {
+		t.Errorf("TrainedOn = %q", adapter.TrainedOn)
+	}
+	before := evalAdapter(t, base, ds.Test)
+	after := evalAdapter(t, adapter.Weights, ds.Test)
+	if after <= before {
+		t.Errorf("fine-tuning did not improve Llama2 on wa: %.2f -> %.2f", before, after)
+	}
+	t.Logf("Llama2 wa: base %.2f -> fine-tuned %.2f", before, after)
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	ds := datasets.MustLoad("ab")
+	base := llm.MustNew(llm.Llama31).BaseWeights()
+	adapter, err := Train(llm.Llama31, ds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ds.TrainVal()
+	if after, before := TrainingLoss(adapter.Weights, pool), TrainingLoss(base, pool); after >= before {
+		t.Errorf("training loss did not decrease: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	ds := datasets.MustLoad("ab")
+	a, err := Train(llm.GPTMini, ds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(llm.GPTMini, ds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Weights != b.Weights {
+		t.Error("fine-tuning is not deterministic")
+	}
+}
+
+// TestTransferAsymmetry reproduces the paper's core fine-tuning
+// finding (Table 7): GPT-mini fine-tuned on a publication dataset
+// keeps working on product data, while Llama2 fine-tuned the same way
+// collapses there.
+func TestTransferAsymmetry(t *testing.T) {
+	da := datasets.MustLoad("da")
+	wdc := datasets.MustLoad("wdc")
+	miniAdapter, err := Train(llm.GPTMini, da, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	llamaAdapter, err := Train(llm.Llama2, da, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	miniOnWDC := evalAdapter(t, miniAdapter.Weights, wdc.Test[:400])
+	llamaOnWDC := evalAdapter(t, llamaAdapter.Weights, wdc.Test[:400])
+	t.Logf("transfer da->wdc: GPT-mini %.2f, Llama2 %.2f", miniOnWDC, llamaOnWDC)
+	if miniOnWDC <= llamaOnWDC {
+		t.Errorf("GPT-mini (%.2f) should transfer better than Llama2 (%.2f)", miniOnWDC, llamaOnWDC)
+	}
+	if llamaOnWDC > 60 {
+		t.Errorf("Llama2 transfer from publications should collapse, got %.2f", llamaOnWDC)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	ds := datasets.MustLoad("ab")
+	// Zero options should fall back to defaults rather than training
+	// for zero epochs.
+	adapter, err := Train(llm.GPTMini, ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := llm.MustNew(llm.GPTMini).BaseWeights()
+	if adapter.Weights == base {
+		t.Error("training with default options left weights unchanged")
+	}
+}

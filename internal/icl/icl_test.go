@@ -1,0 +1,158 @@
+package icl
+
+import (
+	"testing"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+	"llm4em/internal/textsim"
+)
+
+func pool(t *testing.T) []entity.Pair {
+	t.Helper()
+	return datasets.MustLoad("wdc").Train
+}
+
+func balance(demos []entity.Pair) (pos, neg int) {
+	for _, d := range demos {
+		if d.Match {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return pos, neg
+}
+
+func TestRandomBalancedAndDeterministic(t *testing.T) {
+	r := NewRandom(pool(t), "seed")
+	query := datasets.MustLoad("wdc").Test[0]
+	for _, k := range []int{6, 10} {
+		demos := r.Select(query, k)
+		if len(demos) != k {
+			t.Fatalf("Select(%d) returned %d demos", k, len(demos))
+		}
+		pos, neg := balance(demos)
+		if pos != (k+1)/2 || neg != k/2 {
+			t.Errorf("k=%d: balance %d/%d", k, pos, neg)
+		}
+	}
+	a := r.Select(query, 6)
+	b := r.Select(query, 6)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("random selection not deterministic per query")
+		}
+	}
+	other := datasets.MustLoad("wdc").Test[1]
+	c := r.Select(other, 6)
+	same := true
+	for i := range a {
+		if a[i].ID != c[i].ID {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different queries should generally receive different random demos")
+	}
+}
+
+func TestRelatedSelectsSimilarDemos(t *testing.T) {
+	ds := datasets.MustLoad("wdc")
+	r := NewRelated(ds.Train)
+	rnd := NewRandom(ds.Train, "baseline")
+	moreRelated := 0
+	n := 30
+	for i := 0; i < n; i++ {
+		query := ds.Test[i]
+		qText := query.A.Serialize() + " " + query.B.Serialize()
+		rel := r.Select(query, 6)
+		rng := rnd.Select(query, 6)
+		relSim := meanSim(qText, rel)
+		rndSim := meanSim(qText, rng)
+		if relSim > rndSim {
+			moreRelated++
+		}
+		pos, neg := balance(rel)
+		if pos != 3 || neg != 3 {
+			t.Fatalf("related balance %d/%d", pos, neg)
+		}
+	}
+	if moreRelated < n*8/10 {
+		t.Errorf("related demos more similar than random in only %d/%d queries", moreRelated, n)
+	}
+}
+
+func meanSim(qText string, demos []entity.Pair) float64 {
+	total := 0.0
+	for _, d := range demos {
+		total += textsim.JaccardStrings(qText, d.A.Serialize()+" "+d.B.Serialize())
+	}
+	return total / float64(len(demos))
+}
+
+func TestHandpickedFixedSet(t *testing.T) {
+	demos := CurateHandpicked(pool(t), 10)
+	if len(demos) != 10 {
+		t.Fatalf("curated %d demos, want 10", len(demos))
+	}
+	pos, neg := balance(demos)
+	if pos != 5 || neg != 5 {
+		t.Errorf("curated balance %d/%d", pos, neg)
+	}
+	h := NewHandpicked(demos)
+	query := datasets.MustLoad("wdc").Test[0]
+	sel := h.Select(query, 6)
+	if len(sel) != 6 {
+		t.Fatalf("handpicked Select returned %d", len(sel))
+	}
+	p6, n6 := balance(sel)
+	if p6 != 3 || n6 != 3 {
+		t.Errorf("handpicked balance %d/%d", p6, n6)
+	}
+	// Fixed set: identical for every query.
+	sel2 := h.Select(datasets.MustLoad("wdc").Test[5], 6)
+	for i := range sel {
+		if sel[i].ID != sel2[i].ID {
+			t.Error("handpicked demos should not depend on the query")
+		}
+	}
+}
+
+func TestCurateHandpickedPrefersCornerCases(t *testing.T) {
+	p := pool(t)
+	demos := CurateHandpicked(p, 10)
+	// Curated matches should be less similar than the pool's average
+	// match (corner-case matches), and curated non-matches more
+	// similar than the average non-match.
+	var poolPosSim, poolNegSim float64
+	var nPos, nNeg int
+	for _, pr := range p {
+		s := textsim.JaccardStrings(pr.A.Serialize(), pr.B.Serialize())
+		if pr.Match {
+			poolPosSim += s
+			nPos++
+		} else {
+			poolNegSim += s
+			nNeg++
+		}
+	}
+	poolPosSim /= float64(nPos)
+	poolNegSim /= float64(nNeg)
+	for _, d := range demos {
+		s := textsim.JaccardStrings(d.A.Serialize(), d.B.Serialize())
+		if d.Match && s > poolPosSim {
+			t.Errorf("curated match sim %.3f above pool mean %.3f", s, poolPosSim)
+		}
+		if !d.Match && s < poolNegSim {
+			t.Errorf("curated non-match sim %.3f below pool mean %.3f", s, poolNegSim)
+		}
+	}
+}
+
+func TestRelatedEmptyPoolSides(t *testing.T) {
+	r := NewRelated(nil)
+	if got := r.Select(datasets.MustLoad("wdc").Test[0], 6); len(got) != 0 {
+		t.Errorf("empty pool should yield no demos, got %d", len(got))
+	}
+}

@@ -1,0 +1,76 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+
+	"llm4em/internal/detrand"
+	"llm4em/internal/features"
+)
+
+// answerBatch handles batched matching prompts: several pairs decided
+// in one request. Batching trades cost for accuracy — with growing
+// batch position the model's attention over the packed context
+// dilutes, which is simulated as position-dependent extra decision
+// noise.
+func (m *Model) answerBatch(content string) string {
+	pairs := parseBatchPairs(content)
+	if len(pairs) == 0 {
+		return "No pairs found."
+	}
+	var b strings.Builder
+	for i, p := range pairs {
+		ea, eb := extractCached(p.a), extractCached(p.b)
+		v, pres := features.PairFeatures(ea, eb)
+		w := m.baseWeights()
+		score := w.Score(v, pres)
+		noise := m.profile.NoiseSigma * detrand.Gauss(m.profile.Name, "batch-noise", p.a, p.b)
+		// Attention dilution: later batch positions and larger batches
+		// degrade the decision.
+		dilution := 1 + 0.5*float64(i)/float64(maxInt(len(pairs)-1, 1)) + 0.04*float64(len(pairs))
+		logit := score + noise*dilution
+		if logit > 0 {
+			fmt.Fprintf(&b, "%d. Yes\n", i+1)
+		} else {
+			fmt.Fprintf(&b, "%d. No\n", i+1)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+type batchPair struct {
+	a, b string
+}
+
+// parseBatchPairs reads the "Pair N:" blocks of a batched prompt.
+func parseBatchPairs(content string) []batchPair {
+	var out []batchPair
+	var cur *batchPair
+	for _, line := range strings.Split(content, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "Pair ") && strings.HasSuffix(trimmed, ":"):
+			if cur != nil && cur.a != "" && cur.b != "" {
+				out = append(out, *cur)
+			}
+			cur = &batchPair{}
+		case cur == nil:
+			continue
+		case strings.HasPrefix(trimmed, "Entity 1: '"):
+			cur.a = strings.TrimSuffix(strings.TrimPrefix(trimmed, "Entity 1: '"), "'")
+		case strings.HasPrefix(trimmed, "Entity 2: '"):
+			cur.b = strings.TrimSuffix(strings.TrimPrefix(trimmed, "Entity 2: '"), "'")
+		}
+	}
+	if cur != nil && cur.a != "" && cur.b != "" {
+		out = append(out, *cur)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

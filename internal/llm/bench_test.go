@@ -1,0 +1,69 @@
+package llm
+
+import (
+	"testing"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/prompt"
+)
+
+// BenchmarkChatZeroShot measures single-request matching throughput —
+// the hot path of every experiment.
+func BenchmarkChatZeroShot(b *testing.B) {
+	m := MustNew(GPT4)
+	ds := datasets.MustLoad("wdc")
+	d, _ := prompt.DesignByName("general-complex-force")
+	spec := prompt.Spec{Design: d, Domain: ds.Schema.Domain}
+	prompts := make([]string, 64)
+	for i := range prompts {
+		prompts[i] = spec.Build(ds.Test[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Chat([]Message{{Role: User, Content: prompts[i%len(prompts)]}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChatFewShot measures the 10-shot path, including demo
+// calibration.
+func BenchmarkChatFewShot(b *testing.B) {
+	m := MustNew(GPT4)
+	ds := datasets.MustLoad("wdc")
+	d, _ := prompt.DesignByName("general-complex-force")
+	spec := prompt.Spec{Design: d, Domain: ds.Schema.Domain, Demonstrations: ds.Train[:10]}
+	prompts := make([]string, 32)
+	for i := range prompts {
+		prompts[i] = spec.Build(ds.Test[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Chat([]Message{{Role: User, Content: prompts[i%len(prompts)]}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExplainTurn measures the structured-explanation path.
+func BenchmarkExplainTurn(b *testing.B) {
+	m := MustNew(GPT4)
+	ds := datasets.MustLoad("wa")
+	d, _ := prompt.DesignByName("domain-complex-force")
+	spec := prompt.Spec{Design: d, Domain: ds.Schema.Domain}
+	match := spec.Build(ds.Test[0])
+	conv := []Message{
+		{Role: User, Content: match},
+		{Role: Assistant, Content: "Yes"},
+		{Role: User, Content: prompt.ExplanationRequest},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Chat(conv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

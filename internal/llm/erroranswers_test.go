@@ -1,0 +1,150 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"llm4em/internal/entity"
+)
+
+const sampleErrorPrompt = `You are analyzing the errors of an entity matching system for product descriptions.
+Below are false positive cases: entity pairs for which the system made a wrong decision, together with a structured explanation of each decision.
+Derive a list of 5 error classes that describe common causes of these false positive errors. For each class, give a short name and a one-sentence description.
+
+Case 1:
+Gold: non-match, Predicted: match
+Entity 1: 'Sony DSC-120A camera black 348.00'
+Entity 2: 'sony dsc120b camera black 350.00'
+Explanation:
+title | 0.80 | 0.95
+brand | 0.40 | 1.00
+model | -0.30 | 0.50
+price | 0.10 | 0.98
+
+Case 2:
+Gold: non-match, Predicted: match
+Entity 1: 'Makita LXT drill 99.00'
+Entity 2: 'makita lxt drill kit 101.00'
+Explanation:
+title | 0.90 | 0.92
+price | 0.20 | 0.97
+`
+
+func TestParseErrorCases(t *testing.T) {
+	cases := parseErrorCases(sampleErrorPrompt)
+	if len(cases) != 2 {
+		t.Fatalf("parsed %d cases, want 2", len(cases))
+	}
+	c := cases[0]
+	if c.goldMatch || !c.predMatch {
+		t.Errorf("labels wrong: %+v", c)
+	}
+	if len(c.expl) != 4 {
+		t.Errorf("case 1 has %d explanation rows, want 4", len(c.expl))
+	}
+	if c.expl[0].attribute != "title" || c.expl[0].importance != 0.80 {
+		t.Errorf("first row = %+v", c.expl[0])
+	}
+	if !strings.Contains(c.rawA, "DSC-120A") {
+		t.Errorf("rawA = %q", c.rawA)
+	}
+}
+
+func TestAnswerErrorClassesStructure(t *testing.T) {
+	m := MustNew(GPT4Turbo)
+	reply := m.answerErrorClasses(sampleErrorPrompt)
+	numbered := 0
+	for _, line := range strings.Split(reply, "\n") {
+		if isNumberedLine(strings.TrimSpace(line)) {
+			numbered++
+		}
+	}
+	if numbered != 5 {
+		t.Fatalf("reply has %d numbered classes, want 5:\n%s", numbered, reply)
+	}
+	// Title-driven false positives dominate the sample, so a
+	// title-related class must rank first.
+	firstClass := strings.SplitN(reply, "\n", 3)[1]
+	lower := strings.ToLower(firstClass)
+	if !strings.Contains(lower, "title") && !strings.Contains(lower, "differences") && !strings.Contains(lower, "matching attributes") {
+		t.Errorf("first class should reflect the dominant title pattern: %s", firstClass)
+	}
+}
+
+func TestClassTemplateApplies(t *testing.T) {
+	c := errorCase{
+		goldMatch: false, predMatch: true,
+		rawA: "a b c d", rawB: "a b",
+		expl: []explLine{
+			{attribute: "title", importance: 0.8, similarity: 0.9},
+			{attribute: "model", importance: -0.4, similarity: 0.5},
+		},
+	}
+	titleFP := classTemplate{attrs: []string{"title"}}
+	if !titleFP.applies(c, true) {
+		t.Error("title class should apply to a title-driven false positive")
+	}
+	modelFP := classTemplate{attrs: []string{"model"}}
+	if modelFP.applies(c, true) {
+		t.Error("model pushed toward non-match; it did not cause the false positive")
+	}
+	partial := classTemplate{partial: true}
+	if !partial.applies(c, true) {
+		t.Error("asymmetric token counts should trigger the partial-information class")
+	}
+}
+
+func TestTemplateForClassName(t *testing.T) {
+	ct := templateForClassName("Year Discrepancy: Differences in publication years lead to false negatives")
+	if len(ct.attrs) == 0 || ct.attrs[0] != "year" {
+		t.Errorf("year class template = %+v", ct)
+	}
+	ct = templateForClassName("Author List Incompleteness: one entry has more authors")
+	if !ct.partial {
+		t.Error("incompleteness class should use the partial signature")
+	}
+	ct = templateForClassName("Misinterpretation of Accessory or Variant Information: ...")
+	if len(ct.attrs) == 0 {
+		t.Error("variant class should map to variant attributes")
+	}
+}
+
+func TestAnswerErrorAssignFormat(t *testing.T) {
+	m := MustNew(GPT4Turbo)
+	assignPrompt := `Given the following error classes for an entity matching system:
+1. Overemphasis on Title Similarity: High similarity in titles leading to false positives.
+2. Price Discrepancy Overlooked: Significant price differences are overlooked.
+Decide for the following wrongly matched pair which of the error classes apply. List all applicable class numbers with a confidence value between 0 and 1 for each.
+
+Case 1:
+Gold: non-match, Predicted: match
+Entity 1: 'Sony DSC-120A camera black 348.00'
+Entity 2: 'sony dsc120b camera black 350.00'
+Explanation:
+title | 0.80 | 0.95
+price | 0.10 | 0.98
+`
+	reply := m.answerErrorAssign(assignPrompt)
+	if !strings.Contains(reply, "Applicable error classes:") && !strings.Contains(reply, "None of the error classes") {
+		t.Errorf("unexpected assignment reply: %q", reply)
+	}
+	// Deterministic.
+	if reply != m.answerErrorAssign(assignPrompt) {
+		t.Error("assignment not deterministic")
+	}
+}
+
+func TestClassBankSelection(t *testing.T) {
+	if got := classBank(entity.Publication, true); &got[0] != &pubFPClasses[0] {
+		t.Error("publication FP bank wrong")
+	}
+	if got := classBank(entity.Publication, false); &got[0] != &pubFNClasses[0] {
+		t.Error("publication FN bank wrong")
+	}
+	if got := classBank(entity.Product, true); &got[0] != &productFPClasses[0] {
+		t.Error("product FP bank wrong")
+	}
+	if got := classBank(entity.Product, false); &got[0] != &productFNClasses[0] {
+		t.Error("product FN bank wrong")
+	}
+}

@@ -1,0 +1,329 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+
+	"llm4em/internal/detrand"
+	"llm4em/internal/entity"
+	"llm4em/internal/features"
+	"llm4em/internal/tokenize"
+	"llm4em/internal/vocab"
+)
+
+// respond generates the model's answer text for a matching decision.
+// Force-format prompts (and, for models with demo format grounding,
+// few-shot prompts, and all fine-tuned variants) yield short Yes/No
+// answers; free-format prompts yield verbose text that may hedge and
+// thereby fail the downstream "yes" parse.
+func (m *Model) respond(pp ParsedPrompt, d decision) string {
+	short := pp.Force || m.adapter != nil ||
+		(len(pp.Demos) > 0 && m.profile.DemoFormatGrounding)
+	if short {
+		comply := m.profile.ForceCompliance
+		if m.adapter != nil {
+			comply = 1
+		} else if len(pp.Demos) > 0 && m.profile.DemoFormatGrounding {
+			if comply < 0.97 {
+				comply = 0.97
+			}
+		}
+		if detrand.Unit(m.profile.Name, "comply", pp.Task, pp.QueryA, pp.QueryB) < comply {
+			if d.yes {
+				return "Yes"
+			}
+			return "No"
+		}
+		return m.verboseAnswer(pp, d)
+	}
+
+	// Free format: the model may produce a non-committal answer whose
+	// text never contains the word "yes" — the dominant failure mode
+	// behind the free-format F1 collapses of Table 2.
+	hedgeP := m.hedgeProbability(pp)
+	if detrand.Unit(m.profile.Name, "hedge", pp.Task, pp.QueryA, pp.QueryB) < hedgeP {
+		return m.hedgingAnswer(pp, d)
+	}
+	return m.verboseAnswer(pp, d)
+}
+
+// hedgeProbability combines the model's base hedge rate with a
+// heavy-tailed per-prompt modifier: some (model, wording)
+// combinations collapse almost completely while others are unaffected,
+// reproducing the scattered free-format failures of Table 2.
+func (m *Model) hedgeProbability(pp ParsedPrompt) float64 {
+	h := detrand.Unit(m.profile.Name, "hedge-mod", pp.Task)
+	modifier := 0.15 + 2.6*h*h
+	p := m.profile.HedgeRate * modifier
+	if pp.SimpleWording {
+		p *= m.profile.SimpleHedgeBoost
+	}
+	return clamp(p, 0, 0.97)
+}
+
+// hedgingAnswer produces verbose non-committal text. It deliberately
+// avoids the word "yes" so that the paper's answer parsing counts it
+// as a non-match decision.
+func (m *Model) hedgingAnswer(pp ParsedPrompt, d decision) string {
+	noun := nounFor(d.domain())
+	variants := []string{
+		"Based on the provided information, it is difficult to determine with certainty whether the two %s refer to the same real-world entity. They share several attributes, but the available details are not conclusive. Additional information such as identifiers or specifications would be required for a definitive decision.",
+		"The two %s appear related, but I cannot say definitively whether they denote the same entity. Some attribute values correspond while others differ or are missing, so the evidence remains ambiguous without further context.",
+		"It is not possible to give a definitive answer from the given descriptions alone. The two %s overlap in part of their attributes; however, the differences that remain could indicate either distinct entities or merely different listings of one entity.",
+	}
+	i := int(detrand.Hash64(m.profile.Name, "hedge-variant", pp.QueryA, pp.QueryB) % uint64(len(variants)))
+	return fmt.Sprintf(variants[i], noun)
+}
+
+// verboseAnswer produces a free-form answer that states the decision
+// and cites the extracted evidence, padded to the model's typical
+// verbosity.
+func (m *Model) verboseAnswer(pp ParsedPrompt, d decision) string {
+	noun := nounFor(d.domain())
+	var b strings.Builder
+	if d.yes {
+		fmt.Fprintf(&b, "Yes, the two %s refer to the same real-world entity.", noun)
+	} else {
+		fmt.Fprintf(&b, "No, the two %s do not refer to the same real-world entity.", noun)
+	}
+	for _, s := range m.evidenceSentences(d) {
+		b.WriteByte(' ')
+		b.WriteString(s)
+	}
+
+	// Pad toward the model's typical free-format verbosity with
+	// generic analysis sentences.
+	filler := []string{
+		"Taking all available attributes into account, this is the most plausible interpretation of the two descriptions.",
+		"The remaining attributes do not provide decisive evidence in either direction.",
+		"Differences in formatting and word order were disregarded, as they are common between listings from different sources.",
+		"Overall, the combination of the compared attributes supports this conclusion.",
+		"Note that missing attribute values were not counted as contradictions, only as absent evidence.",
+	}
+	target := m.profile.FreeVerbosity
+	jitter := int(detrand.Unit(m.profile.Name, "verbosity", pp.QueryA, pp.QueryB) * 0.4 * float64(target))
+	target = target - target/5 + jitter
+	for i := 0; tokenize.EstimateTokens(b.String()) < target && i < len(filler); i++ {
+		b.WriteByte(' ')
+		b.WriteString(filler[i])
+	}
+	return b.String()
+}
+
+// evidenceSentences renders the strongest feature evidence of a
+// decision as natural-language sentences.
+func (m *Model) evidenceSentences(d decision) []string {
+	var out []string
+	add := func(s string) { out = append(out, s) }
+	v, p := d.vector, d.present
+
+	if p[features.BrandMatch] {
+		if v[features.BrandMatch] >= 0.99 {
+			add(fmt.Sprintf("Both descriptions mention the brand %s.", strings.ToUpper(d.extA.Brand[:1])+d.extA.Brand[1:]))
+		} else {
+			add(fmt.Sprintf("The brands differ (%s vs. %s).", d.extA.Brand, d.extB.Brand))
+		}
+	}
+	if p[features.ModelMatch] {
+		switch {
+		case v[features.ModelMatch] >= 0.99:
+			add(fmt.Sprintf("The model number %s appears in both descriptions.", strings.ToUpper(d.extA.Models[0])))
+		case v[features.ModelMatch] >= 0.4:
+			add("The model numbers are similar but not identical, which suggests related but distinct models.")
+		default:
+			add("The model numbers do not correspond.")
+		}
+	}
+	if p[features.VersionMatch] {
+		if v[features.VersionMatch] >= 0.85 {
+			add("The version information is consistent between the two offers.")
+		} else {
+			add("The offers state different versions of the product.")
+		}
+	}
+	if p[features.PriceMatch] {
+		if v[features.PriceMatch] >= 0.85 {
+			add("The listed prices are close.")
+		} else {
+			add("The prices differ considerably, though prices alone are weak evidence.")
+		}
+	}
+	if p[features.AuthorMatch] {
+		if v[features.AuthorMatch] >= 0.85 {
+			add("The author lists correspond.")
+		} else {
+			add("The author lists differ in part.")
+		}
+	}
+	if p[features.VenueMatch] {
+		if v[features.VenueMatch] >= 0.99 {
+			add(fmt.Sprintf("Both records were published at %s.", d.extA.Venue))
+		} else {
+			add(fmt.Sprintf("The publication venues differ (%s vs. %s).", d.extA.Venue, d.extB.Venue))
+		}
+	}
+	if p[features.YearMatch] && v[features.YearMatch] < 0.99 {
+		add("The publication years do not agree exactly.")
+	}
+	if p[features.TitleGenJaccard] {
+		switch {
+		case v[features.TitleGenJaccard] >= 0.8:
+			add("The titles are highly similar.")
+		case v[features.TitleGenJaccard] >= 0.5:
+			add("The titles overlap partially.")
+		default:
+			add("The titles share little content.")
+		}
+	}
+	if len(out) > 4 {
+		out = out[:4]
+	}
+	return out
+}
+
+func nounFor(d entity.Domain) string {
+	switch d {
+	case entity.Product:
+		return "product descriptions"
+	case entity.Publication:
+		return "publications"
+	default:
+		return "entity descriptions"
+	}
+}
+
+// explain answers the second-turn structured-explanation request of
+// Section 6.1. The model re-derives its decision for the pair of the
+// first user turn and renders one line per attribute it used:
+// "attribute | importance | similarity".
+func (m *Model) explain(messages []Message) string {
+	pp := parseMatchPrompt(firstUserMessage(messages))
+	d := m.decide(pp)
+
+	lines := m.explanationLines(d)
+	var b strings.Builder
+	b.WriteString("The decision was based on the following attribute comparisons:\n")
+	for _, l := range lines {
+		fmt.Fprintf(&b, "%s | %.2f | %.2f\n", l.attribute, l.importance, l.similarity)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// explLine is one structured explanation row.
+type explLine struct {
+	attribute  string
+	importance float64
+	similarity float64
+}
+
+// explanationLines converts the decision's feature contributions into
+// named attribute rows. Importance is the normalized signed
+// contribution of the feature to the decision; similarity is the raw
+// feature value. Small deterministic jitter models the imprecision of
+// model-generated numbers while preserving the strong correlation
+// with string-similarity measures reported in Section 6.1.
+func (m *Model) explanationLines(d decision) []explLine {
+	type contrib struct {
+		f features.Feature
+		c float64
+	}
+	var contribs []contrib
+	maxAbs := 1e-9
+	for i := 0; i < int(features.NumFeatures); i++ {
+		f := features.Feature(i)
+		if !d.present[f] || !explainedFeature(f) {
+			continue
+		}
+		c := d.weights.W[f] * (d.vector[f] - d.weights.Center[f])
+		contribs = append(contribs, contrib{f, c})
+		if a := abs(c); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	var lines []explLine
+	for _, ct := range contribs {
+		name := m.attributeName(ct.f, d)
+		impJitter := 0.08 * detrand.Signed(m.profile.Name, "imp-jitter", name, d.extA.Raw, d.extB.Raw)
+		simJitter := 0.05 * detrand.Signed(m.profile.Name, "sim-jitter", name, d.extA.Raw, d.extB.Raw)
+		lines = append(lines, explLine{
+			attribute:  name,
+			importance: clamp(ct.c/maxAbs+impJitter, -1, 1),
+			similarity: clamp(d.vector[ct.f]+simJitter, 0, 1),
+		})
+	}
+	return lines
+}
+
+// explainedFeature filters the internal feature set down to the
+// attribute-level comparisons a model would cite; the redundant title
+// sub-measures and the overall-token measure stay internal.
+func explainedFeature(f features.Feature) bool {
+	switch f {
+	case features.TitleCosine, features.TitleContainment, features.OverallJaccard:
+		return false
+	default:
+		return true
+	}
+}
+
+// attributeName maps a feature to the attribute name used in
+// explanations, refining generic features with extraction context
+// (variant unit classes, conference vs. journal venues).
+func (m *Model) attributeName(f features.Feature, d decision) string {
+	switch f {
+	case features.VariantMatch:
+		switch {
+		case len(d.extA.Colors) > 0 && len(d.extB.Colors) > 0:
+			return "color"
+		case hasUnit(d.extA, d.extB, "gb", "tb", "mb"):
+			return "capacity"
+		case hasUnit(d.extA, d.extB, "inch", "in"):
+			return "size"
+		case hasUnit(d.extA, d.extB, "user", "users"):
+			return "license"
+		default:
+			return "variant"
+		}
+	case features.VenueMatch:
+		if isJournalVenue(d.extA.Venue) || isJournalVenue(d.extB.Venue) {
+			return "journal"
+		}
+		return "conference"
+	case features.ModelMatch:
+		return "model"
+	case features.TitleGenJaccard:
+		return "title"
+	default:
+		return f.String()
+	}
+}
+
+func hasUnit(a, b features.Extracted, units ...string) bool {
+	has := func(e features.Extracted) bool {
+		for _, v := range e.Variants {
+			for _, u := range units {
+				if strings.HasSuffix(v, u) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return has(a) && has(b)
+}
+
+func isJournalVenue(name string) bool {
+	for _, v := range vocab.Venues {
+		if v.Full == name {
+			return v.Journal
+		}
+	}
+	return false
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,147 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+)
+
+func matchPP(a, b string) ParsedPrompt {
+	return ParsedPrompt{
+		Task:   "Do the two entity descriptions refer to the same real-world entity?",
+		QueryA: a,
+		QueryB: b,
+	}
+}
+
+func TestVerboseAnswerStatesDecisionAndEvidence(t *testing.T) {
+	m := MustNew(GPT4)
+	pp := matchPP("Sony Cybershot DSC-120B camera black 348.00", "sony dsc120b camera black 350.00")
+	d := m.decide(pp)
+	ans := m.verboseAnswer(pp, d)
+	if d.yes && !strings.HasPrefix(ans, "Yes,") {
+		t.Errorf("positive verbose answer should start with Yes: %q", ans)
+	}
+	lower := strings.ToLower(ans)
+	if !strings.Contains(lower, "sony") && !strings.Contains(lower, "model") {
+		t.Errorf("verbose answer should cite evidence: %q", ans)
+	}
+}
+
+func TestVerboseAnswerNegative(t *testing.T) {
+	m := MustNew(GPT4)
+	pp := matchPP("Sony Cybershot DSC-120B camera 348.00", "DeWalt XR DCD-771 cordless drill 99.00")
+	d := m.decide(pp)
+	if d.yes {
+		t.Fatal("unrelated pair decided as match")
+	}
+	ans := m.verboseAnswer(pp, d)
+	if !strings.HasPrefix(ans, "No,") {
+		t.Errorf("negative verbose answer should start with No: %q", ans)
+	}
+}
+
+func TestVerbosityScalesWithProfile(t *testing.T) {
+	pp := matchPP("Sony DSC-120B camera 348.00", "sony dsc120b camera 350.00")
+	short := MustNew(GPT4)  // FreeVerbosity 40
+	long := MustNew(Llama2) // FreeVerbosity 105
+	sAns := short.verboseAnswer(pp, short.decide(pp))
+	lAns := long.verboseAnswer(pp, long.decide(pp))
+	if len(lAns) <= len(sAns) {
+		t.Errorf("Llama2 answer (%d chars) should be longer than GPT-4's (%d chars)", len(lAns), len(sAns))
+	}
+}
+
+func TestHedgeProbabilityShapes(t *testing.T) {
+	m := MustNew(GPT4o)
+	complexPP := ParsedPrompt{Task: "Do the two entity descriptions refer to the same real-world entity?"}
+	simplePP := ParsedPrompt{Task: "Do the two product descriptions match?", SimpleWording: true}
+	pc := m.hedgeProbability(complexPP)
+	ps := m.hedgeProbability(simplePP)
+	if pc < 0 || pc > 0.97 || ps < 0 || ps > 0.97 {
+		t.Errorf("hedge probabilities out of range: %v / %v", pc, ps)
+	}
+	// GPT-4 hedges far less than GPT-4o on the same prompt.
+	g4 := MustNew(GPT4).hedgeProbability(complexPP)
+	if g4 >= pc {
+		t.Errorf("GPT-4 hedge %v should be below GPT-4o hedge %v", g4, pc)
+	}
+}
+
+func TestExplanationLinesBounded(t *testing.T) {
+	m := MustNew(GPT4)
+	pp := matchPP("Sony Cybershot DSC-120B camera black 348.00", "sony dsc120b camera black 350.00")
+	d := m.decide(pp)
+	for _, l := range m.explanationLines(d) {
+		if l.importance < -1 || l.importance > 1 {
+			t.Errorf("importance %v out of range for %s", l.importance, l.attribute)
+		}
+		if l.similarity < 0 || l.similarity > 1 {
+			t.Errorf("similarity %v out of range for %s", l.similarity, l.attribute)
+		}
+		if l.attribute == "" {
+			t.Error("empty attribute name")
+		}
+	}
+}
+
+func TestAttributeNameRefinement(t *testing.T) {
+	m := MustNew(GPT4)
+	// Color variants -> "color".
+	pp := matchPP("Sony DSC-120B camera black 348.00", "sony dsc120b camera black 350.00")
+	d := m.decide(pp)
+	found := false
+	for _, l := range m.explanationLines(d) {
+		if l.attribute == "color" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("color attribute not named in explanation")
+	}
+	// Conference venues -> "conference".
+	pp2 := matchPP(
+		"Michael Stonebraker adaptive indexing SIGMOD Conference 1997",
+		"M. Stonebraker adaptive indexing sigmod 1997",
+	)
+	d2 := m.decide(pp2)
+	foundConf := false
+	for _, l := range m.explanationLines(d2) {
+		if l.attribute == "conference" {
+			foundConf = true
+		}
+	}
+	if !foundConf {
+		t.Error("conference attribute not named in publication explanation")
+	}
+}
+
+func TestBatchDilutionDegradesLatePositions(t *testing.T) {
+	// Same pair decided at batch position 0 vs position 19 must use
+	// larger noise at the later position; verify via the answer flip
+	// rate over many borderline pairs is not required — just check the
+	// reply format and determinism here.
+	m := MustNew(GPTMini)
+	content := "For each of the following pairs, decide whether the two entity descriptions refer to the same real-world entity. Answer with one line per pair in the format '<pair number>. Yes' or '<pair number>. No'.\n" +
+		"Pair 1:\nEntity 1: 'Sony DSC-120B camera 348.00'\nEntity 2: 'sony dsc120b camera 350.00'\n" +
+		"Pair 2:\nEntity 1: 'alpha'\nEntity 2: 'beta'\n"
+	a := m.answerBatch(content)
+	b := m.answerBatch(content)
+	if a != b {
+		t.Error("batch answering not deterministic")
+	}
+	if !strings.Contains(a, "1. ") || !strings.Contains(a, "2. ") {
+		t.Errorf("batch reply malformed:\n%s", a)
+	}
+}
+
+func TestEvidenceSentencesCapped(t *testing.T) {
+	m := MustNew(GPT4)
+	pp := matchPP(
+		"Sony Cybershot DSC-120B digital camera black 8gb 348.00",
+		"sony dsc120b camera black 8gb 350.00",
+	)
+	d := m.decide(pp)
+	if got := m.evidenceSentences(d); len(got) > 4 {
+		t.Errorf("evidence sentences should be capped at 4, got %d", len(got))
+	}
+}

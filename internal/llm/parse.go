@@ -1,0 +1,151 @@
+package llm
+
+import "strings"
+
+// PromptKind classifies what a prompt asks the model to do.
+type PromptKind int
+
+// The prompt kinds the simulated models understand.
+const (
+	KindMatch PromptKind = iota
+	KindExplain
+	KindErrorClasses
+	KindErrorAssign
+	KindRuleLearn
+	KindBatchMatch
+	KindUnknown
+)
+
+// ParsedPrompt is the model's structured reading of a matching
+// prompt: the task description, output-format instruction, optional
+// rules and demonstrations, and the serialized query pair.
+type ParsedPrompt struct {
+	// Task is the matching question (first line of the prompt).
+	Task string
+	// Force reports whether the prompt restricts the answer format to
+	// Yes/No.
+	Force bool
+	// SimpleWording reports whether the task uses the bare "match?"
+	// phrasing rather than the real-world-entity formulation.
+	SimpleWording bool
+	// Rules holds the numbered matching rules, if any.
+	Rules []string
+	// Demos holds the in-context demonstrations in prompt order.
+	Demos []Demo
+	// QueryA and QueryB are the serialized descriptions to match.
+	QueryA, QueryB string
+}
+
+// Demo is one parsed in-context demonstration.
+type Demo struct {
+	A, B  string
+	Match bool
+}
+
+// classifyPrompt determines what the user message asks for.
+func classifyPrompt(content string) PromptKind {
+	switch {
+	case strings.HasPrefix(content, "Explain your decision"):
+		return KindExplain
+	case strings.HasPrefix(content, "You are analyzing the errors"):
+		return KindErrorClasses
+	case strings.HasPrefix(content, "Given the following error classes"):
+		return KindErrorAssign
+	case strings.HasPrefix(content, "Derive a list of matching rules"):
+		return KindRuleLearn
+	case strings.HasPrefix(content, "For each of the following pairs"):
+		return KindBatchMatch
+	default:
+		return KindMatch
+	}
+}
+
+// parseMatchPrompt reads a matching prompt. The models understand the
+// prompt layout of this study (Figures 1-3): a task description,
+// optionally followed by rules, demonstrations and the query pair
+// introduced by "<Label>: '<serialization>'" lines.
+func parseMatchPrompt(content string) ParsedPrompt {
+	var pp ParsedPrompt
+	lines := strings.Split(content, "\n")
+
+	type entry struct{ text string }
+	var pending []entry // un-consumed entity lines
+	inRules := false
+
+	flushDemo := func(match bool) {
+		if len(pending) >= 2 {
+			pp.Demos = append(pp.Demos, Demo{
+				A:     pending[len(pending)-2].text,
+				B:     pending[len(pending)-1].text,
+				Match: match,
+			})
+		}
+		pending = pending[:0]
+	}
+
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		switch {
+		case pp.Task == "":
+			pp.Task = trimmed
+			pp.Force = strings.Contains(trimmed, "Answer with 'Yes'")
+			lower := strings.ToLower(trimmed)
+			pp.SimpleWording = strings.Contains(lower, "match?") && !strings.Contains(lower, "real-world")
+		case strings.HasPrefix(trimmed, "Apply the following rules"):
+			inRules = true
+		case inRules && isNumberedLine(trimmed):
+			pp.Rules = append(pp.Rules, stripNumber(trimmed))
+		case strings.HasPrefix(trimmed, "Answer: Yes"):
+			flushDemo(true)
+			inRules = false
+		case strings.HasPrefix(trimmed, "Answer: No"):
+			flushDemo(false)
+			inRules = false
+		case trimmed == "Answer:":
+			// trailing answer slot of a few-shot prompt
+		default:
+			if text, ok := entityLine(trimmed); ok {
+				pending = append(pending, entry{text})
+				inRules = false
+			}
+		}
+	}
+	if len(pending) >= 2 {
+		pp.QueryA = pending[len(pending)-2].text
+		pp.QueryB = pending[len(pending)-1].text
+	} else if len(pending) == 1 {
+		pp.QueryA = pending[0].text
+	}
+	return pp
+}
+
+// entityLine recognizes "<Label>: '<serialization>'" lines and
+// returns the serialization.
+func entityLine(line string) (string, bool) {
+	i := strings.Index(line, ": '")
+	if i < 0 || !strings.HasSuffix(line, "'") {
+		return "", false
+	}
+	label := line[:i]
+	// Labels are short noun phrases ("Entity 1", "Product A", ...).
+	if len(label) > 20 || strings.ContainsAny(label, ".!?") {
+		return "", false
+	}
+	return line[i+3 : len(line)-1], true
+}
+
+func isNumberedLine(line string) bool {
+	i := 0
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		i++
+	}
+	return i > 0 && i < len(line) && line[i] == '.'
+}
+
+func stripNumber(line string) string {
+	i := strings.Index(line, ".")
+	return strings.TrimSpace(line[i+1:])
+}

@@ -1,0 +1,110 @@
+package llm
+
+import (
+	"testing"
+
+	"llm4em/internal/prompt"
+)
+
+func TestClassifyPromptKinds(t *testing.T) {
+	tests := []struct {
+		content string
+		want    PromptKind
+	}{
+		{"Do the two entity descriptions match?\nEntity 1: 'a'\nEntity 2: 'b'", KindMatch},
+		{prompt.ExplanationRequest, KindExplain},
+		{"You are analyzing the errors of an entity matching system for publications.", KindErrorClasses},
+		{"Given the following error classes for an entity matching system:", KindErrorAssign},
+		{"Derive a list of matching rules from the following examples", KindRuleLearn},
+		{"For each of the following pairs, decide whether ...", KindBatchMatch},
+	}
+	for _, tt := range tests {
+		if got := classifyPrompt(tt.content); got != tt.want {
+			t.Errorf("classifyPrompt(%.40q) = %v, want %v", tt.content, got, tt.want)
+		}
+	}
+}
+
+func TestEntityLine(t *testing.T) {
+	tests := []struct {
+		line string
+		text string
+		ok   bool
+	}{
+		{"Entity 1: 'Sony DSC camera'", "Sony DSC camera", true},
+		{"Product A: 'x'", "x", true},
+		{"Publication 2: 'a b c'", "a b c", true},
+		{"Answer: 'Yes'", "Yes", true}, // short label, tolerated by the parser
+		{"This is just a sentence mentioning: 'something' inline?", "", false},
+		{"Entity 1: missing quotes", "", false},
+	}
+	for _, tt := range tests {
+		text, ok := entityLine(tt.line)
+		if ok != tt.ok || (ok && text != tt.text) {
+			t.Errorf("entityLine(%q) = %q, %v", tt.line, text, ok)
+		}
+	}
+}
+
+func TestParseMatchPromptQueryOnly(t *testing.T) {
+	pp := parseMatchPrompt("Do the two entity descriptions match?\nEntity 1: 'alpha one'\nEntity 2: 'beta two'")
+	if pp.QueryA != "alpha one" || pp.QueryB != "beta two" {
+		t.Errorf("query = %q / %q", pp.QueryA, pp.QueryB)
+	}
+	if len(pp.Demos) != 0 || len(pp.Rules) != 0 {
+		t.Errorf("unexpected demos/rules: %+v", pp)
+	}
+}
+
+func TestParseMatchPromptMultipleDemos(t *testing.T) {
+	content := "Do the two entity descriptions refer to the same real-world entity? Answer with 'Yes' if they do and 'No' if they do not.\n" +
+		"Entity 1: 'd1a'\nEntity 2: 'd1b'\nAnswer: Yes\n" +
+		"Entity 1: 'd2a'\nEntity 2: 'd2b'\nAnswer: No\n" +
+		"Entity 1: 'd3a'\nEntity 2: 'd3b'\nAnswer: Yes\n" +
+		"Entity 1: 'qa'\nEntity 2: 'qb'\nAnswer:"
+	pp := parseMatchPrompt(content)
+	if len(pp.Demos) != 3 {
+		t.Fatalf("parsed %d demos, want 3", len(pp.Demos))
+	}
+	if !pp.Demos[0].Match || pp.Demos[1].Match || !pp.Demos[2].Match {
+		t.Errorf("demo labels wrong: %+v", pp.Demos)
+	}
+	if pp.QueryA != "qa" || pp.QueryB != "qb" {
+		t.Errorf("query = %q / %q", pp.QueryA, pp.QueryB)
+	}
+	if !pp.Force {
+		t.Error("force not detected")
+	}
+}
+
+func TestParseMatchPromptSingleEntity(t *testing.T) {
+	pp := parseMatchPrompt("Do the two entity descriptions match?\nEntity 1: 'only one'")
+	if pp.QueryA != "only one" || pp.QueryB != "" {
+		t.Errorf("partial query = %q / %q", pp.QueryA, pp.QueryB)
+	}
+}
+
+func TestParseBatchPairs(t *testing.T) {
+	content := "For each of the following pairs, decide ...\n" +
+		"Pair 1:\nEntity 1: 'a1'\nEntity 2: 'b1'\n" +
+		"Pair 2:\nEntity 1: 'a2'\nEntity 2: 'b2'\n"
+	pairs := parseBatchPairs(content)
+	if len(pairs) != 2 {
+		t.Fatalf("parsed %d pairs, want 2", len(pairs))
+	}
+	if pairs[1].a != "a2" || pairs[1].b != "b2" {
+		t.Errorf("pairs[1] = %+v", pairs[1])
+	}
+	if got := parseBatchPairs("Pair 1:\nEntity 1: 'only'"); len(got) != 0 {
+		t.Errorf("incomplete pair should be dropped, got %v", got)
+	}
+}
+
+func TestNumberedLineHelpers(t *testing.T) {
+	if !isNumberedLine("3. text") || isNumberedLine("text") || isNumberedLine(".x") || isNumberedLine("12") {
+		t.Error("isNumberedLine wrong")
+	}
+	if stripNumber("12. hello world") != "hello world" {
+		t.Errorf("stripNumber = %q", stripNumber("12. hello world"))
+	}
+}

@@ -1,0 +1,98 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llm4em/internal/features"
+)
+
+// learnedRuleTemplates phrase the rule the model derives when a
+// feature separates the matching from the non-matching examples.
+var learnedRuleTemplates = map[features.Feature]string{
+	features.BrandMatch:      "The brand or manufacturer stated in both descriptions should be the same, even if it is spelled or capitalized differently.",
+	features.ModelMatch:      "Identifiers such as model numbers are decisive: the same model may be written with or without dashes, but a different number or suffix means a different product.",
+	features.VersionMatch:    "Version numbers must agree; note that versions can be written as '5', '5.0' or as a year such as '2007'.",
+	features.EditionMatch:    "Edition terms such as 'upgrade', 'academic' or 'full version' distinguish different offers of the same product line.",
+	features.PriceMatch:      "Prices of the same item from different vendors differ only moderately; a substantially different price suggests a different item.",
+	features.VariantMatch:    "Variant attributes such as capacity, size, or color must be identical; differing variants indicate sibling products.",
+	features.TitleGenJaccard: "The names or titles should describe the same item, tolerating abbreviations, re-ordering and extra marketing words.",
+	features.AuthorMatch:     "The author lists should denote the same people; first names may be reduced to initials and some authors may be missing.",
+	features.VenueMatch:      "Venue names appear in many surface forms; treat abbreviations and full names as the same venue, but conference and journal versions as different publications.",
+	features.YearMatch:       "The years should match; sources occasionally disagree by one year, but larger differences indicate different records.",
+}
+
+// learnedRuleOrder fixes a deterministic presentation order.
+var learnedRuleOrder = []features.Feature{
+	features.TitleGenJaccard, features.BrandMatch, features.ModelMatch,
+	features.VersionMatch, features.EditionMatch, features.VariantMatch,
+	features.PriceMatch, features.AuthorMatch, features.VenueMatch,
+	features.YearMatch,
+}
+
+// answerRuleLearn handles rule-learning prompts (Section 4.2): the
+// model inspects the labelled examples, measures which attribute
+// comparisons separate matches from non-matches, and phrases rules
+// for the most discriminative ones.
+func (m *Model) answerRuleLearn(content string) string {
+	pp := parseMatchPrompt(content)
+	if len(pp.Demos) == 0 {
+		return "I cannot derive rules without labelled examples."
+	}
+
+	var posSum, negSum features.Vector
+	var posCnt, negCnt features.Vector
+	for _, d := range pp.Demos {
+		v, pres := features.PairFeaturesText(d.A, d.B)
+		for i := 0; i < int(features.NumFeatures); i++ {
+			if !pres[i] {
+				continue
+			}
+			if d.Match {
+				posSum[i] += v[i]
+				posCnt[i]++
+			} else {
+				negSum[i] += v[i]
+				negCnt[i]++
+			}
+		}
+	}
+
+	// Rank by absolute separation: hand-picked demonstration sets are
+	// corner-case heavy, so a feature may separate in either direction
+	// (matches can be *less* similar than sibling non-matches). Either
+	// way the attribute matters, and the emitted rule phrases the
+	// heterogeneity to tolerate.
+	type sep struct {
+		f features.Feature
+		d float64
+	}
+	var seps []sep
+	for _, f := range learnedRuleOrder {
+		if posCnt[f] == 0 || negCnt[f] == 0 {
+			continue
+		}
+		d := posSum[f]/posCnt[f] - negSum[f]/negCnt[f]
+		if d < 0 {
+			d = -d
+		}
+		if d > 0.03 {
+			seps = append(seps, sep{f, d})
+		}
+	}
+	sort.SliceStable(seps, func(i, j int) bool { return seps[i].d > seps[j].d })
+	if len(seps) > 6 {
+		seps = seps[:6]
+	}
+
+	var b strings.Builder
+	b.WriteString("Based on the examples, I derive the following matching rules:\n")
+	for i, s := range seps {
+		fmt.Fprintf(&b, "%d. %s\n", i+1, learnedRuleTemplates[s.f])
+	}
+	if len(seps) == 0 {
+		b.WriteString("1. The descriptions must agree on their identifying attributes, tolerating formatting differences.\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,9 @@
+package llm
+
+import "llm4em/internal/features"
+
+// BaseWeights exposes the model's innate matching weighting — the
+// initialization point for fine-tuning (Section 4.3).
+func (m *Model) BaseWeights() features.Weights {
+	return m.baseWeights()
+}

@@ -1,0 +1,31 @@
+package plm
+
+import (
+	"testing"
+
+	"llm4em/internal/datasets"
+)
+
+// BenchmarkTrain measures PLM fine-tuning over a full training pool.
+func BenchmarkTrain(b *testing.B) {
+	ds := datasets.MustLoad("ab")
+	pool := ds.TrainVal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(RoBERTa)
+		m.Train(pool, "ab", Options{Epochs: 2, LearningRate: 0.1})
+	}
+}
+
+// BenchmarkPredict measures inference throughput of a trained PLM.
+func BenchmarkPredict(b *testing.B) {
+	ds := datasets.MustLoad("ab")
+	m := New(Ditto)
+	m.Train(ds.Train, "ab", Options{Epochs: 2, LearningRate: 0.1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(ds.Test[i%len(ds.Test)])
+	}
+}

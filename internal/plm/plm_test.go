@@ -1,0 +1,122 @@
+package plm
+
+import (
+	"reflect"
+	"testing"
+
+	"llm4em/internal/datasets"
+)
+
+func TestVariantNames(t *testing.T) {
+	if RoBERTa.String() != "RoBERTa" || Ditto.String() != "Ditto" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestPredictPanicsUntrained(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict on untrained model should panic")
+		}
+	}()
+	New(RoBERTa).Predict(datasets.MustLoad("ab").Test[0])
+}
+
+func TestTrainingLearnsInDomain(t *testing.T) {
+	ds := datasets.MustLoad("da")
+	m := New(RoBERTa)
+	m.Train(ds.TrainVal(), "da", DefaultOptions())
+	m.FitThreshold(ds.Val)
+	c := m.Evaluate(ds.Test)
+	if c.F1() < 90 {
+		t.Errorf("RoBERTa on DBLP-ACM F1 = %.2f, want >= 90 (paper: 99.14)", c.F1())
+	}
+	if m.TrainedOn != "da" {
+		t.Errorf("TrainedOn = %q", m.TrainedOn)
+	}
+}
+
+func TestUnseenEntityCollapse(t *testing.T) {
+	// The Table 4 "unseen" finding: a PLM fine-tuned on a publication
+	// dataset collapses on the WDC Products test set.
+	ds := datasets.MustLoad("ds")
+	wdc := datasets.MustLoad("wdc")
+	for _, v := range []Variant{RoBERTa, Ditto} {
+		m := New(v)
+		m.Train(ds.TrainVal(), "ds", DefaultOptions())
+		m.FitThreshold(ds.Val)
+		in := m.Evaluate(ds.Test).F1()
+		out := m.Evaluate(wdc.Test).F1()
+		t.Logf("%s: ds in-domain %.2f -> wdc unseen %.2f", v, in, out)
+		if in-out < 30 {
+			t.Errorf("%s: unseen drop only %.2f points (in %.2f, out %.2f)", v, in-out, in, out)
+		}
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	ds := datasets.MustLoad("ab")
+	a, b := New(Ditto), New(Ditto)
+	a.Train(ds.Train, "ab", Options{Epochs: 2, LearningRate: 0.1})
+	b.Train(ds.Train, "ab", Options{Epochs: 2, LearningRate: 0.1})
+	if !reflect.DeepEqual(a.w, b.w) || a.bias != b.bias {
+		t.Error("PLM training is not deterministic")
+	}
+}
+
+func TestFitThresholdNoopUntrainedOrEmpty(t *testing.T) {
+	m := New(RoBERTa)
+	m.FitThreshold(datasets.MustLoad("ab").Val) // untrained: no panic, no-op
+	if m.threshold != 0.5 {
+		t.Error("untrained FitThreshold changed threshold")
+	}
+	ds := datasets.MustLoad("ab")
+	m.Train(ds.Train[:500], "ab", Options{Epochs: 2, LearningRate: 0.1})
+	m.FitThreshold(nil)
+	if m.threshold != 0.5 {
+		t.Error("empty validation changed threshold")
+	}
+}
+
+func TestSubwordView(t *testing.T) {
+	got := subwordView([]string{"dsc120b", "camera"})
+	want := map[string]bool{"dsc120b": true, "dsc": true, "120": true, "b": true, "camera": true}
+	if len(got) != 5 {
+		t.Fatalf("subwordView = %v", got)
+	}
+	for _, tok := range got {
+		if !want[tok] {
+			t.Errorf("unexpected subword %q", tok)
+		}
+	}
+}
+
+func TestDigitPieces(t *testing.T) {
+	got := digitPieces([]string{"dsc120b", "plain", "42"})
+	if len(got) != 1 || got[0] != "120" {
+		t.Errorf("digitPieces = %v, want [120]", got)
+	}
+}
+
+func TestBigrams(t *testing.T) {
+	got := bigrams([]string{"a", "b", "c"})
+	if len(got) != 2 || got[0] != "a b" || got[1] != "b c" {
+		t.Errorf("bigrams = %v", got)
+	}
+	if bigrams([]string{"solo"}) != nil {
+		t.Error("single token should have no bigrams")
+	}
+}
+
+func TestDKNormalize(t *testing.T) {
+	got := dkNormalize("Sony DSC-120B camera 348.99")
+	if got != "Sony DSC120B camera 348" {
+		t.Errorf("dkNormalize = %q", got)
+	}
+}
+
+func TestBucket(t *testing.T) {
+	if bucket(0, 4) != "0" || bucket(0.99, 4) != "3" || bucket(1.2, 4) != "3" || bucket(-0.1, 4) != "0" {
+		t.Error("bucket boundaries wrong")
+	}
+}

@@ -1,0 +1,26 @@
+package prompt
+
+import (
+	"fmt"
+	"strings"
+
+	"llm4em/internal/entity"
+)
+
+// BatchInstruction is the task description of batched matching
+// prompts: several pairs are decided in one request, the
+// cost-reduction technique of Fan et al. discussed in the paper's
+// related work (Section 8).
+const BatchInstruction = "For each of the following pairs, decide whether the two entity descriptions refer to the same real-world entity. Answer with one line per pair in the format '<pair number>. Yes' or '<pair number>. No'."
+
+// BuildBatch renders a batched matching prompt for the given pairs.
+func BuildBatch(domain entity.Domain, pairs []entity.Pair) string {
+	var b strings.Builder
+	b.WriteString(BatchInstruction)
+	b.WriteString("\n")
+	for i, p := range pairs {
+		fmt.Fprintf(&b, "Pair %d:\n", i+1)
+		fmt.Fprintf(&b, "Entity 1: '%s'\nEntity 2: '%s'\n", p.A.Serialize(), p.B.Serialize())
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

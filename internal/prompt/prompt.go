@@ -1,0 +1,220 @@
+// Package prompt constructs the prompts of the paper from reusable
+// building blocks (Section 3): a task description (domain/general ×
+// simple/complex wording, plus the two designs of Narayan et al.), an
+// optional output-format instruction (free vs force), optional
+// in-context demonstrations (Section 4.1, Figure 2), optional textual
+// matching rules (Section 4.2, Figure 3), and the serialized entity
+// pair. It also renders the second-turn explanation prompts of
+// Section 6 and the error-analysis prompts of Section 7.
+package prompt
+
+import (
+	"fmt"
+	"strings"
+
+	"llm4em/internal/entity"
+)
+
+// Wording selects between the simple and complex formulation of the
+// matching question.
+type Wording string
+
+// Wordings of the task description.
+const (
+	Simple  Wording = "simple"
+	Complex Wording = "complex"
+)
+
+// Scope selects between domain-specific and general task phrasing.
+type Scope string
+
+// Scopes of the task description.
+const (
+	DomainScope  Scope = "domain"
+	GeneralScope Scope = "general"
+)
+
+// Format selects the output-format instruction.
+type Format string
+
+// Output formats: free places no restriction on the answer; force
+// instructs the model to answer exactly "Yes" or "No".
+const (
+	Free  Format = "free"
+	Force Format = "force"
+)
+
+// Design identifies one of the ten zero-shot prompt designs evaluated
+// in Tables 2 and 3.
+type Design struct {
+	// Name is the design identifier used in the paper's tables, e.g.
+	// "general-complex-free" or "Narayan-simple".
+	Name string
+	// Scope and Wording select the task description; they are unset
+	// for the Narayan designs.
+	Scope   Scope
+	Wording Wording
+	// Format is the output-format instruction.
+	Format Format
+	// Narayan marks the two designs adopted from Narayan et al.
+	Narayan bool
+}
+
+// Designs returns the ten prompt designs of the zero-shot study in
+// the paper's presentation order.
+func Designs() []Design {
+	return []Design{
+		{Name: "domain-complex-force", Scope: DomainScope, Wording: Complex, Format: Force},
+		{Name: "domain-complex-free", Scope: DomainScope, Wording: Complex, Format: Free},
+		{Name: "domain-simple-force", Scope: DomainScope, Wording: Simple, Format: Force},
+		{Name: "domain-simple-free", Scope: DomainScope, Wording: Simple, Format: Free},
+		{Name: "general-complex-force", Scope: GeneralScope, Wording: Complex, Format: Force},
+		{Name: "general-complex-free", Scope: GeneralScope, Wording: Complex, Format: Free},
+		{Name: "general-simple-force", Scope: GeneralScope, Wording: Simple, Format: Force},
+		{Name: "general-simple-free", Scope: GeneralScope, Wording: Simple, Format: Free},
+		{Name: "Narayan-complex", Format: Free, Narayan: true, Wording: Complex},
+		{Name: "Narayan-simple", Format: Free, Narayan: true, Wording: Simple},
+	}
+}
+
+// DesignByName returns the design with the given table name.
+func DesignByName(name string) (Design, error) {
+	for _, d := range Designs() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Design{}, fmt.Errorf("prompt: unknown design %q", name)
+}
+
+// TaskDescription renders the matching question of a design for a
+// topical domain.
+func (d Design) TaskDescription(domain entity.Domain) string {
+	if d.Narayan {
+		// The designs of Narayan et al. phrase the task as a product
+		// question with an inline answer slot.
+		if d.Wording == Complex {
+			return "Are Product A and Product B the same? Consider carefully whether the two entries refer to the same real-world entity, taking all attributes into account."
+		}
+		return "Are Product A and Product B the same?"
+	}
+	noun := "entity descriptions"
+	if d.Scope == DomainScope {
+		noun = domain.Noun()
+	}
+	if d.Wording == Simple {
+		return fmt.Sprintf("Do the two %s match?", noun)
+	}
+	thing := "entity"
+	switch {
+	case d.Scope == DomainScope && domain == entity.Product:
+		thing = "product"
+	case d.Scope == DomainScope && domain == entity.Publication:
+		thing = "publication"
+	}
+	return fmt.Sprintf("Do the two %s refer to the same real-world %s?", noun, thing)
+}
+
+// ForceInstruction is the output-format instruction of the force
+// format, quoted verbatim from the paper.
+const ForceInstruction = "Answer with 'Yes' if they do and 'No' if they do not."
+
+// EntityLabels returns the labels used to introduce the two
+// serialized descriptions for a design and domain ("Entity 1"/"Entity
+// 2", "Product 1"/..., or Narayan's "Product A"/"Product B").
+func (d Design) EntityLabels(domain entity.Domain) (a, b string) {
+	if d.Narayan {
+		return "Product A", "Product B"
+	}
+	switch {
+	case d.Scope == DomainScope && domain == entity.Product:
+		return "Product 1", "Product 2"
+	case d.Scope == DomainScope && domain == entity.Publication:
+		return "Publication 1", "Publication 2"
+	default:
+		return "Entity 1", "Entity 2"
+	}
+}
+
+// Spec bundles everything needed to build one matching prompt.
+type Spec struct {
+	Design Design
+	Domain entity.Domain
+	// Demonstrations are optional labelled pairs shown before the
+	// query (in-context learning, Section 4.1).
+	Demonstrations []entity.Pair
+	// Rules are optional textual matching rules (Section 4.2).
+	Rules []string
+}
+
+// Build renders the complete prompt for the given pair under the
+// spec. The layout follows Figures 1-3 of the paper: task description,
+// optional format instruction, optional rules, optional
+// demonstrations (each a pair plus its gold answer), then the query
+// pair.
+func (s Spec) Build(pair entity.Pair) string {
+	var b strings.Builder
+	task := s.Design.TaskDescription(s.Domain)
+	b.WriteString(task)
+	if s.Design.Format == Force {
+		b.WriteByte(' ')
+		b.WriteString(ForceInstruction)
+	}
+	b.WriteString("\n")
+
+	if len(s.Rules) > 0 {
+		b.WriteString("Apply the following rules when making your decision:\n")
+		for i, r := range s.Rules {
+			fmt.Fprintf(&b, "%d. %s\n", i+1, r)
+		}
+	}
+
+	la, lb := s.Design.EntityLabels(s.Domain)
+	for _, demo := range s.Demonstrations {
+		fmt.Fprintf(&b, "%s: '%s'\n%s: '%s'\n", la, demo.A.Serialize(), lb, demo.B.Serialize())
+		if demo.Match {
+			b.WriteString("Answer: Yes\n")
+		} else {
+			b.WriteString("Answer: No\n")
+		}
+	}
+
+	fmt.Fprintf(&b, "%s: '%s'\n%s: '%s'", la, pair.A.Serialize(), lb, pair.B.Serialize())
+	if len(s.Demonstrations) > 0 {
+		b.WriteString("\nAnswer:")
+	}
+	return b.String()
+}
+
+// ExplanationRequest is the second-turn prompt of Section 6.1 asking
+// for a structured explanation of the preceding matching decision.
+const ExplanationRequest = "Explain your decision. Structure the explanation as a list of the attributes that you used for your decision. List one attribute per line in the format attribute | importance | similarity, where importance is a value between -1 and 1 whose sign indicates whether the attribute comparison contributed to a non-match or match decision, and similarity is a value between 0 and 1 describing how similar the two attribute values are."
+
+// ErrorClassRequest renders the Section 7.1 prompt asking the model
+// to synthesise error classes from wrong decisions and their
+// structured explanations. kind is "false positive" or "false
+// negative"; cases holds one rendered block per wrong decision.
+func ErrorClassRequest(kind string, domain entity.Domain, cases []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "You are analyzing the errors of an entity matching system for %s.\n", domain.Noun())
+	fmt.Fprintf(&b, "Below are %s cases: entity pairs for which the system made a wrong decision, together with a structured explanation of each decision.\n", kind)
+	fmt.Fprintf(&b, "Derive a list of 5 error classes that describe common causes of these %s errors. For each class, give a short name and a one-sentence description.\n\n", kind)
+	for i, c := range cases {
+		fmt.Fprintf(&b, "Case %d:\n%s\n", i+1, c)
+	}
+	return b.String()
+}
+
+// ErrorAssignRequest renders the Section 7.2 prompt asking the model
+// to assign one wrong decision to the given error classes.
+func ErrorAssignRequest(classes []string, renderedCase string) string {
+	var b strings.Builder
+	b.WriteString("Given the following error classes for an entity matching system:\n")
+	for i, c := range classes {
+		fmt.Fprintf(&b, "%d. %s\n", i+1, c)
+	}
+	b.WriteString("Decide for the following wrongly matched pair which of the error classes apply. List all applicable class numbers with a confidence value between 0 and 1 for each.\n\n")
+	b.WriteString("Case 1:\n")
+	b.WriteString(renderedCase)
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+
+	"llm4em/internal/entity"
+)
+
+func samplePair() entity.Pair {
+	return entity.Pair{
+		ID: "p1",
+		A:  entity.Record{ID: "a", Attrs: []entity.Attr{{Name: "title", Value: "DYMO D1 Tape 12mm x 7m"}}},
+		B:  entity.Record{ID: "b", Attrs: []entity.Attr{{Name: "title", Value: "DYMO D1 label tape 12mm"}}},
+	}
+}
+
+func TestDesignsCoverPaperTable(t *testing.T) {
+	want := []string{
+		"domain-complex-force", "domain-complex-free",
+		"domain-simple-force", "domain-simple-free",
+		"general-complex-force", "general-complex-free",
+		"general-simple-force", "general-simple-free",
+		"Narayan-complex", "Narayan-simple",
+	}
+	ds := Designs()
+	if len(ds) != len(want) {
+		t.Fatalf("got %d designs, want %d", len(ds), len(want))
+	}
+	for i, name := range want {
+		if ds[i].Name != name {
+			t.Errorf("design %d = %q, want %q", i, ds[i].Name, name)
+		}
+	}
+}
+
+func TestDesignByName(t *testing.T) {
+	d, err := DesignByName("general-complex-free")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Scope != GeneralScope || d.Wording != Complex || d.Format != Free {
+		t.Errorf("unexpected design %+v", d)
+	}
+	if _, err := DesignByName("bogus"); err == nil {
+		t.Error("unknown design should error")
+	}
+}
+
+func TestTaskDescriptionsMatchPaperWording(t *testing.T) {
+	tests := []struct {
+		design string
+		domain entity.Domain
+		want   string
+	}{
+		{"domain-simple-force", entity.Product, "Do the two product descriptions match?"},
+		{"domain-simple-force", entity.Publication, "Do the two publications match?"},
+		{"domain-complex-free", entity.Product, "Do the two product descriptions refer to the same real-world product?"},
+		{"domain-complex-free", entity.Publication, "Do the two publications refer to the same real-world publication?"},
+		{"general-simple-free", entity.Product, "Do the two entity descriptions match?"},
+		{"general-complex-force", entity.Publication, "Do the two entity descriptions refer to the same real-world entity?"},
+	}
+	for _, tt := range tests {
+		d, err := DesignByName(tt.design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.TaskDescription(tt.domain); got != tt.want {
+			t.Errorf("%s/%s: %q, want %q", tt.design, tt.domain, got, tt.want)
+		}
+	}
+}
+
+func TestForcePromptContainsInstruction(t *testing.T) {
+	d, _ := DesignByName("general-complex-force")
+	s := Spec{Design: d, Domain: entity.Product}
+	p := s.Build(samplePair())
+	if !strings.Contains(p, ForceInstruction) {
+		t.Error("force prompt must contain the Yes/No instruction")
+	}
+	dFree, _ := DesignByName("general-complex-free")
+	pf := Spec{Design: dFree, Domain: entity.Product}.Build(samplePair())
+	if strings.Contains(pf, ForceInstruction) {
+		t.Error("free prompt must not contain the Yes/No instruction")
+	}
+}
+
+func TestPromptContainsBothSerializations(t *testing.T) {
+	for _, d := range Designs() {
+		p := Spec{Design: d, Domain: entity.Product}.Build(samplePair())
+		if !strings.Contains(p, "DYMO D1 Tape 12mm x 7m") || !strings.Contains(p, "DYMO D1 label tape 12mm") {
+			t.Errorf("%s: prompt misses a serialization:\n%s", d.Name, p)
+		}
+	}
+}
+
+func TestEntityLabels(t *testing.T) {
+	dGeneral, _ := DesignByName("general-simple-free")
+	a, b := dGeneral.EntityLabels(entity.Product)
+	if a != "Entity 1" || b != "Entity 2" {
+		t.Errorf("general labels = %q, %q", a, b)
+	}
+	dDomain, _ := DesignByName("domain-simple-free")
+	a, b = dDomain.EntityLabels(entity.Product)
+	if a != "Product 1" || b != "Product 2" {
+		t.Errorf("product labels = %q, %q", a, b)
+	}
+	a, b = dDomain.EntityLabels(entity.Publication)
+	if a != "Publication 1" || b != "Publication 2" {
+		t.Errorf("publication labels = %q, %q", a, b)
+	}
+	dN, _ := DesignByName("Narayan-simple")
+	a, b = dN.EntityLabels(entity.Product)
+	if a != "Product A" || b != "Product B" {
+		t.Errorf("Narayan labels = %q, %q", a, b)
+	}
+}
+
+func TestDemonstrationsRendered(t *testing.T) {
+	demoPos := entity.Pair{
+		A: entity.Record{Attrs: []entity.Attr{{Name: "title", Value: "alpha one"}}},
+		B: entity.Record{Attrs: []entity.Attr{{Name: "title", Value: "alpha 1"}}}, Match: true,
+	}
+	demoNeg := entity.Pair{
+		A: entity.Record{Attrs: []entity.Attr{{Name: "title", Value: "beta two"}}},
+		B: entity.Record{Attrs: []entity.Attr{{Name: "title", Value: "gamma three"}}}, Match: false,
+	}
+	d, _ := DesignByName("general-complex-force")
+	p := Spec{Design: d, Domain: entity.Product, Demonstrations: []entity.Pair{demoPos, demoNeg}}.Build(samplePair())
+	if !strings.Contains(p, "alpha one") || !strings.Contains(p, "Answer: Yes") {
+		t.Error("positive demonstration not rendered")
+	}
+	if !strings.Contains(p, "gamma three") || !strings.Contains(p, "Answer: No") {
+		t.Error("negative demonstration not rendered")
+	}
+	if !strings.HasSuffix(p, "Answer:") {
+		t.Error("few-shot prompt should end with an answer slot")
+	}
+	// Demonstrations must precede the query pair (Figure 2).
+	if strings.Index(p, "alpha one") > strings.Index(p, "DYMO D1 Tape") {
+		t.Error("demonstrations must come before the query")
+	}
+}
+
+func TestRulesRendered(t *testing.T) {
+	d, _ := DesignByName("domain-complex-force")
+	rules := []string{"The brands must match.", "Model numbers must be identical."}
+	p := Spec{Design: d, Domain: entity.Product, Rules: rules}.Build(samplePair())
+	for _, r := range rules {
+		if !strings.Contains(p, r) {
+			t.Errorf("rule %q not rendered", r)
+		}
+	}
+	if !strings.Contains(p, "1. The brands must match.") {
+		t.Error("rules should be numbered")
+	}
+}
+
+func TestZeroShotPromptHasNoAnswerSlot(t *testing.T) {
+	d, _ := DesignByName("general-complex-free")
+	p := Spec{Design: d, Domain: entity.Product}.Build(samplePair())
+	if strings.Contains(p, "Answer:") {
+		t.Error("zero-shot prompt should not contain an answer slot")
+	}
+}
+
+func TestErrorClassRequest(t *testing.T) {
+	p := ErrorClassRequest("false positive", entity.Publication, []string{"case one", "case two"})
+	for _, want := range []string{"false positive", "publications", "5 error classes", "Case 1:", "case two"} {
+		if !strings.Contains(p, want) {
+			t.Errorf("ErrorClassRequest misses %q", want)
+		}
+	}
+}
+
+func TestErrorAssignRequest(t *testing.T) {
+	p := ErrorAssignRequest([]string{"Year Discrepancy: years differ", "Venue Variability: venue forms differ"}, "the case")
+	for _, want := range []string{"1. Year Discrepancy", "2. Venue Variability", "confidence", "the case"} {
+		if !strings.Contains(p, want) {
+			t.Errorf("ErrorAssignRequest misses %q", want)
+		}
+	}
+}
+
+func TestExplanationRequestMentionsStructure(t *testing.T) {
+	for _, want := range []string{"attribute | importance | similarity", "-1 and 1", "0 and 1"} {
+		if !strings.Contains(ExplanationRequest, want) {
+			t.Errorf("ExplanationRequest misses %q", want)
+		}
+	}
+}

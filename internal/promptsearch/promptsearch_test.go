@@ -1,0 +1,71 @@
+package promptsearch
+
+import (
+	"strings"
+	"testing"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/llm"
+)
+
+func TestSearchImprovesWeakModel(t *testing.T) {
+	ds := datasets.MustLoad("wdc")
+	client := llm.MustNew(llm.Mixtral)
+	opts := Options{Generations: 3, Population: 6, ValidationPairs: 150, Seed: "test"}
+	pop, err := Search(client, ds.Schema.Domain, ds.Val, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop) != 6 {
+		t.Fatalf("population size %d, want 6", len(pop))
+	}
+	best, worst := pop[0], pop[len(pop)-1]
+	if best.F1 < worst.F1 {
+		t.Errorf("population not sorted: best %.2f < worst %.2f", best.F1, worst.F1)
+	}
+	if best.F1 <= 0 {
+		t.Errorf("best candidate F1 = %.2f", best.F1)
+	}
+	t.Logf("best evolved prompt (F1 %.2f): %q force=%v", best.F1, best.Task, best.Force)
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	ds := datasets.MustLoad("wdc")
+	client := llm.MustNew(llm.Mixtral)
+	opts := Options{Generations: 2, Population: 4, ValidationPairs: 80, Seed: "det"}
+	a, err := Search(client, ds.Schema.Domain, ds.Val, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(client, ds.Schema.Domain, ds.Val, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Task != b[i].Task || a[i].F1 != b[i].F1 {
+			t.Fatalf("search not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCandidateRender(t *testing.T) {
+	ds := datasets.MustLoad("wdc")
+	c := Candidate{Task: "Do the two records match?", Force: true}
+	p := c.Render(ds.Schema.Domain, ds.Test[0])
+	if !strings.Contains(p, "Do the two records match?") ||
+		!strings.Contains(p, "Answer with 'Yes'") ||
+		!strings.Contains(p, "Entity 1: '") {
+		t.Errorf("rendered candidate prompt:\n%s", p)
+	}
+	c.Force = false
+	if strings.Contains(c.Render(ds.Schema.Domain, ds.Test[0]), "Answer with 'Yes'") {
+		t.Error("non-force candidate should not carry the instruction")
+	}
+}
+
+func TestSearchEmptyValidation(t *testing.T) {
+	client := llm.MustNew(llm.GPT4)
+	if _, err := Search(client, 0, nil, DefaultOptions()); err == nil {
+		t.Fatal("empty validation should error")
+	}
+}

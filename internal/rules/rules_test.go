@@ -1,0 +1,92 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+	"llm4em/internal/icl"
+	"llm4em/internal/llm"
+)
+
+func TestHandwrittenRuleSets(t *testing.T) {
+	prod := Handwritten(entity.Product)
+	if len(prod) < 4 {
+		t.Fatalf("product rules too few: %d", len(prod))
+	}
+	joined := strings.ToLower(strings.Join(prod, " "))
+	for _, want := range []string{"brand", "model", "price"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("product rules missing %q", want)
+		}
+	}
+	pub := Handwritten(entity.Publication)
+	joined = strings.ToLower(strings.Join(pub, " "))
+	for _, want := range []string{"title", "author", "year", "venue"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("publication rules missing %q", want)
+		}
+	}
+}
+
+func TestParseNumbered(t *testing.T) {
+	reply := "Here are the rules:\n1. First rule.\n2. Second rule.\nnot a rule\n10. Tenth rule."
+	got := ParseNumbered(reply)
+	if len(got) != 3 || got[0] != "First rule." || got[2] != "Tenth rule." {
+		t.Errorf("ParseNumbered = %v", got)
+	}
+	if got := ParseNumbered("no rules here"); got != nil {
+		t.Errorf("expected nil, got %v", got)
+	}
+}
+
+func TestLearnFromHandpicked(t *testing.T) {
+	ds := datasets.MustLoad("wdc")
+	examples := icl.CurateHandpicked(ds.Train, 10)
+	client := llm.MustNew(llm.GPT4)
+	learned, err := Learn(client, entity.Product, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(learned) < 2 {
+		t.Fatalf("learned only %d rules: %v", len(learned), learned)
+	}
+	joined := strings.ToLower(strings.Join(learned, " "))
+	if !strings.Contains(joined, "model") && !strings.Contains(joined, "identifier") {
+		t.Errorf("learned product rules should mention identifiers: %v", learned)
+	}
+	// Determinism.
+	learned2, err := Learn(client, entity.Product, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(learned) != len(learned2) {
+		t.Error("rule learning not deterministic")
+	}
+}
+
+func TestLearnPublicationRules(t *testing.T) {
+	ds := datasets.MustLoad("ds")
+	examples := icl.CurateHandpicked(ds.Train, 10)
+	learned, err := Learn(llm.MustNew(llm.GPT4), entity.Publication, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.ToLower(strings.Join(learned, " "))
+	if !strings.Contains(joined, "author") && !strings.Contains(joined, "year") && !strings.Contains(joined, "venue") {
+		t.Errorf("learned publication rules lack bibliographic attributes: %v", learned)
+	}
+}
+
+func TestBuildLearnPromptFormat(t *testing.T) {
+	ds := datasets.MustLoad("wdc")
+	examples := icl.CurateHandpicked(ds.Train, 4)
+	p := BuildLearnPrompt(entity.Product, examples)
+	if !strings.HasPrefix(p, LearnRequestPrefix) {
+		t.Error("learn prompt must start with the recognized prefix")
+	}
+	if strings.Count(p, "Answer:") != 4 {
+		t.Errorf("learn prompt should contain 4 labelled examples:\n%s", p)
+	}
+}

@@ -1,0 +1,176 @@
+package textsim
+
+import (
+	"math"
+
+	"llm4em/internal/tokenize"
+)
+
+// Corpus accumulates document frequencies so that TF-IDF-weighted
+// measures can be computed over a record collection — the
+// corpus-aware half of the py_stringmatching measure family the paper
+// builds on for demonstration selection.
+type Corpus struct {
+	docs int
+	df   map[string]int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{df: map[string]int{}}
+}
+
+// Add registers one document's token set.
+func (c *Corpus) Add(tokens []string) {
+	c.docs++
+	seen := map[string]bool{}
+	for _, t := range tokens {
+		if !seen[t] {
+			c.df[t]++
+			seen[t] = true
+		}
+	}
+}
+
+// AddText tokenizes s and registers it.
+func (c *Corpus) AddText(s string) {
+	c.Add(tokenize.Words(s))
+}
+
+// Docs returns the number of registered documents.
+func (c *Corpus) Docs() int { return c.docs }
+
+// IDF returns the smoothed inverse document frequency of a token:
+// ln(1 + N/df). Unseen tokens receive the maximum weight ln(1 + N).
+func (c *Corpus) IDF(token string) float64 {
+	if c.docs == 0 {
+		return 0
+	}
+	df := c.df[token]
+	if df == 0 {
+		return math.Log(1 + float64(c.docs))
+	}
+	return math.Log(1 + float64(c.docs)/float64(df))
+}
+
+// TFIDFCosine returns the cosine similarity of the TF-IDF vectors of
+// the two token lists under the corpus weighting.
+func (c *Corpus) TFIDFCosine(a, b []string) float64 {
+	ca, cb := tokenize.Counts(a), tokenize.Counts(b)
+	if len(ca) == 0 && len(cb) == 0 {
+		return 1
+	}
+	var dot, na, nb float64
+	for t, x := range ca {
+		w := c.IDF(t)
+		xa := float64(x) * w
+		na += xa * xa
+		if y, ok := cb[t]; ok {
+			dot += xa * float64(y) * w
+		}
+	}
+	for t, y := range cb {
+		w := c.IDF(t)
+		yb := float64(y) * w
+		nb += yb * yb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// SoftTFIDF returns the Soft TF-IDF similarity of the two token
+// lists: TF-IDF cosine over fuzzy token correspondences, where tokens
+// count as corresponding when their secondary similarity reaches the
+// threshold (0.9 with Jaro-Winkler is the classic configuration).
+func (c *Corpus) SoftTFIDF(a, b []string, sim func(x, y string) float64, threshold float64) float64 {
+	ca, cb := tokenize.Counts(a), tokenize.Counts(b)
+	if len(ca) == 0 && len(cb) == 0 {
+		return 1
+	}
+	var na, nb float64
+	for t, x := range ca {
+		w := c.IDF(t) * float64(x)
+		na += w * w
+	}
+	for t, y := range cb {
+		w := c.IDF(t) * float64(y)
+		nb += w * w
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	dot := 0.0
+	for ta, x := range ca {
+		bestSim, bestTok := 0.0, ""
+		for tb := range cb {
+			if s := sim(ta, tb); s >= threshold && s > bestSim {
+				bestSim, bestTok = s, tb
+			}
+		}
+		if bestTok == "" {
+			continue
+		}
+		dot += bestSim * c.IDF(ta) * float64(x) * c.IDF(bestTok) * float64(cb[bestTok])
+	}
+	score := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	if score > 1 {
+		score = 1
+	}
+	return score
+}
+
+// SmithWaterman returns the Smith-Waterman local-alignment score of
+// the two strings with unit match reward, 0.5 mismatch penalty and
+// 0.5 gap penalty, normalized by the shorter string's length to
+// [0, 1]. It rewards long shared substrings, which suits matching
+// identifiers embedded in longer titles.
+func SmithWaterman(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 || len(rb) == 0 {
+		if len(ra) == len(rb) {
+			return 1
+		}
+		return 0
+	}
+	const (
+		match    = 1.0
+		mismatch = -0.5
+		gap      = -0.5
+	)
+	prev := make([]float64, len(rb)+1)
+	cur := make([]float64, len(rb)+1)
+	best := 0.0
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			sub := mismatch
+			if ra[i-1] == rb[j-1] {
+				sub = match
+			}
+			v := prev[j-1] + sub
+			if d := prev[j] + gap; d > v {
+				v = d
+			}
+			if d := cur[j-1] + gap; d > v {
+				v = d
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	shorter := len(ra)
+	if len(rb) < shorter {
+		shorter = len(rb)
+	}
+	return best / float64(shorter)
+}

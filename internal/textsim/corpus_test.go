@@ -1,0 +1,136 @@
+package textsim
+
+import (
+	"math"
+	"testing"
+
+	"llm4em/internal/tokenize"
+)
+
+func buildCorpus() *Corpus {
+	c := NewCorpus()
+	docs := []string{
+		"sony cybershot digital camera black",
+		"sony walkman player silver",
+		"makita cordless drill kit",
+		"dewalt cordless drill driver",
+		"canon powershot digital camera",
+		"generic usb cable black",
+	}
+	for _, d := range docs {
+		c.AddText(d)
+	}
+	return c
+}
+
+func TestCorpusIDFOrdering(t *testing.T) {
+	c := buildCorpus()
+	if c.Docs() != 6 {
+		t.Fatalf("Docs = %d", c.Docs())
+	}
+	// "cybershot" (df 1) must outweigh "sony" (df 2) must outweigh an
+	// unseen token's baseline... unseen gets the max weight.
+	rare := c.IDF("cybershot")
+	common := c.IDF("sony")
+	unseen := c.IDF("zzz-unseen")
+	if !(rare > common) {
+		t.Errorf("IDF ordering: cybershot %v <= sony %v", rare, common)
+	}
+	if !(unseen >= rare) {
+		t.Errorf("unseen IDF %v should be >= rarest %v", unseen, rare)
+	}
+	if NewCorpus().IDF("x") != 0 {
+		t.Error("empty corpus IDF should be 0")
+	}
+}
+
+func TestTFIDFCosineDiscriminates(t *testing.T) {
+	c := buildCorpus()
+	q := tokenize.Words("sony cybershot camera")
+	near := tokenize.Words("sony cybershot digital camera black")
+	far := tokenize.Words("makita cordless drill")
+	sNear := c.TFIDFCosine(q, near)
+	sFar := c.TFIDFCosine(q, far)
+	if sNear <= sFar {
+		t.Errorf("TFIDFCosine: near %v <= far %v", sNear, sFar)
+	}
+	if got := c.TFIDFCosine(q, q); math.Abs(got-1) > 1e-9 {
+		t.Errorf("self similarity = %v", got)
+	}
+	if got := c.TFIDFCosine(nil, nil); got != 1 {
+		t.Errorf("empty-empty = %v", got)
+	}
+	if got := c.TFIDFCosine(q, nil); got != 0 {
+		t.Errorf("empty-other = %v", got)
+	}
+}
+
+func TestTFIDFWeightsRareTokensHigher(t *testing.T) {
+	c := buildCorpus()
+	q := tokenize.Words("cybershot drill")
+	// Sharing the rare token should beat sharing the more common one
+	// at equal overlap counts.
+	viaRare := c.TFIDFCosine(q, tokenize.Words("cybershot unrelatedword"))
+	viaCommon := c.TFIDFCosine(q, tokenize.Words("drill unrelatedword"))
+	if viaRare <= viaCommon {
+		t.Errorf("rare-token overlap %v should beat common-token overlap %v", viaRare, viaCommon)
+	}
+}
+
+func TestSoftTFIDFFuzzyCorrespondence(t *testing.T) {
+	c := buildCorpus()
+	a := tokenize.Words("sony cybershot camera")
+	b := tokenize.Words("sony cybershott camera") // typo variant
+	hard := c.TFIDFCosine(a, b)
+	soft := c.SoftTFIDF(a, b, JaroWinkler, 0.9)
+	if soft <= hard {
+		t.Errorf("SoftTFIDF %v should exceed hard TF-IDF %v on a typo variant", soft, hard)
+	}
+	if soft > 1 {
+		t.Errorf("SoftTFIDF %v above 1", soft)
+	}
+	if got := c.SoftTFIDF(nil, nil, JaroWinkler, 0.9); got != 1 {
+		t.Errorf("empty SoftTFIDF = %v", got)
+	}
+	if got := c.SoftTFIDF(a, nil, JaroWinkler, 0.9); got != 0 {
+		t.Errorf("one-sided SoftTFIDF = %v", got)
+	}
+}
+
+func TestSmithWaterman(t *testing.T) {
+	// Perfect containment of the shorter string scores 1.
+	if got := SmithWaterman("dsc120b", "sony dsc120b camera"); math.Abs(got-1) > 1e-9 {
+		t.Errorf("containment = %v, want 1", got)
+	}
+	if got := SmithWaterman("", ""); got != 1 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := SmithWaterman("a", ""); got != 0 {
+		t.Errorf("half-empty = %v", got)
+	}
+	// Disjoint strings score near 0.
+	if got := SmithWaterman("abc", "xyz"); got > 0.2 {
+		t.Errorf("disjoint = %v", got)
+	}
+	// Local alignment beats global edit similarity when a shared
+	// identifier is embedded in different contexts.
+	sw := SmithWaterman("brand new dsc120b offer", "dsc120b")
+	lev := LevenshteinSim("brand new dsc120b offer", "dsc120b")
+	if sw <= lev {
+		t.Errorf("SmithWaterman %v should exceed LevenshteinSim %v for embedded identifiers", sw, lev)
+	}
+}
+
+func TestSmithWatermanBounded(t *testing.T) {
+	cases := [][2]string{
+		{"hello world", "world hello"},
+		{"aaaa", "aaaa"},
+		{"abcdef", "abcfed"},
+	}
+	for _, c := range cases {
+		got := SmithWaterman(c[0], c[1])
+		if got < 0 || got > 1 {
+			t.Errorf("SmithWaterman(%q,%q) = %v out of range", c[0], c[1], got)
+		}
+	}
+}

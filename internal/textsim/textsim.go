@@ -1,0 +1,374 @@
+// Package textsim implements the string-similarity measures used
+// throughout the paper: token-set Jaccard, the Generalized Jaccard
+// measure used for "related" demonstration selection (Section 4.1),
+// Cosine similarity over token vectors (Section 6.1), character-level
+// edit measures (Levenshtein, Jaro, Jaro-Winkler), the Monge-Elkan
+// hybrid, numeric-attribute similarity, and the Pearson correlation
+// used to validate model-generated similarity scores.
+package textsim
+
+import (
+	"math"
+	"strings"
+
+	"llm4em/internal/tokenize"
+)
+
+// Jaccard returns |A∩B| / |A∪B| over the token sets of a and b. Two
+// empty token sets are defined to have similarity 1.
+func Jaccard(a, b []string) float64 {
+	sa, sb := tokenize.Set(a), tokenize.Set(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// JaccardStrings tokenizes both strings with tokenize.Words and
+// returns their Jaccard similarity.
+func JaccardStrings(a, b string) float64 {
+	return Jaccard(tokenize.Words(a), tokenize.Words(b))
+}
+
+// Overlap returns the overlap coefficient |A∩B| / min(|A|, |B|).
+func Overlap(a, b []string) float64 {
+	sa, sb := tokenize.Set(a), tokenize.Set(b)
+	if len(sa) == 0 || len(sb) == 0 {
+		if len(sa) == len(sb) {
+			return 1
+		}
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(min(len(sa), len(sb)))
+}
+
+// Containment returns |A∩B| / |A|: the fraction of a's tokens present
+// in b. It is asymmetric.
+func Containment(a, b []string) float64 {
+	sa, sb := tokenize.Set(a), tokenize.Set(b)
+	if len(sa) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(sa))
+}
+
+// GeneralizedJaccard computes the Generalized Jaccard similarity of
+// the two token lists using sim as the secondary token-level measure
+// and threshold as the minimum secondary similarity for two tokens to
+// be considered a fuzzy match (py_stringmatching uses 0.5 with Jaro,
+// which is what the paper's demonstration selection relies on).
+//
+// The measure greedily pairs tokens across the lists in decreasing
+// secondary-similarity order; the score is the sum of matched
+// similarities divided by |A| + |B| − #matched.
+func GeneralizedJaccard(a, b []string, sim func(x, y string) float64, threshold float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	type cand struct {
+		i, j int
+		s    float64
+	}
+	var cands []cand
+	for i, x := range a {
+		for j, y := range b {
+			s := sim(x, y)
+			if s >= threshold {
+				cands = append(cands, cand{i, j, s})
+			}
+		}
+	}
+	// Greedy matching in decreasing similarity order (stable
+	// insertion sort keeps determinism for equal scores).
+	for k := 1; k < len(cands); k++ {
+		c := cands[k]
+		l := k - 1
+		for l >= 0 && cands[l].s < c.s {
+			cands[l+1] = cands[l]
+			l--
+		}
+		cands[l+1] = c
+	}
+	usedA := make([]bool, len(a))
+	usedB := make([]bool, len(b))
+	sum := 0.0
+	matched := 0
+	for _, c := range cands {
+		if usedA[c.i] || usedB[c.j] {
+			continue
+		}
+		usedA[c.i] = true
+		usedB[c.j] = true
+		sum += c.s
+		matched++
+	}
+	return sum / float64(len(a)+len(b)-matched)
+}
+
+// GeneralizedJaccardStrings applies GeneralizedJaccard with the Jaro
+// secondary measure and threshold 0.5 to the word tokens of a and b,
+// matching the py_stringmatching configuration referenced in the
+// paper.
+func GeneralizedJaccardStrings(a, b string) float64 {
+	return GeneralizedJaccard(tokenize.Words(a), tokenize.Words(b), Jaro, 0.5)
+}
+
+// Cosine returns the cosine similarity of the token-frequency vectors
+// of a and b.
+func Cosine(a, b []string) float64 {
+	ca, cb := tokenize.Counts(a), tokenize.Counts(b)
+	if len(ca) == 0 && len(cb) == 0 {
+		return 1
+	}
+	var dot, na, nb float64
+	for t, x := range ca {
+		na += float64(x) * float64(x)
+		if y, ok := cb[t]; ok {
+			dot += float64(x) * float64(y)
+		}
+	}
+	for _, y := range cb {
+		nb += float64(y) * float64(y)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// CosineStrings tokenizes both strings and returns their cosine
+// similarity.
+func CosineStrings(a, b string) float64 {
+	return Cosine(tokenize.Words(a), tokenize.Words(b))
+}
+
+// Levenshtein returns the edit distance between a and b (unit costs).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSim returns 1 − dist/maxLen, a normalized similarity in
+// [0, 1]. Two empty strings have similarity 1.
+func LevenshteinSim(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	d := Levenshtein(a, b)
+	return 1 - float64(d)/float64(max(la, lb))
+}
+
+// Jaro returns the Jaro similarity of a and b.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max(0, i-window)
+		hi := min(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions between matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard
+// prefix scale of 0.1 and a maximum prefix length of 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	for i := 0; i < min(len(a), min(len(b), 4)); i++ {
+		if a[i] != b[i] {
+			break
+		}
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// MongeElkan returns the Monge-Elkan similarity: for each token of a,
+// the best secondary similarity against tokens of b, averaged over a.
+// It is asymmetric; callers wanting symmetry should average both
+// directions.
+func MongeElkan(a, b []string, sim func(x, y string) float64) float64 {
+	if len(a) == 0 {
+		if len(b) == 0 {
+			return 1
+		}
+		return 0
+	}
+	if len(b) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range a {
+		best := 0.0
+		for _, y := range b {
+			if s := sim(x, y); s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / float64(len(a))
+}
+
+// MongeElkanSym returns the symmetric mean of both Monge-Elkan
+// directions.
+func MongeElkanSym(a, b []string, sim func(x, y string) float64) float64 {
+	return (MongeElkan(a, b, sim) + MongeElkan(b, a, sim)) / 2
+}
+
+// NumericSim compares two non-negative numbers: 1 when equal,
+// decaying linearly with the relative difference, floored at 0. Two
+// zeros are identical.
+func NumericSim(a, b float64) float64 {
+	if a == b {
+		return 1
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 1
+	}
+	d := math.Abs(a-b) / m
+	if d > 1 {
+		d = 1
+	}
+	return 1 - d
+}
+
+// Pearson returns the Pearson correlation coefficient of xs and ys.
+// It returns 0 when fewer than two points are given or either series
+// has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	n := min(len(xs), len(ys))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// PrefixSim reports how much of the shorter string is a prefix of the
+// longer one, in [0, 1]. Useful for venue-abbreviation comparison.
+func PrefixSim(a, b string) float64 {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		if len(b) == 0 {
+			return 1
+		}
+		return 0
+	}
+	n := 0
+	for i := 0; i < len(a); i++ {
+		if a[i] != b[i] {
+			break
+		}
+		n++
+	}
+	return float64(n) / float64(len(a))
+}

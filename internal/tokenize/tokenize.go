@@ -1,0 +1,195 @@
+// Package tokenize provides the tokenization primitives used across
+// the system: lower-cased word tokenization for string-similarity
+// computation, character n-grams for the PLM feature extractors, and
+// an API-style subword token estimator for the cost analysis of
+// Section 5.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Words splits s into lower-cased word tokens. A token is a maximal
+// run of letters and digits; all other characters act as separators.
+// Alphanumeric model numbers such as "X500-B" therefore become
+// "x500" and "b", while "X500B" stays one token.
+func Words(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// WordsKeepAlnum splits s into lower-cased tokens, keeping characters
+// of mixed alphanumeric tokens together even across '-' and '/' so
+// that model numbers like "wd-5000aaks" survive as single tokens.
+func WordsKeepAlnum(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case (r == '-' || r == '/' || r == '.') && b.Len() > 0:
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	// Trim trailing joiners left by values such as "model-".
+	for i, t := range tokens {
+		tokens[i] = strings.Trim(t, "-/.")
+	}
+	out := tokens[:0]
+	for _, t := range tokens {
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Set returns the set of tokens in s as a map.
+func Set(tokens []string) map[string]bool {
+	m := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		m[t] = true
+	}
+	return m
+}
+
+// Counts returns token frequencies.
+func Counts(tokens []string) map[string]int {
+	m := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		m[t]++
+	}
+	return m
+}
+
+// CharNGrams returns the character n-grams of s (lower-cased, with
+// word-boundary padding using '#'), used by the PLM feature hasher.
+// It returns nil if n <= 0.
+func CharNGrams(s string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	padded := "#" + strings.ToLower(s) + "#"
+	runes := []rune(padded)
+	if len(runes) < n {
+		return []string{string(runes)}
+	}
+	grams := make([]string, 0, len(runes)-n+1)
+	for i := 0; i+n <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+n]))
+	}
+	return grams
+}
+
+// HasDigit reports whether the token contains at least one digit.
+func HasDigit(s string) bool {
+	for _, r := range s {
+		if unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasLetter reports whether the token contains at least one letter.
+func HasLetter(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsNumeric reports whether the token consists only of digits,
+// optionally with a single decimal point.
+func IsNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dots := 0
+	for _, r := range s {
+		switch {
+		case unicode.IsDigit(r):
+		case r == '.':
+			dots++
+			if dots > 1 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != "."
+}
+
+// EstimateTokens estimates the number of API billing tokens of s,
+// approximating the byte-pair encodings used by hosted LLMs. Common
+// short English words map to one token; longer words are split into
+// roughly 4-character pieces; whitespace attaches to the following
+// word as in GPT tokenizers; punctuation counts separately. The
+// estimator only needs to be consistent and roughly proportional to
+// real tokenizers for the relative cost analysis of Table 8.
+func EstimateTokens(s string) int {
+	if s == "" {
+		return 0
+	}
+	n := 0
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return unicode.IsSpace(r)
+	})
+	for _, f := range fields {
+		// Split punctuation off the word edges; each punctuation run
+		// costs one token.
+		word := f
+		for word != "" {
+			r := rune(word[0])
+			if unicode.IsLetter(r) || unicode.IsDigit(r) {
+				break
+			}
+			n++
+			word = word[1:]
+		}
+		trailing := 0
+		for word != "" {
+			r := rune(word[len(word)-1])
+			if unicode.IsLetter(r) || unicode.IsDigit(r) {
+				break
+			}
+			trailing++
+			word = word[:len(word)-1]
+		}
+		if word != "" {
+			// ~4 characters per subword piece.
+			n += (len(word) + 3) / 4
+		}
+		n += trailing
+	}
+	return n
+}

@@ -1,0 +1,181 @@
+// Package llm4em is the public facade of the llm4em library: a Go
+// implementation of "Entity Matching using Large Language Models"
+// (Peeters, Steiner, Bizer — EDBT 2025).
+//
+// The library matches pairs of entity descriptions with (simulated)
+// large language models. The central workflow is:
+//
+//	model := llm4em.NewModel(llm4em.GPT4)
+//	design, _ := llm4em.DesignByName("general-complex-force")
+//	matcher := llm4em.Matcher{Client: model, Design: design, Domain: llm4em.Product}
+//	decision, err := matcher.MatchPair(pair)
+//
+// Training data can be plugged in as in-context demonstrations
+// (llm4em.NewRelatedSelector, …), textual matching rules
+// (llm4em.HandwrittenRules, llm4em.LearnRules) or fine-tuning
+// (llm4em.FineTune). The six synthetic benchmark datasets of the
+// paper are available through llm4em.LoadDataset, and the experiment
+// harness regenerating the paper's tables through the emexperiments
+// command.
+package llm4em
+
+import (
+	"llm4em/internal/core"
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+	"llm4em/internal/explain"
+	"llm4em/internal/finetune"
+	"llm4em/internal/icl"
+	"llm4em/internal/llm"
+	"llm4em/internal/prompt"
+	"llm4em/internal/rules"
+)
+
+// Core data model.
+type (
+	// Record is one entity description.
+	Record = entity.Record
+	// Attr is a named attribute value.
+	Attr = entity.Attr
+	// Pair is a labelled pair of entity descriptions.
+	Pair = entity.Pair
+	// Schema fixes a dataset's attributes and domain.
+	Schema = entity.Schema
+	// Domain is the topical domain of a matching task.
+	Domain = entity.Domain
+)
+
+// Topical domains.
+const (
+	Product     = entity.Product
+	Publication = entity.Publication
+)
+
+// Matching pipeline.
+type (
+	// Matcher is the LLM-based matching pipeline.
+	Matcher = core.Matcher
+	// Decision is the outcome of matching one pair.
+	Decision = core.Decision
+	// Result aggregates an evaluation run.
+	Result = core.Result
+	// DemoSelector supplies in-context demonstrations.
+	DemoSelector = core.DemoSelector
+)
+
+// ParseAnswer converts a model reply into a matching decision using
+// the paper's rule (lower-case, parse for the word "yes").
+func ParseAnswer(answer string) bool { return core.ParseAnswer(answer) }
+
+// Language models.
+type (
+	// Client is the chat interface of all models.
+	Client = llm.Client
+	// Model is a simulated LLM.
+	Model = llm.Model
+	// Message is one chat turn.
+	Message = llm.Message
+	// Response is a chat reply with usage accounting.
+	Response = llm.Response
+	// Adapter is the state of a fine-tuned model variant.
+	Adapter = llm.Adapter
+)
+
+// Model names of the study.
+const (
+	GPTMini = llm.GPTMini
+	GPT4    = llm.GPT4
+	GPT4o   = llm.GPT4o
+	Llama2  = llm.Llama2
+	Llama31 = llm.Llama31
+	Mixtral = llm.Mixtral
+)
+
+// NewModel returns the simulated model with the given study name.
+func NewModel(name string) (*Model, error) { return llm.New(name) }
+
+// StudyModels lists the six models of the study.
+func StudyModels() []string { return llm.StudyModels() }
+
+// Prompt construction.
+type (
+	// Design is a zero-shot prompt design.
+	Design = prompt.Design
+	// Spec fully describes a prompt to build.
+	Spec = prompt.Spec
+)
+
+// Designs returns the ten prompt designs of the study.
+func Designs() []Design { return prompt.Designs() }
+
+// DesignByName returns a design by its table name, e.g.
+// "general-complex-force".
+func DesignByName(name string) (Design, error) { return prompt.DesignByName(name) }
+
+// Datasets.
+
+// Dataset is one materialized benchmark.
+type Dataset = datasets.Dataset
+
+// LoadDataset materializes a benchmark by key: wdc, ab, wa, ag, ds,
+// da.
+func LoadDataset(key string) (*Dataset, error) { return datasets.Load(key) }
+
+// DatasetKeys lists the benchmark keys in the paper's order.
+func DatasetKeys() []string { return datasets.Keys() }
+
+// In-context learning.
+
+// NewRandomSelector selects demonstrations uniformly from the pool.
+func NewRandomSelector(pool []Pair, seed string) DemoSelector { return icl.NewRandom(pool, seed) }
+
+// NewRelatedSelector selects the most similar demonstrations by
+// Generalized Jaccard similarity.
+func NewRelatedSelector(pool []Pair) DemoSelector { return icl.NewRelated(pool) }
+
+// NewHandpickedSelector serves a fixed, curated demonstration set.
+func NewHandpickedSelector(demos []Pair) DemoSelector { return icl.NewHandpicked(demos) }
+
+// CurateHandpicked emulates a data engineer curating diverse
+// corner-case demonstrations from a training pool.
+func CurateHandpicked(pool []Pair, n int) []Pair { return icl.CurateHandpicked(pool, n) }
+
+// Matching rules.
+
+// HandwrittenRules returns the handwritten rule set for a domain.
+func HandwrittenRules(domain Domain) []string { return rules.Handwritten(domain) }
+
+// LearnRules asks a model to derive matching rules from labelled
+// examples.
+func LearnRules(client Client, domain Domain, examples []Pair) ([]string, error) {
+	return rules.Learn(client, domain, examples)
+}
+
+// Fine-tuning.
+
+// FineTuneOptions configures FineTune.
+type FineTuneOptions = finetune.Options
+
+// FineTune fits an adapter for a model on a dataset (train +
+// validation pools) and returns the fine-tuned client.
+func FineTune(model string, ds *Dataset, opts FineTuneOptions) (*Model, error) {
+	adapter, err := finetune.Train(model, ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	return llm.NewFineTuned(model, adapter)
+}
+
+// Explanations.
+type (
+	// Explanation is a parsed structured explanation of a decision.
+	Explanation = explain.Explanation
+	// ExplanationAttribute is one attribute row of an explanation.
+	ExplanationAttribute = explain.Attribute
+)
+
+// Explain runs the two-turn explanation conversation of the paper's
+// Section 6 for one pair.
+func Explain(client Client, design Design, domain Domain, pair Pair) (Explanation, error) {
+	return explain.Generate(client, design, domain, pair)
+}

@@ -1,0 +1,121 @@
+package llm4em_test
+
+import (
+	"strings"
+	"testing"
+
+	"llm4em"
+)
+
+func TestFacadeMatchingWorkflow(t *testing.T) {
+	model, err := llm4em.NewModel(llm4em.GPT4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := llm4em.DesignByName("general-complex-force")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matcher := llm4em.Matcher{Client: model, Design: design, Domain: llm4em.Product}
+	pair := llm4em.Pair{
+		ID:    "facade",
+		A:     llm4em.Record{ID: "a", Attrs: []llm4em.Attr{{Name: "title", Value: "Sony DSC-120B camera black"}, {Name: "price", Value: "348.00"}}},
+		B:     llm4em.Record{ID: "b", Attrs: []llm4em.Attr{{Name: "title", Value: "sony dsc120b camera black"}, {Name: "price", Value: "351.00"}}},
+		Match: true,
+	}
+	d, err := matcher.MatchPair(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Match {
+		t.Errorf("facade matcher failed on easy pair: %q", d.Answer)
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	keys := llm4em.DatasetKeys()
+	if len(keys) != 6 {
+		t.Fatalf("DatasetKeys = %v", keys)
+	}
+	ds, err := llm4em.LoadDataset("wdc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "WDC Products" {
+		t.Errorf("dataset name = %q", ds.Name)
+	}
+	if _, err := llm4em.LoadDataset("bogus"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestFacadeSelectorsAndRules(t *testing.T) {
+	ds, err := llm4em.LoadDataset("wdc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ds.TrainVal()
+	for name, sel := range map[string]llm4em.DemoSelector{
+		"random":     llm4em.NewRandomSelector(pool, "seed"),
+		"related":    llm4em.NewRelatedSelector(pool),
+		"handpicked": llm4em.NewHandpickedSelector(llm4em.CurateHandpicked(pool, 10)),
+	} {
+		demos := sel.Select(ds.Test[0], 6)
+		if len(demos) != 6 {
+			t.Errorf("%s selector returned %d demos", name, len(demos))
+		}
+	}
+	rules := llm4em.HandwrittenRules(llm4em.Product)
+	if len(rules) == 0 {
+		t.Error("no handwritten rules")
+	}
+	model, _ := llm4em.NewModel(llm4em.GPT4)
+	learned, err := llm4em.LearnRules(model, llm4em.Product, llm4em.CurateHandpicked(pool, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(learned) == 0 {
+		t.Error("no learned rules")
+	}
+}
+
+func TestFacadeFineTuneAndExplain(t *testing.T) {
+	ds, err := llm4em.LoadDataset("ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := llm4em.FineTune(llm4em.GPTMini, ds, llm4em.FineTuneOptions{Epochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tuned.Name(), "ft-ab") {
+		t.Errorf("fine-tuned name = %q", tuned.Name())
+	}
+	model, _ := llm4em.NewModel(llm4em.GPT4)
+	design, _ := llm4em.DesignByName("domain-complex-force")
+	exp, err := llm4em.Explain(model, design, ds.Schema.Domain, ds.Test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Attributes) == 0 {
+		t.Error("explanation has no attributes")
+	}
+}
+
+func TestFacadeParseAnswer(t *testing.T) {
+	if !llm4em.ParseAnswer("Yes, they match.") || llm4em.ParseAnswer("Probably not.") {
+		t.Error("ParseAnswer facade broken")
+	}
+}
+
+func TestFacadeStudyModels(t *testing.T) {
+	models := llm4em.StudyModels()
+	if len(models) != 6 {
+		t.Fatalf("StudyModels = %v", models)
+	}
+	for _, name := range models {
+		if _, err := llm4em.NewModel(name); err != nil {
+			t.Errorf("NewModel(%s): %v", name, err)
+		}
+	}
+}
