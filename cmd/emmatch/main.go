@@ -9,6 +9,10 @@
 //	    -b "sony dsc120b camera black 351.99"
 //
 //	emmatch -model GPT-4 -dataset wdc -pairs 5   # match dataset pairs
+//
+// Dataset and CSV evaluations run on the concurrent matching
+// pipeline; -workers, -cache and -retries tune its worker pool,
+// prompt cache and transient-error retry.
 package main
 
 import (
@@ -30,6 +34,9 @@ func main() {
 	csvPath := flag.String("csv", "", "evaluate labelled pairs from a CSV file (emdata export layout)")
 	pairs2 := flag.Int("pairs", 5, "number of pairs to match with -dataset or -csv")
 	verbose := flag.Bool("v", false, "print full prompts")
+	workers := flag.Int("workers", 0, "concurrent model calls (0 = pipeline default)")
+	cacheSize := flag.Int("cache", 0, "prompt-cache entries (0 = pipeline default, negative disables)")
+	retries := flag.Int("retries", 0, "retries for transient model errors (0 = pipeline default, negative disables)")
 	flag.Parse()
 
 	client, err := llm4em.NewModel(*model)
@@ -48,7 +55,10 @@ func main() {
 		defer f.Close()
 		schema, pairs, err := datasets.ReadCSVPairs(f)
 		fail(err)
-		matcher := llm4em.Matcher{Client: client, Design: design, Domain: schema.Domain}
+		matcher := llm4em.Matcher{
+			Client: client, Design: design, Domain: schema.Domain,
+			Workers: *workers, CacheSize: *cacheSize, MaxRetries: *retries,
+		}
 		n := *pairs2
 		if n <= 0 || n > len(pairs) {
 			n = len(pairs)
@@ -63,15 +73,20 @@ func main() {
 	if *dataset != "" {
 		ds, err := llm4em.LoadDataset(*dataset)
 		fail(err)
-		matcher := llm4em.Matcher{Client: client, Design: design, Domain: ds.Schema.Domain}
+		matcher := llm4em.Matcher{
+			Client: client, Design: design, Domain: ds.Schema.Domain,
+			Workers: *workers, CacheSize: *cacheSize, MaxRetries: *retries,
+		}
 		n := *pairs2
-		if n > len(ds.Test) {
+		if n <= 0 || n > len(ds.Test) {
 			n = len(ds.Test)
 		}
+		// Stream decisions so progress appears as pairs complete rather
+		// than after the whole run.
+		decisions, wait := matcher.Stream(ds.Test[:n])
 		correct := 0
-		for _, p := range ds.Test[:n] {
-			d, err := matcher.MatchPair(p)
-			fail(err)
+		for d := range decisions {
+			p := d.Pair
 			verdict := "✗"
 			if d.Correct() {
 				verdict = "✓"
@@ -83,6 +98,8 @@ func main() {
 				fmt.Printf("  prompt:\n%s\n", d.Prompt)
 			}
 		}
+		_, err = wait()
+		fail(err)
 		fmt.Printf("%d/%d correct\n", correct, n)
 		return
 	}

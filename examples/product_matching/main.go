@@ -37,19 +37,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// One matcher per strategy: a Matcher carries its own engine
+		// state and must not be copied once used.
 		zero := llm4em.Matcher{Client: model, Design: design, Domain: ds.Schema.Domain}
 		zeroRes, err := zero.Evaluate(test)
 		if err != nil {
 			log.Fatal(err)
 		}
-		few := zero
-		few.Demos, few.Shots = related, 10
+		few := llm4em.Matcher{Client: model, Design: design, Domain: ds.Schema.Domain, Demos: related, Shots: 10}
 		fewRes, err := few.Evaluate(test)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ruled := zero
-		ruled.Rules = productRules
+		ruled := llm4em.Matcher{Client: model, Design: design, Domain: ds.Schema.Domain, Rules: productRules}
 		ruledRes, err := ruled.Evaluate(test)
 		if err != nil {
 			log.Fatal(err)

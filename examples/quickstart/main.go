@@ -42,11 +42,15 @@ func main() {
 	fmt.Printf("model answer: %q\nparsed decision: match=%v\n\n", decision.Answer, decision.Match)
 
 	// 3. Evaluate on a slice of the WDC Products benchmark.
+	// Evaluation runs on the concurrent matching pipeline; Workers,
+	// CacheSize and MaxRetries tune its pool, prompt cache and retry
+	// (zero values select the defaults).
 	ds, err := llm4em.LoadDataset("wdc")
 	if err != nil {
 		log.Fatal(err)
 	}
 	matcher.Domain = ds.Schema.Domain
+	matcher.Workers = 8
 	result, err := matcher.Evaluate(ds.Test[:200])
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module llm4em
+
+go 1.24

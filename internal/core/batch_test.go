@@ -25,6 +25,58 @@ func TestParseBatchAnswers(t *testing.T) {
 	}
 }
 
+func TestParseBatchAnswersSeparators(t *testing.T) {
+	// Models vary the list separator: "3. Yes", "3) Yes", "3: Yes".
+	for _, answer := range []string{
+		"1. Yes\n2) No\n3: Yes",
+		"1) Yes\n2: No\n3. Yes",
+		" 1 . Yes\n 2 ) No\n 3 : Yes",
+	} {
+		got := ParseBatchAnswers(answer, 3)
+		want := []bool{true, false, true}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%q: answer %d = %v, want %v", answer, i+1, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParseBatchAnswersOutOfRange(t *testing.T) {
+	got := ParseBatchAnswers("0. Yes\n-1. Yes\n4. Yes\n1000000. Yes", 3)
+	for i, v := range got {
+		if v {
+			t.Errorf("out-of-range numbers must not set index %d", i)
+		}
+	}
+}
+
+func TestParseBatchAnswersDuplicateNumbers(t *testing.T) {
+	// When a number appears on several lines, the last occurrence
+	// wins — a model correcting itself mid-answer.
+	got := ParseBatchAnswers("1. Yes\n1. No\n2. No\n2. Yes", 2)
+	if got[0] {
+		t.Errorf("answer 1 = %v, want false (last occurrence)", got[0])
+	}
+	if !got[1] {
+		t.Errorf("answer 2 = %v, want true (last occurrence)", got[1])
+	}
+}
+
+func TestParseBatchAnswersEmpty(t *testing.T) {
+	for _, answer := range []string{"", "\n\n", "no numbered lines here", ". Yes", ") Yes"} {
+		got := ParseBatchAnswers(answer, 4)
+		if len(got) != 4 {
+			t.Fatalf("%q: length %d, want 4", answer, len(got))
+		}
+		for i, v := range got {
+			if v {
+				t.Errorf("%q: index %d = true, want all false", answer, i)
+			}
+		}
+	}
+}
+
 func TestBatchMatcherEvaluate(t *testing.T) {
 	ds := datasets.MustLoad("wdc")
 	pairs := ds.Test[:60]

@@ -5,16 +5,25 @@
 // queries a chat model, and parses the natural-language answer into a
 // binary matching decision using the paper's rule (Section 2):
 // lower-case the answer and look for the word "yes".
+//
+// Evaluations over pair sets run through internal/pipeline: a bounded
+// worker pool with an LRU prompt cache and transient-error retry. The
+// Workers, CacheSize and MaxRetries fields of Matcher and
+// BatchMatcher tune it; their zero values select the pipeline
+// defaults. Since the simulated models are deterministic, concurrent
+// cached evaluation returns exactly the results of a sequential run.
 package core
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"llm4em/internal/entity"
 	"llm4em/internal/eval"
 	"llm4em/internal/llm"
+	"llm4em/internal/pipeline"
 	"llm4em/internal/prompt"
 )
 
@@ -41,6 +50,42 @@ type Matcher struct {
 	// many to request per query.
 	Demos DemoSelector
 	Shots int
+
+	// Workers bounds the concurrent model calls of Evaluate and Stream
+	// (0 selects pipeline.DefaultWorkers).
+	Workers int
+	// CacheSize is the LRU prompt-cache capacity in entries (0 selects
+	// pipeline.DefaultCacheSize; negative disables caching).
+	CacheSize int
+	// MaxRetries is how often a transient client error is retried (0
+	// selects pipeline.DefaultMaxRetries; negative disables retrying).
+	MaxRetries int
+
+	// mu guards the lazily built engine shared across evaluations, so
+	// the prompt cache persists from one Evaluate/Stream call to the
+	// next. Do not copy a Matcher after calling its methods.
+	mu        sync.Mutex
+	eng       *pipeline.Engine
+	engClient llm.Client
+	engOpts   pipeline.Options
+}
+
+// engine returns the matching engine configured by the matcher's
+// concurrency knobs, reusing the previous engine (and its prompt
+// cache) while the client and knobs are unchanged.
+func (m *Matcher) engine() *pipeline.Engine {
+	opts := pipeline.Options{
+		Workers:    m.Workers,
+		CacheSize:  m.CacheSize,
+		MaxRetries: m.MaxRetries,
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.eng == nil || m.engClient != m.Client || m.engOpts != opts {
+		m.eng = pipeline.New(m.Client, opts)
+		m.engClient, m.engOpts = m.Client, opts
+	}
+	return m.eng
 }
 
 // Decision is the outcome of matching one pair.
@@ -53,8 +98,24 @@ type Decision struct {
 	Answer string
 	// Prompt is the full prompt that was sent.
 	Prompt string
-	// Usage is the model's token and latency accounting.
+	// Usage is the model's token and latency accounting. Cached
+	// decisions carry the accounting of the original request.
 	Usage llm.Response
+	// Cached reports whether the response was served by the pipeline's
+	// prompt cache instead of a fresh model request.
+	Cached bool
+}
+
+// fromPipeline converts a pipeline decision to the core form.
+func fromPipeline(d pipeline.Decision) Decision {
+	return Decision{
+		Pair:   d.Pair,
+		Match:  d.Match,
+		Answer: d.Answer,
+		Prompt: d.Prompt,
+		Usage:  d.Usage,
+		Cached: d.Cached,
+	}
 }
 
 // Correct reports whether the decision agrees with the gold label.
@@ -152,35 +213,82 @@ func (r Result) MeanLatency() time.Duration {
 	return r.TotalLatency / time.Duration(r.Requests)
 }
 
-// Evaluate runs the matcher over the pairs and aggregates metrics.
+// add folds one decision into the aggregate. Usage is counted per
+// pair even for cached decisions, preserving the paper's per-request
+// accounting (a deployment would not re-bill a cached prompt, but
+// the tables report what the model work costs).
+func (r *Result) add(d Decision) {
+	r.Confusion.Add(d.Pair.Match, d.Match)
+	r.PromptTokens += d.Usage.PromptTokens
+	r.CompletionTokens += d.Usage.CompletionTokens
+	r.TotalLatency += d.Usage.Latency
+	r.Requests++
+}
+
+// Evaluate runs the matcher over the pairs on the concurrent pipeline
+// and aggregates metrics.
 func (m *Matcher) Evaluate(pairs []entity.Pair) (Result, error) {
 	return m.evaluate(pairs, false)
 }
 
 // EvaluateKeeping is Evaluate but additionally retains every per-pair
-// decision, which the explanation and error-analysis pipelines need.
+// decision (in input order), which the explanation and error-analysis
+// pipelines need.
 func (m *Matcher) EvaluateKeeping(pairs []entity.Pair) (Result, error) {
 	return m.evaluate(pairs, true)
 }
 
 func (m *Matcher) evaluate(pairs []entity.Pair, keep bool) (Result, error) {
+	decisions, err := m.engine().Match(pairs, m.BuildPrompt, ParseAnswer)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
 	var r Result
 	if keep {
 		r.Decisions = make([]Decision, 0, len(pairs))
 	}
-	for _, p := range pairs {
-		d, err := m.MatchPair(p)
-		if err != nil {
-			return Result{}, err
-		}
-		r.Confusion.Add(p.Match, d.Match)
-		r.PromptTokens += d.Usage.PromptTokens
-		r.CompletionTokens += d.Usage.CompletionTokens
-		r.TotalLatency += d.Usage.Latency
-		r.Requests++
+	for _, pd := range decisions {
+		d := fromPipeline(pd)
+		r.add(d)
 		if keep {
 			r.Decisions = append(r.Decisions, d)
 		}
 	}
 	return r, nil
+}
+
+// Stream evaluates the pairs on the concurrent pipeline and delivers
+// decisions in completion order on the returned channel, which is
+// closed when the run ends. The wait function blocks until then,
+// returns the aggregated result or the first error, and may be called
+// any number of times. The channel is buffered for the full pair set,
+// so abandoning it early leaks nothing (the remaining pairs are still
+// evaluated).
+func (m *Matcher) Stream(pairs []entity.Pair) (<-chan Decision, func() (Result, error)) {
+	pd, wait := m.engine().Stream(pairs, m.BuildPrompt, ParseAnswer)
+	out := make(chan Decision, len(pairs))
+	resc := make(chan Result, 1)
+	go func() {
+		var r Result
+		for d := range pd {
+			cd := fromPipeline(d)
+			r.add(cd)
+			out <- cd
+		}
+		close(out)
+		resc <- r
+	}()
+	var once sync.Once
+	var res Result
+	var err error
+	return out, func() (Result, error) {
+		once.Do(func() {
+			if werr := wait(); werr != nil {
+				err = fmt.Errorf("core: %w", werr)
+				return
+			}
+			res = <-resc
+		})
+		return res, err
+	}
 }

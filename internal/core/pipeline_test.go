@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+	"llm4em/internal/llm"
+	"llm4em/internal/prompt"
+)
+
+func testMatcher(t *testing.T, workers int) (*Matcher, []entity.Pair) {
+	t.Helper()
+	ds := datasets.MustLoad("wdc")
+	design, err := prompt.DesignByName("general-complex-force")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Matcher{
+		Client:  llm.MustNew(llm.GPT4),
+		Design:  design,
+		Domain:  ds.Schema.Domain,
+		Workers: workers,
+	}
+	return m, ds.Test[:40]
+}
+
+// TestEvaluateConcurrentMatchesSequential pins the determinism
+// guarantee of the pipeline rewiring: a concurrent evaluation returns
+// exactly the sequential results.
+func TestEvaluateConcurrentMatchesSequential(t *testing.T) {
+	seq, pairs := testMatcher(t, 1)
+	conc, _ := testMatcher(t, 8)
+	rs, err := seq.EvaluateKeeping(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := conc.EvaluateKeeping(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Confusion != rc.Confusion {
+		t.Fatalf("confusion differs: %+v vs %+v", rs.Confusion, rc.Confusion)
+	}
+	if rs.PromptTokens != rc.PromptTokens || rs.CompletionTokens != rc.CompletionTokens {
+		t.Fatalf("token accounting differs: %d/%d vs %d/%d",
+			rs.PromptTokens, rs.CompletionTokens, rc.PromptTokens, rc.CompletionTokens)
+	}
+	for i := range rs.Decisions {
+		if rs.Decisions[i].Pair.ID != rc.Decisions[i].Pair.ID {
+			t.Fatalf("decision %d: order differs", i)
+		}
+		if rs.Decisions[i].Answer != rc.Decisions[i].Answer {
+			t.Fatalf("decision %d: answers differ", i)
+		}
+	}
+}
+
+func TestMatcherStream(t *testing.T) {
+	m, pairs := testMatcher(t, 4)
+	ch, wait := m.Stream(pairs)
+	seen := map[string]bool{}
+	for d := range ch {
+		if seen[d.Pair.ID] {
+			t.Fatalf("pair %s streamed twice", d.Pair.ID)
+		}
+		seen[d.Pair.ID] = true
+	}
+	r, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(pairs) {
+		t.Fatalf("streamed %d decisions, want %d", len(seen), len(pairs))
+	}
+	if r.Requests != len(pairs) {
+		t.Fatalf("result counts %d requests, want %d", r.Requests, len(pairs))
+	}
+	ref, err := m.Evaluate(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Confusion != ref.Confusion {
+		t.Fatalf("streamed confusion %+v differs from Evaluate %+v", r.Confusion, ref.Confusion)
+	}
+}
+
+// TestEvaluateDeduplicatesPrompts checks that duplicate pairs are
+// answered from the prompt cache rather than by extra model calls.
+func TestEvaluateDeduplicatesPrompts(t *testing.T) {
+	m, pairs := testMatcher(t, 8)
+	// Evaluate the same 10 pairs four times over.
+	dup := make([]entity.Pair, 0, 40)
+	for i := 0; i < 4; i++ {
+		dup = append(dup, pairs[:10]...)
+	}
+	r, err := m.EvaluateKeeping(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := 0
+	for _, d := range r.Decisions {
+		if d.Cached {
+			cached++
+		}
+	}
+	if cached != 30 {
+		t.Fatalf("%d cached decisions, want 30 (10 unique of 40)", cached)
+	}
+	// Accounting still counts every pair, per the paper's tables.
+	if r.Requests != 40 {
+		t.Fatalf("requests = %d, want 40", r.Requests)
+	}
+}
+
+// TestEngineReusedAcrossEvaluations pins that one Matcher shares its
+// prompt cache across calls: a second evaluation of the same pairs is
+// answered entirely from the cache.
+func TestEngineReusedAcrossEvaluations(t *testing.T) {
+	m, pairs := testMatcher(t, 4)
+	if _, err := m.Evaluate(pairs[:10]); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.EvaluateKeeping(pairs[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range r.Decisions {
+		if !d.Cached {
+			t.Fatalf("pair %s missed the cache on the second evaluation", d.Pair.ID)
+		}
+	}
+	// Changing a knob rebuilds the engine (fresh cache).
+	m.CacheSize = 64
+	r, err = m.EvaluateKeeping(pairs[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decisions[0].Cached {
+		t.Fatal("knob change should rebuild the engine with a fresh cache")
+	}
+}
+
+// TestStreamWaitIdempotentAndAbandonable pins the Stream API
+// hardening: wait may be called repeatedly, and abandoning the
+// channel early neither deadlocks nor leaks.
+func TestStreamWaitIdempotentAndAbandonable(t *testing.T) {
+	m, pairs := testMatcher(t, 4)
+	ch, wait := m.Stream(pairs)
+	// Abandon after one decision; the buffered channel lets the
+	// remaining workers finish without a consumer.
+	<-ch
+	r1, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Requests != len(pairs) || r2.Requests != r1.Requests {
+		t.Fatalf("wait() not idempotent: %d then %d requests", r1.Requests, r2.Requests)
+	}
+}

@@ -27,7 +27,7 @@ func AblationSerialization(s *Session, dataset string) (*Table, error) {
 	design := mustDesign("general-complex-force")
 	pairs := s.Cfg.testPairs(ds)
 	for _, mn := range s.Cfg.models() {
-		m := &core.Matcher{Client: s.Model(mn), Design: design, Domain: ds.Schema.Domain}
+		m := &core.Matcher{Client: s.Model(mn), Design: design, Domain: ds.Schema.Domain, Workers: s.Cfg.Workers}
 		plain, err := m.Evaluate(pairs)
 		if err != nil {
 			return nil, err
@@ -79,11 +79,12 @@ func AblationShots(s *Session, dataset string, model string) (*Table, error) {
 	pairs := s.Cfg.testPairs(ds)
 	for _, k := range []int{2, 4, 6, 8, 10} {
 		m := &core.Matcher{
-			Client: s.Model(model),
-			Design: fewShotDesign,
-			Domain: ds.Schema.Domain,
-			Demos:  sel,
-			Shots:  k,
+			Client:  s.Model(model),
+			Design:  fewShotDesign,
+			Domain:  ds.Schema.Domain,
+			Demos:   sel,
+			Shots:   k,
+			Workers: s.Cfg.Workers,
 		}
 		r, err := m.Evaluate(pairs)
 		if err != nil {
@@ -107,7 +108,7 @@ func AblationBatch(s *Session, dataset, model string) (*Table, error) {
 	pairs := s.Cfg.testPairs(ds)
 	pricing, hosted := cost.For(model)
 	for _, size := range []int{1, 2, 5, 10, 20} {
-		m := &core.BatchMatcher{Client: s.Model(model), Domain: ds.Schema.Domain, BatchSize: size}
+		m := &core.BatchMatcher{Client: s.Model(model), Domain: ds.Schema.Domain, BatchSize: size, Workers: s.Cfg.Workers}
 		r, err := m.Evaluate(pairs)
 		if err != nil {
 			return nil, err

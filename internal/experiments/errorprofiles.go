@@ -57,7 +57,7 @@ func ErrorProfiles(s *Session, dataset string, models []string) (*Table, error) 
 		if err != nil {
 			return nil, err
 		}
-		matcher := &core.Matcher{Client: s.Model(mn), Design: design, Domain: ds.Schema.Domain}
+		matcher := &core.Matcher{Client: s.Model(mn), Design: design, Domain: ds.Schema.Domain, Workers: s.Cfg.Workers}
 		res, err := matcher.EvaluateKeeping(pairs)
 		if err != nil {
 			return nil, err

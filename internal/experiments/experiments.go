@@ -32,6 +32,11 @@ type Config struct {
 	// FTEpochs is the number of fine-tuning epochs (default 10, as in
 	// the paper).
 	FTEpochs int
+	// Workers bounds the per-evaluation worker pool of the matching
+	// pipeline (0 selects the pipeline default). The sessions' own
+	// prefetch parallelism is CPU-bound and independently capped at
+	// GOMAXPROCS.
+	Workers int
 }
 
 // Default returns the paper-scale configuration.

@@ -41,7 +41,7 @@ func (s *Session) explanations(dataset string) (explanationData, error) {
 	ds := datasets.MustLoad(dataset)
 	pairs := s.Cfg.testPairs(ds)
 	client := s.Model(llm.GPT4)
-	matcher := &core.Matcher{Client: client, Design: design, Domain: ds.Schema.Domain}
+	matcher := &core.Matcher{Client: client, Design: design, Domain: ds.Schema.Domain, Workers: s.Cfg.Workers}
 	res, err := matcher.EvaluateKeeping(pairs)
 	if err != nil {
 		return explanationData{}, err

@@ -1,60 +1,19 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
-
 	"llm4em/internal/datasets"
+	"llm4em/internal/pipeline"
 	"llm4em/internal/prompt"
 )
 
-// runParallel executes job(0..n-1) on a bounded worker pool and
-// returns the first error. Jobs must be independent; all experiment
-// evaluations are pure and their results land in the session caches,
-// so parallel prefetching never changes results — it only reorders
-// when they are computed.
+// runParallel executes job(0..n-1) on the shared pipeline worker pool
+// (bounded by GOMAXPROCS — experiment evaluations are CPU-bound local
+// simulation) and returns the first error. Jobs must be independent;
+// all experiment evaluations are pure and their results land in the
+// session caches, so parallel prefetching never changes results — it
+// only reorders when they are computed.
 func runParallel(n int, job func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	errs := make(chan error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if err := job(i); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-					return
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
-	}
+	return pipeline.ForEach(n, 0, job)
 }
 
 // PrefetchZeroShot evaluates the full zero-shot grid (models × prompt

@@ -77,7 +77,7 @@ func (s *Session) ZeroShot(model string, design prompt.Design, dataset string) (
 	s.mu.Unlock()
 
 	ds := datasets.MustLoad(dataset)
-	m := &core.Matcher{Client: s.Model(model), Design: design, Domain: ds.Schema.Domain}
+	m := &core.Matcher{Client: s.Model(model), Design: design, Domain: ds.Schema.Domain, Workers: s.Cfg.Workers}
 	r, err := m.Evaluate(s.Cfg.testPairs(ds))
 	if err != nil {
 		return core.Result{}, fmt.Errorf("experiments: zero-shot %s/%s/%s: %w", model, design.Name, dataset, err)
@@ -238,11 +238,12 @@ func (s *Session) FewShot(model, dataset string, method DemoMethod, k int) (core
 
 	ds := datasets.MustLoad(dataset)
 	m := &core.Matcher{
-		Client: s.Model(model),
-		Design: fewShotDesign,
-		Domain: ds.Schema.Domain,
-		Demos:  s.selector(method, dataset),
-		Shots:  k,
+		Client:  s.Model(model),
+		Design:  fewShotDesign,
+		Domain:  ds.Schema.Domain,
+		Demos:   s.selector(method, dataset),
+		Shots:   k,
+		Workers: s.Cfg.Workers,
 	}
 	r, err := m.Evaluate(s.Cfg.testPairs(ds))
 	if err != nil {
@@ -312,10 +313,11 @@ func (s *Session) WithRules(model, dataset string, kind RuleKind) (core.Result, 
 		return core.Result{}, err
 	}
 	m := &core.Matcher{
-		Client: s.Model(model),
-		Design: fewShotDesign,
-		Domain: ds.Schema.Domain,
-		Rules:  rs,
+		Client:  s.Model(model),
+		Design:  fewShotDesign,
+		Domain:  ds.Schema.Domain,
+		Rules:   rs,
+		Workers: s.Cfg.Workers,
 	}
 	r, err := m.Evaluate(s.Cfg.testPairs(ds))
 	if err != nil {
@@ -368,7 +370,7 @@ func (s *Session) FineTuned(model, trainedOn, dataset string) (core.Result, erro
 		return core.Result{}, err
 	}
 	ds := datasets.MustLoad(dataset)
-	m := &core.Matcher{Client: client, Design: ftDesign, Domain: ds.Schema.Domain}
+	m := &core.Matcher{Client: client, Design: ftDesign, Domain: ds.Schema.Domain, Workers: s.Cfg.Workers}
 	r, err := m.Evaluate(s.Cfg.testPairs(ds))
 	if err != nil {
 		return core.Result{}, fmt.Errorf("experiments: fine-tuned %s: %w", key, err)

@@ -17,6 +17,9 @@
 //
 // Swapping a simulated model for a real hosted one requires
 // implementing the one-method Client interface with an HTTP client.
+// Hosted implementations should mark rate limits, timeouts and
+// 5xx-style failures as retryable (see internal/pipeline.Transient)
+// so the concurrent matching pipeline retries them with backoff.
 package llm
 
 import (

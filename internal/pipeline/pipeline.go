@@ -1,0 +1,334 @@
+// Package pipeline is the concurrent matching engine of the system.
+// It evaluates sets of entity pairs (or raw prompts) against an
+// llm.Client on a bounded worker pool, deduplicates identical prompts
+// through an in-memory LRU response cache keyed by (model, prompt),
+// retries transient client errors with exponential backoff, and
+// offers both a deterministic bulk API and a streaming API that
+// delivers decisions in completion order for incremental progress
+// reporting.
+//
+// The package sits between the llm layer (which answers single
+// prompts) and the core layer (which knows how to build prompts and
+// parse answers): core.Matcher and core.BatchMatcher route their
+// evaluations through an Engine, and the experiment harness reuses
+// the same worker pool via ForEach. Because all simulated models are
+// deterministic at temperature 0, concurrent evaluation and response
+// caching never change results — only how fast they arrive.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"llm4em/internal/entity"
+	"llm4em/internal/llm"
+)
+
+// Defaults used when an Options field is left at its zero value. LLM
+// calls are latency-bound rather than CPU-bound, so the default
+// worker count intentionally exceeds typical core counts.
+const (
+	DefaultWorkers    = 8
+	DefaultCacheSize  = 1024
+	DefaultMaxRetries = 2
+	DefaultBackoff    = 50 * time.Millisecond
+)
+
+// Options tunes an Engine. The zero value selects sensible defaults;
+// negative CacheSize disables caching and negative MaxRetries
+// disables retrying.
+type Options struct {
+	// Workers bounds the number of concurrent client calls
+	// (default DefaultWorkers).
+	Workers int
+	// CacheSize is the capacity of the LRU response cache in entries
+	// (default DefaultCacheSize; negative disables caching).
+	CacheSize int
+	// MaxRetries is how many times a transient client error is retried
+	// before it is reported (default DefaultMaxRetries; negative
+	// disables retrying).
+	MaxRetries int
+	// Backoff is the sleep before the first retry; it doubles with
+	// every further attempt (default DefaultBackoff).
+	Backoff time.Duration
+}
+
+// withDefaults resolves zero-valued fields to the package defaults.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = DefaultWorkers
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = DefaultCacheSize
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = DefaultMaxRetries
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = DefaultBackoff
+	}
+	return o
+}
+
+// Stats counts what an Engine did. Cached prompts never reach the
+// client, so ClientCalls + CacheHits equals the number of completed
+// requests.
+type Stats struct {
+	// ClientCalls is the number of requests that reached the client
+	// (retries of the same prompt count once).
+	ClientCalls uint64
+	// CacheHits is the number of requests answered from the cache,
+	// including requests coalesced onto an identical in-flight prompt.
+	CacheHits uint64
+	// Retries is the number of extra attempts after transient errors.
+	Retries uint64
+}
+
+// Engine executes prompts against one client with bounded
+// concurrency, response caching and retry. An Engine is safe for
+// concurrent use and may be reused across evaluations; reuse shares
+// the response cache.
+type Engine struct {
+	client llm.Client
+	opts   Options
+	cache  *promptCache
+
+	clientCalls atomic.Uint64
+	retries     atomic.Uint64
+
+	// sleep is swapped in tests to avoid real backoff waits.
+	sleep func(time.Duration)
+}
+
+// New returns an engine over the client with the given options.
+func New(client llm.Client, opts Options) *Engine {
+	o := opts.withDefaults()
+	e := &Engine{client: client, opts: o, sleep: time.Sleep}
+	if o.CacheSize > 0 {
+		e.cache = newPromptCache(o.CacheSize)
+	}
+	return e
+}
+
+// Client returns the engine's underlying client.
+func (e *Engine) Client() llm.Client { return e.client }
+
+// Workers returns the resolved worker-pool size.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		ClientCalls: e.clientCalls.Load(),
+		Retries:     e.retries.Load(),
+	}
+	if e.cache != nil {
+		s.CacheHits = e.cache.hits.Load()
+	}
+	return s
+}
+
+// Complete answers one prompt, consulting the cache first. The
+// boolean reports whether the response was served from the cache
+// (or coalesced onto an identical in-flight request) rather than by
+// a fresh client call.
+func (e *Engine) Complete(prompt string) (llm.Response, bool, error) {
+	if e.cache == nil {
+		resp, err := e.chat(prompt)
+		return resp, false, err
+	}
+	key := e.client.Name() + "\x00" + prompt
+	return e.cache.do(key, func() (llm.Response, error) {
+		return e.chat(prompt)
+	})
+}
+
+// chat performs one client call with transient-error retry.
+func (e *Engine) chat(prompt string) (llm.Response, error) {
+	e.clientCalls.Add(1)
+	backoff := e.opts.Backoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := e.client.Chat([]llm.Message{{Role: llm.User, Content: prompt}})
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= e.opts.MaxRetries || !IsTransient(err) {
+			break
+		}
+		e.retries.Add(1)
+		e.sleep(backoff)
+		backoff *= 2
+	}
+	return llm.Response{}, lastErr
+}
+
+// Decision is the outcome of matching one pair through the engine.
+type Decision struct {
+	// Index is the pair's position in the input slice, so streaming
+	// consumers can restore input order.
+	Index int
+	// Pair is the evaluated pair.
+	Pair entity.Pair
+	// Prompt is the full prompt that was (or would have been) sent.
+	Prompt string
+	// Answer is the model's raw reply.
+	Answer string
+	// Match is the parsed decision.
+	Match bool
+	// Usage is the model's token and latency accounting. Cached
+	// decisions carry the accounting of the original request.
+	Usage llm.Response
+	// Cached reports whether the response came from the prompt cache.
+	Cached bool
+}
+
+// Match evaluates all pairs on the worker pool and returns decisions
+// in input order. build renders the prompt for a pair and parse turns
+// a model reply into a binary decision; both must be safe for
+// concurrent use. The first error cancels outstanding work.
+func (e *Engine) Match(pairs []entity.Pair, build func(entity.Pair) string, parse func(string) bool) ([]Decision, error) {
+	out := make([]Decision, len(pairs))
+	err := ForEach(len(pairs), e.opts.Workers, func(i int) error {
+		d, err := e.matchOne(i, pairs[i], build, parse)
+		if err != nil {
+			return err
+		}
+		out[i] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream evaluates all pairs on the worker pool and delivers
+// decisions in completion order on the returned channel, which is
+// closed when the run ends. wait blocks until then, returns the
+// first error, and may be called any number of times. The channel is
+// buffered for the full pair set, so workers never block on a slow
+// (or absent) consumer: abandoning the channel early leaks nothing,
+// though the remaining pairs are still evaluated.
+func (e *Engine) Stream(pairs []entity.Pair, build func(entity.Pair) string, parse func(string) bool) (<-chan Decision, func() error) {
+	out := make(chan Decision, len(pairs))
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ForEach(len(pairs), e.opts.Workers, func(i int) error {
+			d, err := e.matchOne(i, pairs[i], build, parse)
+			if err != nil {
+				return err
+			}
+			out <- d
+			return nil
+		})
+		close(out)
+	}()
+	var once sync.Once
+	var err error
+	return out, func() error {
+		once.Do(func() { err = <-errc })
+		return err
+	}
+}
+
+func (e *Engine) matchOne(i int, pair entity.Pair, build func(entity.Pair) string, parse func(string) bool) (Decision, error) {
+	p := build(pair)
+	resp, cached, err := e.Complete(p)
+	if err != nil {
+		return Decision{}, fmt.Errorf("pipeline: pair %s: %w", pair.ID, err)
+	}
+	return Decision{
+		Index:  i,
+		Pair:   pair,
+		Prompt: p,
+		Answer: resp.Content,
+		Match:  parse(resp.Content),
+		Usage:  resp,
+		Cached: cached,
+	}, nil
+}
+
+// Completion is one prompt-level result of CompleteAll.
+type Completion struct {
+	// Response is the model's reply.
+	Response llm.Response
+	// Cached reports whether it came from the prompt cache.
+	Cached bool
+}
+
+// CompleteAll answers all prompts on the worker pool and returns
+// completions in input order. The first error cancels outstanding
+// work.
+func (e *Engine) CompleteAll(prompts []string) ([]Completion, error) {
+	out := make([]Completion, len(prompts))
+	err := ForEach(len(prompts), e.opts.Workers, func(i int) error {
+		resp, cached, err := e.Complete(prompts[i])
+		if err != nil {
+			return fmt.Errorf("pipeline: prompt %d: %w", i, err)
+		}
+		out[i] = Completion{Response: resp, Cached: cached}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach runs job(0..n-1) on a bounded worker pool and returns the
+// first error. After an error no new jobs start, in-flight jobs are
+// awaited, and the error is returned. workers <= 0 selects
+// GOMAXPROCS, the right bound for CPU-bound local work; callers with
+// latency-bound jobs should pass an explicit larger pool.
+func ForEach(n, workers int, job func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		errOnce sync.Once
+		firstEr error
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if stop.Load() {
+					continue
+				}
+				if err := job(i); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !stop.Load(); i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return firstEr
+}

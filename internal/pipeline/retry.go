@@ -1,0 +1,39 @@
+package pipeline
+
+import "errors"
+
+// ErrTransient marks an error as retryable. Client implementations
+// wrap rate limits, timeouts and 5xx-style failures with Transient so
+// the engine retries them with backoff; all other errors fail fast.
+var ErrTransient = errors.New("transient error")
+
+// Transient wraps err so that IsTransient reports true. A nil err
+// returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return "transient: " + t.err.Error() }
+
+func (t *transientError) Unwrap() error { return t.err }
+
+func (t *transientError) Is(target error) bool { return target == ErrTransient }
+
+// Temporary implements the convention shared with net.Error.
+func (t *transientError) Temporary() bool { return true }
+
+// IsTransient reports whether an error should be retried: it wraps
+// ErrTransient, or implements the net.Error-style
+// Temporary() bool convention and reports true.
+func IsTransient(err error) bool {
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var tmp interface{ Temporary() bool }
+	return errors.As(err, &tmp) && tmp.Temporary()
+}

@@ -5,10 +5,17 @@
 // The library matches pairs of entity descriptions with (simulated)
 // large language models. The central workflow is:
 //
-//	model := llm4em.NewModel(llm4em.GPT4)
+//	model, _ := llm4em.NewModel(llm4em.GPT4)
 //	design, _ := llm4em.DesignByName("general-complex-force")
 //	matcher := llm4em.Matcher{Client: model, Design: design, Domain: llm4em.Product}
 //	decision, err := matcher.MatchPair(pair)
+//
+// Evaluations over pair sets (Matcher.Evaluate, Matcher.Stream,
+// BatchMatcher.Evaluate) run on a concurrent matching pipeline: a
+// bounded worker pool that deduplicates identical prompts through an
+// LRU response cache and retries transient client errors with
+// backoff. The Workers, CacheSize and MaxRetries fields of Matcher
+// and BatchMatcher tune it; zero values select sensible defaults.
 //
 // Training data can be plugged in as in-context demonstrations
 // (llm4em.NewRelatedSelector, …), textual matching rules
@@ -27,6 +34,7 @@ import (
 	"llm4em/internal/finetune"
 	"llm4em/internal/icl"
 	"llm4em/internal/llm"
+	"llm4em/internal/pipeline"
 	"llm4em/internal/prompt"
 	"llm4em/internal/rules"
 )
@@ -55,6 +63,8 @@ const (
 type (
 	// Matcher is the LLM-based matching pipeline.
 	Matcher = core.Matcher
+	// BatchMatcher packs several pairs into one prompt (Section 8).
+	BatchMatcher = core.BatchMatcher
 	// Decision is the outcome of matching one pair.
 	Decision = core.Decision
 	// Result aggregates an evaluation run.
@@ -66,6 +76,34 @@ type (
 // ParseAnswer converts a model reply into a matching decision using
 // the paper's rule (lower-case, parse for the word "yes").
 func ParseAnswer(answer string) bool { return core.ParseAnswer(answer) }
+
+// ParseBatchAnswers reads the numbered Yes/No lines of a batched
+// reply into a decision slice of length n.
+func ParseBatchAnswers(answer string, n int) []bool { return core.ParseBatchAnswers(answer, n) }
+
+// Concurrent execution engine.
+type (
+	// Engine is the concurrent prompt-execution engine underneath
+	// Matcher and BatchMatcher: bounded worker pool, LRU prompt cache,
+	// transient-error retry. Use it directly to run raw prompts or
+	// custom matching loops at scale.
+	Engine = pipeline.Engine
+	// EngineOptions tunes an Engine.
+	EngineOptions = pipeline.Options
+	// EngineStats counts client calls, cache hits and retries.
+	EngineStats = pipeline.Stats
+)
+
+// NewEngine returns a concurrent execution engine over the client.
+func NewEngine(client Client, opts EngineOptions) *Engine { return pipeline.New(client, opts) }
+
+// TransientError marks an error as retryable so the pipeline retries
+// it with backoff. Custom Client implementations wrap rate limits,
+// timeouts and 5xx-style failures with it.
+func TransientError(err error) error { return pipeline.Transient(err) }
+
+// IsTransientError reports whether an error is marked retryable.
+func IsTransientError(err error) bool { return pipeline.IsTransient(err) }
 
 // Language models.
 type (

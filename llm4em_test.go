@@ -1,6 +1,7 @@
 package llm4em_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -117,5 +118,58 @@ func TestFacadeStudyModels(t *testing.T) {
 		if _, err := llm4em.NewModel(name); err != nil {
 			t.Errorf("NewModel(%s): %v", name, err)
 		}
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	model, err := llm4em.NewModel(llm4em.GPTMini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := llm4em.NewEngine(model, llm4em.EngineOptions{Workers: 4})
+	prompts := []string{"Do 'a' and 'a' match?", "Do 'a' and 'a' match?"}
+	completions, err := eng.CompleteAll(prompts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one of the two identical prompts hits the client; which
+	// copy coalesces onto the other depends on scheduling.
+	if len(completions) != 2 || completions[0].Cached == completions[1].Cached {
+		t.Fatalf("exactly one duplicate should be served from cache: %+v", completions)
+	}
+	if s := eng.Stats(); s.ClientCalls != 1 || s.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want 1 call and 1 hit", s)
+	}
+}
+
+func TestFacadeTransientErrors(t *testing.T) {
+	err := errors.New("429 too many requests")
+	if llm4em.IsTransientError(err) {
+		t.Error("plain error must not be transient")
+	}
+	if !llm4em.IsTransientError(llm4em.TransientError(err)) {
+		t.Error("TransientError must mark errors retryable")
+	}
+}
+
+func TestFacadeBatchMatcher(t *testing.T) {
+	ds, err := llm4em.LoadDataset("wdc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := llm4em.NewModel(llm4em.GPT4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := llm4em.BatchMatcher{Client: model, Domain: ds.Schema.Domain, BatchSize: 5, Workers: 4}
+	r, err := m.Evaluate(ds.Test[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests != 4 {
+		t.Fatalf("requests = %d, want 4", r.Requests)
+	}
+	if got := llm4em.ParseBatchAnswers("1) Yes\n2) No", 2); !got[0] || got[1] {
+		t.Fatalf("ParseBatchAnswers facade broken: %v", got)
 	}
 }
