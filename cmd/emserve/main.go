@@ -1,0 +1,115 @@
+// Command emserve serves an online entity-resolution store over HTTP
+// JSON — the request-serving front door of the system. Records are
+// ingested with POST /records, queries resolved with POST /resolve,
+// and entity groups read back with GET /entities/{id}; GET /stats
+// reports how many candidate pairs the cascade decided locally versus
+// escalating to the LLM.
+//
+// Usage:
+//
+//	emserve -addr :8080 -model GPT-mini
+//	emserve -demo -records 200              # preload WDC offers
+//
+// Quickstart:
+//
+//	curl -s localhost:8080/stats
+//	curl -s -X POST localhost:8080/records -d \
+//	  '{"records":[{"id":"r1","attrs":[{"name":"title","value":"sony dsc120b camera black"}]}]}'
+//	curl -s -X POST localhost:8080/resolve -d \
+//	  '{"id":"q1","attrs":[{"name":"title","value":"Sony DSC-120B camera (black)"}]}'
+//	curl -s localhost:8080/entities/q1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"llm4em"
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	model := flag.String("model", "GPT-mini", "matching model for the uncertain band")
+	designName := flag.String("design", "domain-complex-force", "prompt design")
+	domainName := flag.String("domain", "product", "topical domain: product or publication")
+	accept := flag.Float64("accept", 0, "cascade accept-above probability (0 = default)")
+	reject := flag.Float64("reject", 0, "cascade reject-below probability (0 = default)")
+	llmBudget := flag.Int("llm-budget", 0, "max LLM pairs per resolve (0 = unlimited, negative = none)")
+	maxCents := flag.Float64("max-cents", 0, "max estimated cents per resolve (0 = uncapped)")
+	noCascade := flag.Bool("no-cascade", false, "send every candidate pair to the LLM")
+	shards := flag.Int("shards", 0, "index shards (0 = default)")
+	candidates := flag.Int("candidates", 0, "max blocking candidates per resolve (0 = default)")
+	workers := flag.Int("workers", 0, "LLM pipeline workers (0 = default)")
+	demo := flag.Bool("demo", false, "preload records derived from WDC Products")
+	records := flag.Int("records", 200, "number of records to preload in -demo mode")
+	flag.Parse()
+
+	client, err := llm4em.NewModel(*model)
+	fail(err)
+	design, err := llm4em.DesignByName(*designName)
+	fail(err)
+	domain := llm4em.Product
+	switch *domainName {
+	case "product":
+	case "publication":
+		domain = llm4em.Publication
+	default:
+		fail(fmt.Errorf("unknown domain %q", *domainName))
+	}
+
+	store := llm4em.NewStore(client, llm4em.StoreOptions{
+		Shards:        *shards,
+		MaxCandidates: *candidates,
+		Design:        design,
+		Domain:        domain,
+		Workers:       *workers,
+		Cascade: llm4em.CascadeOptions{
+			AcceptAbove:        *accept,
+			RejectBelow:        *reject,
+			LLMBudget:          *llmBudget,
+			MaxCentsPerResolve: *maxCents,
+			Disable:            *noCascade,
+		},
+	})
+
+	if *demo {
+		recs := demoCollection(*records)
+		fail(store.AddBatch(recs))
+		log.Printf("preloaded %d WDC records", len(recs))
+	}
+
+	log.Printf("emserve: model %s, design %s, listening on %s", *model, *designName, *addr)
+	fail(http.ListenAndServe(*addr, newHandler(store)))
+}
+
+// demoCollection builds a dirty record collection from the WDC test
+// split, as cmd/emblock does.
+func demoCollection(n int) []entity.Record {
+	ds := datasets.MustLoad("wdc")
+	var recs []entity.Record
+	seen := map[string]bool{}
+	for _, p := range ds.Test {
+		for _, r := range []entity.Record{p.A, p.B} {
+			if !seen[r.ID] {
+				recs = append(recs, r)
+				seen[r.ID] = true
+			}
+			if len(recs) == n {
+				return recs
+			}
+		}
+	}
+	return recs
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emserve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"llm4em"
+)
+
+// server exposes a resolution store over HTTP JSON. Endpoints:
+//
+//	POST /records       {"records":[{"id","attrs":[{"name","value"}]}]} — ingest
+//	POST /resolve       {"id","attrs":[...]} — resolve one query record
+//	GET  /entities/{id} — entity group containing the ID
+//	GET  /stats         — store and engine counters
+type server struct {
+	store *llm4em.Store
+}
+
+// newHandler wires the endpoints onto a mux.
+func newHandler(store *llm4em.Store) http.Handler {
+	s := &server{store: store}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /records", s.addRecords)
+	mux.HandleFunc("POST /resolve", s.resolve)
+	mux.HandleFunc("GET /entities/{id}", s.entity)
+	mux.HandleFunc("GET /stats", s.stats)
+	return mux
+}
+
+// Wire form of an entity record. Attributes are an ordered list
+// because serialization concatenates values in schema order.
+type recordJSON struct {
+	ID    string     `json:"id"`
+	Attrs []attrJSON `json:"attrs"`
+}
+
+type attrJSON struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+func (r recordJSON) toRecord() llm4em.Record {
+	rec := llm4em.Record{ID: r.ID}
+	for _, a := range r.Attrs {
+		rec.Attrs = append(rec.Attrs, llm4em.Attr{Name: a.Name, Value: a.Value})
+	}
+	return rec
+}
+
+func fromRecord(r llm4em.Record) recordJSON {
+	out := recordJSON{ID: r.ID, Attrs: []attrJSON{}}
+	for _, a := range r.Attrs {
+		out.Attrs = append(out.Attrs, attrJSON{Name: a.Name, Value: a.Value})
+	}
+	return out
+}
+
+type decisionJSON struct {
+	CandidateID string  `json:"candidate_id"`
+	BlockScore  float64 `json:"block_score"`
+	Probability float64 `json:"probability"`
+	Match       bool    `json:"match"`
+	Method      string  `json:"method"`
+	Answer      string  `json:"answer,omitempty"`
+	Cached      bool    `json:"cached,omitempty"`
+}
+
+type costJSON struct {
+	Candidates       int     `json:"candidates"`
+	LocalAccepts     int     `json:"local_accepts"`
+	LocalRejects     int     `json:"local_rejects"`
+	LLMPairs         int     `json:"llm_pairs"`
+	CacheHits        int     `json:"cache_hits"`
+	BudgetDecided    int     `json:"budget_decided"`
+	PromptTokens     int     `json:"prompt_tokens"`
+	CompletionTokens int     `json:"completion_tokens"`
+	Cents            float64 `json:"cents"`
+	Priced           bool    `json:"priced"`
+	LocalFraction    float64 `json:"local_fraction"`
+}
+
+func fromCost(c llm4em.CostReport) costJSON {
+	return costJSON{
+		Candidates:       c.Candidates,
+		LocalAccepts:     c.LocalAccepts,
+		LocalRejects:     c.LocalRejects,
+		LLMPairs:         c.LLMPairs,
+		CacheHits:        c.CacheHits,
+		BudgetDecided:    c.BudgetDecided,
+		PromptTokens:     c.PromptTokens,
+		CompletionTokens: c.CompletionTokens,
+		Cents:            c.Cents,
+		Priced:           c.Priced,
+		LocalFraction:    c.LocalFraction(),
+	}
+}
+
+// addRecords handles POST /records.
+func (s *server) addRecords(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Records []recordJSON `json:"records"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	if len(body.Records) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no records in body"))
+		return
+	}
+	added := 0
+	for _, rec := range body.Records {
+		if err := s.store.Add(rec.toRecord()); err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, llm4em.ErrDuplicateRecordID) {
+				status = http.StatusConflict
+			}
+			writeError(w, status, fmt.Errorf("after %d added: %w", added, err))
+			return
+		}
+		added++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"added":   added,
+		"records": s.store.Len(),
+	})
+}
+
+// resolve handles POST /resolve.
+func (s *server) resolve(w http.ResponseWriter, r *http.Request) {
+	var body recordJSON
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	res, err := s.store.Resolve(body.toRecord())
+	if err != nil {
+		// Malformed queries are the caller's fault; anything else is a
+		// matching-backend failure.
+		status := http.StatusBadGateway
+		if errors.Is(err, llm4em.ErrNoRecordID) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	decisions := make([]decisionJSON, len(res.Decisions))
+	for i, d := range res.Decisions {
+		decisions[i] = decisionJSON{
+			CandidateID: d.CandidateID,
+			BlockScore:  d.BlockScore,
+			Probability: d.Probability,
+			Match:       d.Match,
+			Method:      string(d.Method),
+			Answer:      d.Answer,
+			Cached:      d.Cached,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query_id":  res.Query.ID,
+		"entity_id": res.EntityID,
+		"matched":   res.Matched(),
+		"members":   res.Members,
+		"decisions": decisions,
+		"cost":      fromCost(res.Cost),
+	})
+}
+
+// entity handles GET /entities/{id}.
+func (s *server) entity(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	members, ok := s.store.Entity(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown ID %q", id))
+		return
+	}
+	records := []recordJSON{}
+	entityID := members[0]
+	for _, m := range members {
+		if rec, stored := s.store.Record(m); stored {
+			records = append(records, fromRecord(rec))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"entity_id": entityID,
+		"members":   members,
+		"records":   records,
+	})
+}
+
+// stats handles GET /stats.
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"records":           st.Records,
+		"entities":          st.Entities,
+		"resolves":          st.Resolves,
+		"candidate_pairs":   st.Candidates,
+		"local_accepts":     st.LocalAccepts,
+		"local_rejects":     st.LocalRejects,
+		"llm_pairs":         st.LLMPairs,
+		"budget_decided":    st.BudgetDecided,
+		"local_fraction":    st.LocalFraction(),
+		"prompt_tokens":     st.PromptTokens,
+		"completion_tokens": st.CompletionTokens,
+		"cents":             st.Cents,
+		"priced":            st.Priced,
+		"engine": map[string]any{
+			"client_calls": st.Engine.ClientCalls,
+			"cache_hits":   st.Engine.CacheHits,
+			"retries":      st.Engine.Retries,
+		},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

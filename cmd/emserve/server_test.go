@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"llm4em"
+)
+
+// newTestServer builds a handler over a GPT-mini store (deterministic
+// simulated model — no network).
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	model, err := llm4em.NewModel(llm4em.GPTMini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(llm4em.NewStore(model, llm4em.StoreOptions{
+		Domain: llm4em.Product,
+	})))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeBody(t, resp)
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeBody(t, resp)
+}
+
+func decodeBody(t *testing.T, resp *http.Response) map[string]any {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return m
+}
+
+const seedBody = `{"records":[
+	{"id":"r1","attrs":[{"name":"title","value":"sony dsc120b cybershot camera black"},{"name":"price","value":"348.00"}]},
+	{"id":"r2","attrs":[{"name":"title","value":"makita impact drill kit 18v"},{"name":"price","value":"129.00"}]},
+	{"id":"r3","attrs":[{"name":"title","value":"epson workforce 845 printer"},{"name":"price","value":"199.00"}]}
+]}`
+
+// TestServerEndToEnd is the acceptance flow: seed records, resolve a
+// query, read the entity back, check the stats — all over HTTP JSON.
+func TestServerEndToEnd(t *testing.T) {
+	srv := newTestServer(t)
+
+	// Ingest.
+	resp, body := postJSON(t, srv.URL+"/records", seedBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /records = %d: %v", resp.StatusCode, body)
+	}
+	if body["added"].(float64) != 3 || body["records"].(float64) != 3 {
+		t.Fatalf("ingest response %v", body)
+	}
+
+	// Resolve a near-duplicate of r1.
+	resp, body = postJSON(t, srv.URL+"/resolve",
+		`{"id":"q1","attrs":[{"name":"title","value":"Sony DSC-120B Cybershot camera (black)"},{"name":"price","value":"351.00"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /resolve = %d: %v", resp.StatusCode, body)
+	}
+	if body["query_id"] != "q1" {
+		t.Errorf("query_id = %v", body["query_id"])
+	}
+	if body["matched"] != true {
+		t.Fatalf("near-duplicate did not match: %v", body)
+	}
+	if body["entity_id"] != "q1" { // smallest member of {q1, r1}
+		t.Errorf("entity_id = %v, want q1", body["entity_id"])
+	}
+	members, _ := body["members"].([]any)
+	if len(members) != 2 || members[0] != "q1" || members[1] != "r1" {
+		t.Errorf("members = %v, want [q1 r1]", members)
+	}
+	decisions, _ := body["decisions"].([]any)
+	if len(decisions) == 0 {
+		t.Fatal("no decisions in resolve response")
+	}
+	d0 := decisions[0].(map[string]any)
+	for _, key := range []string{"candidate_id", "block_score", "probability", "match", "method"} {
+		if _, ok := d0[key]; !ok {
+			t.Errorf("decision missing %q: %v", key, d0)
+		}
+	}
+	cost, _ := body["cost"].(map[string]any)
+	if cost == nil || cost["candidates"].(float64) < 1 {
+		t.Fatalf("cost report %v", cost)
+	}
+	if cost["priced"] != true {
+		t.Error("GPT-mini resolve should be priced")
+	}
+
+	// Entity lookup for a member that was only a stored record.
+	resp, body = getJSON(t, srv.URL+"/entities/r1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /entities/r1 = %d: %v", resp.StatusCode, body)
+	}
+	if body["entity_id"] != "q1" {
+		t.Errorf("entity_id = %v", body["entity_id"])
+	}
+	records, _ := body["records"].([]any)
+	if len(records) != 1 { // only r1 is a stored record; q1 was a query
+		t.Errorf("entity records = %v, want just r1", records)
+	}
+
+	// Stats reflect the flow.
+	resp, body = getJSON(t, srv.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats = %d", resp.StatusCode)
+	}
+	if body["records"].(float64) != 3 || body["resolves"].(float64) != 1 {
+		t.Errorf("stats = %v", body)
+	}
+	if body["entities"].(float64) != 3 { // {q1,r1}, {r2}, {r3}
+		t.Errorf("entities = %v, want 3", body["entities"])
+	}
+	if _, ok := body["engine"].(map[string]any); !ok {
+		t.Errorf("stats missing engine block: %v", body)
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	srv := newTestServer(t)
+
+	resp, _ := postJSON(t, srv.URL+"/records", `{"records":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty ingest = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/records", `not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON = %d, want 400", resp.StatusCode)
+	}
+	if _, body := postJSON(t, srv.URL+"/records", seedBody); body["added"].(float64) != 3 {
+		t.Fatalf("seed failed: %v", body)
+	}
+	resp, body := postJSON(t, srv.URL+"/records",
+		`{"records":[{"id":"r1","attrs":[{"name":"title","value":"again"}]}]}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate ingest = %d, want 409: %v", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, srv.URL+"/resolve", `{"attrs":[{"name":"title","value":"no id"}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("resolve without ID = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = getJSON(t, srv.URL+"/entities/ghost")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown entity = %d, want 404", resp.StatusCode)
+	}
+	// Wrong methods fall through to 405 via the method-scoped mux.
+	resp, err := http.Get(srv.URL + "/resolve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /resolve = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerConcurrentResolves drives the handler with parallel
+// requests — the serving scenario the store's sharding exists for.
+func TestServerConcurrentResolves(t *testing.T) {
+	srv := newTestServer(t)
+	if resp, body := postJSON(t, srv.URL+"/records", seedBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed: %v", body)
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			body := fmt.Sprintf(
+				`{"id":"q%d","attrs":[{"name":"title","value":"sony dsc120b cybershot camera black"}]}`, i)
+			resp, err := http.Post(srv.URL+"/resolve", "application/json", strings.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, body := getJSON(t, srv.URL+"/stats")
+	if body["resolves"].(float64) != 8 {
+		t.Errorf("resolves = %v, want 8", body["resolves"])
+	}
+	// All eight queries joined r1's entity.
+	_, body = getJSON(t, srv.URL+"/entities/r1")
+	if members := body["members"].([]any); len(members) != 9 {
+		t.Errorf("entity has %d members, want 9", len(members))
+	}
+}

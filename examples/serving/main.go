@@ -1,0 +1,85 @@
+// Serving: run an online entity-resolution store — the deployment
+// shape behind cmd/emserve. Records are added incrementally, queries
+// resolve against the sharded IDF index, and a cascade matcher
+// answers confident candidate pairs with the local calibrated scorer
+// so only the genuinely uncertain band pays for an LLM call.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llm4em"
+)
+
+func offer(id, title, price string) llm4em.Record {
+	return llm4em.Record{ID: id, Attrs: []llm4em.Attr{
+		{Name: "title", Value: title},
+		{Name: "price", Value: price},
+	}}
+}
+
+func main() {
+	// 1. Build a store over GPT-mini — the cheap hosted model is the
+	// natural choice when the cascade only escalates hard pairs.
+	model, err := llm4em.NewModel(llm4em.GPTMini)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := llm4em.NewStore(model, llm4em.StoreOptions{
+		Domain: llm4em.Product,
+		Cascade: llm4em.CascadeOptions{
+			AcceptAbove: 0.90, // accept locally at >= 90% probability
+			RejectBelow: 0.15, // reject locally at <= 15%
+		},
+	})
+
+	// 2. Ingest a small catalog.
+	catalog := []llm4em.Record{
+		offer("r1", "Sony DSC-120B Cybershot camera black", "348.00"),
+		offer("r2", "sony dsc120b cyber-shot digital camera (black)", "351.00"),
+		offer("r3", "Makita XDT13 impact driver kit 18V", "129.00"),
+		offer("r4", "Epson WorkForce 845 all-in-one printer", "199.00"),
+	}
+	if err := store.AddBatch(catalog); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Resolve incoming offers. Each result reports which cascade
+	// stage decided every candidate pair and what the LLM share cost.
+	queries := []llm4em.Record{
+		offer("q1", "SONY Cyber-shot DSC120B camera, black", "349.99"),
+		offer("q2", "bosch gsr cordless drill driver", "99.00"),
+		// q3 is genuinely ambiguous (same product line as r3, no model
+		// number): the cascade escalates it to the LLM.
+		{ID: "q3", Attrs: []llm4em.Attr{
+			{Name: "title", Value: "makita impact driver kit 18v with case"},
+		}},
+	}
+	for _, q := range queries {
+		res, err := store.Resolve(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s -> entity %s (matched=%v)\n", q.ID, res.EntityID, res.Matched())
+		for _, d := range res.Decisions {
+			fmt.Printf("  vs %-3s p=%.2f %-15s match=%v\n",
+				d.CandidateID, d.Probability, d.Method, d.Match)
+		}
+		fmt.Printf("  cost: %d/%d pairs to the LLM (%.0f%% local), %.4f cents\n",
+			res.Cost.LLMPairs, res.Cost.Candidates,
+			100*res.Cost.LocalFraction(), res.Cost.Cents)
+	}
+
+	// 4. Entity groups fold transitively: r1 and r2 were separate
+	// records until q1 matched both.
+	fmt.Println("\nentities:")
+	for _, group := range store.Snapshot() {
+		fmt.Printf("  %v\n", group)
+	}
+
+	// 5. Lifetime counters — the numbers a deployment would watch.
+	st := store.Stats()
+	fmt.Printf("\nstats: %d records, %d entities, %d resolves, %.0f%% of pairs decided locally\n",
+		st.Records, st.Entities, st.Resolves, 100*st.LocalFraction())
+}

@@ -1,9 +1,11 @@
 package blocking
 
 import (
+	"fmt"
 	"testing"
 
 	"llm4em/internal/datasets"
+	"llm4em/internal/detrand"
 	"llm4em/internal/entity"
 )
 
@@ -32,5 +34,68 @@ func BenchmarkDedup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = blocker.Dedup(recs)
+	}
+}
+
+// syntheticRecords generates a deterministic product-offer-like
+// collection: a brand and category word pool shared across records
+// (stop-token pressure) plus a rare per-record model token.
+func syntheticRecords(n int) []entity.Record {
+	brands := []string{"sony", "canon", "epson", "makita"}
+	cats := []string{"camera", "printer", "drill", "laptop"}
+	adjs := []string{"pro", "compact", "wireless", "digital"}
+	rng := detrand.New("blocking-bench")
+	recs := make([]entity.Record, n)
+	for i := range recs {
+		title := fmt.Sprintf("%s %s %s model%04d rev%d",
+			brands[rng.Intn(len(brands))],
+			adjs[rng.Intn(len(adjs))],
+			cats[rng.Intn(len(cats))],
+			i/2, // every model token shared by ~2 records
+			rng.Intn(3))
+		recs[i] = entity.Record{
+			ID:    fmt.Sprintf("s%05d", i),
+			Attrs: []entity.Attr{{Name: "title", Value: title}},
+		}
+	}
+	return recs
+}
+
+// BenchmarkCandidatesRebuild measures the old TokenBlocker path that
+// rebuilds the inverted index on every Candidates call: 100 queries
+// against 10k records, index rebuilt each iteration.
+func BenchmarkCandidatesRebuild(b *testing.B) {
+	records := syntheticRecords(10000)
+	queries := records[:100]
+	blocker := &TokenBlocker{MaxCandidates: 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = blocker.Candidates(queries, records)
+	}
+}
+
+// BenchmarkCandidatesIndexReuse measures the same workload through a
+// prebuilt Index: 100 queries against 10k records, index built once.
+func BenchmarkCandidatesIndexReuse(b *testing.B) {
+	records := syntheticRecords(10000)
+	queries := records[:100]
+	blocker := &TokenBlocker{MaxCandidates: 5}
+	ix := NewIndex(records, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = blocker.CandidatesIndexed(queries, ix)
+	}
+}
+
+// BenchmarkIndexAdd measures incremental index growth per record.
+func BenchmarkIndexAdd(b *testing.B) {
+	records := syntheticRecords(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ix := NewIndex(nil, 0.2)
+	for i := 0; i < b.N; i++ {
+		ix.Add(records[i%len(records)])
 	}
 }

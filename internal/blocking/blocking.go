@@ -6,13 +6,14 @@
 // clusterer that turns pairwise decisions into entity groups.
 package blocking
 
-import (
-	"math"
-	"sort"
+import "llm4em/internal/entity"
 
-	"llm4em/internal/entity"
-	"llm4em/internal/tokenize"
-)
+// ExplicitZero requests a literal zero for the TokenBlocker threshold
+// fields whose zero value selects a package default: MinScore:
+// ExplicitZero accepts any positive token overlap, StopDocFrac:
+// ExplicitZero treats every token above the absolute frequency floor
+// as a stop token. Any negative value works the same way.
+const ExplicitZero = -1
 
 // TokenBlocker generates candidate pairs by shared-token overlap with
 // inverse-document-frequency weighting: pairs sharing rare tokens
@@ -21,11 +22,15 @@ type TokenBlocker struct {
 	// MaxCandidates is the maximum number of candidates kept per left
 	// record (default 10).
 	MaxCandidates int
-	// MinScore is the minimum summed IDF weight for a candidate
-	// (default 1.0).
+	// MinScore is the minimum summed IDF weight for a candidate. The
+	// zero value selects the default 1.0; pass a negative value
+	// (ExplicitZero) to accept any positive overlap.
 	MinScore float64
-	// StopDocFrac drops tokens occurring in more than this fraction
-	// of records from the index (default 0.2).
+	// StopDocFrac drops tokens occurring in more than this fraction of
+	// records (and in at least 5 of them) from the index. The zero
+	// value selects the default 0.2; pass a negative value
+	// (ExplicitZero) for a literal zero fraction, or any value >= 1 to
+	// disable stop-token filtering.
 	StopDocFrac float64
 }
 
@@ -37,14 +42,20 @@ func (b *TokenBlocker) maxCandidates() int {
 }
 
 func (b *TokenBlocker) minScore() float64 {
-	if b.MinScore <= 0 {
+	if b.MinScore < 0 {
+		return 0
+	}
+	if b.MinScore == 0 {
 		return 1.0
 	}
 	return b.MinScore
 }
 
 func (b *TokenBlocker) stopDocFrac() float64 {
-	if b.StopDocFrac <= 0 {
+	if b.StopDocFrac < 0 {
+		return 0
+	}
+	if b.StopDocFrac == 0 {
 		return 0.2
 	}
 	return b.StopDocFrac
@@ -52,50 +63,25 @@ func (b *TokenBlocker) stopDocFrac() float64 {
 
 // Candidates blocks two record collections and returns unlabelled
 // candidate pairs, ranked per left record by IDF-weighted token
-// overlap.
+// overlap. The index over right is built afresh; callers blocking
+// repeatedly against a stable collection should build an Index once
+// and use CandidatesIndexed.
 func (b *TokenBlocker) Candidates(left, right []entity.Record) []entity.Pair {
-	index, idf := buildIndex(right, b.stopDocFrac())
+	return b.CandidatesIndexed(left, NewIndex(right, b.stopDocFrac()))
+}
+
+// CandidatesIndexed blocks the left records against a prebuilt Index,
+// applying the blocker's candidate and score thresholds. The index's
+// own stop-token fraction governs token filtering.
+func (b *TokenBlocker) CandidatesIndexed(left []entity.Record, ix *Index) []entity.Pair {
 	var out []entity.Pair
 	for _, l := range left {
-		scores := map[int]float64{}
-		seen := map[string]bool{}
-		for _, t := range tokenize.Words(l.Serialize()) {
-			if seen[t] {
-				continue
-			}
-			seen[t] = true
-			w, ok := idf[t]
-			if !ok {
-				continue
-			}
-			for _, ri := range index[t] {
-				scores[ri] += w
-			}
-		}
-		type cand struct {
-			ri    int
-			score float64
-		}
-		cands := make([]cand, 0, len(scores))
-		for ri, sc := range scores {
-			if sc >= b.minScore() {
-				cands = append(cands, cand{ri, sc})
-			}
-		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].score != cands[j].score {
-				return cands[i].score > cands[j].score
-			}
-			return cands[i].ri < cands[j].ri
-		})
-		if len(cands) > b.maxCandidates() {
-			cands = cands[:b.maxCandidates()]
-		}
-		for _, c := range cands {
+		for _, c := range ix.Query(l.Serialize(), b.maxCandidates(), b.minScore()) {
+			r := ix.Record(c.Pos)
 			out = append(out, entity.Pair{
-				ID: l.ID + "|" + right[c.ri].ID,
+				ID: l.ID + "|" + r.ID,
 				A:  l,
-				B:  right[c.ri],
+				B:  r,
 			})
 		}
 	}
@@ -131,34 +117,6 @@ func (b *TokenBlocker) Dedup(records []entity.Record) []entity.Pair {
 	return out
 }
 
-// buildIndex builds an inverted token index with IDF weights over the
-// records, dropping tokens more frequent than stopFrac.
-func buildIndex(records []entity.Record, stopFrac float64) (map[string][]int, map[string]float64) {
-	index := map[string][]int{}
-	for i, r := range records {
-		seen := map[string]bool{}
-		for _, t := range tokenize.Words(r.Serialize()) {
-			if !seen[t] {
-				index[t] = append(index[t], i)
-				seen[t] = true
-			}
-		}
-	}
-	n := float64(len(records))
-	idf := map[string]float64{}
-	for t, postings := range index {
-		df := float64(len(postings))
-		// Drop stop tokens: frequent both relatively and absolutely,
-		// so tiny collections keep their vocabulary.
-		if df/n > stopFrac && df >= 5 {
-			delete(index, t)
-			continue
-		}
-		idf[t] = math.Log(1 + n/df)
-	}
-	return index, idf
-}
-
 // PairRecall measures which fraction of gold matching pairs survived
 // blocking — the standard blocker quality metric.
 func PairRecall(candidates []entity.Pair, gold []entity.Pair) float64 {
@@ -181,45 +139,17 @@ func PairRecall(candidates []entity.Pair, gold []entity.Pair) float64 {
 
 // Cluster groups records into entities from pairwise match decisions
 // using union-find over the decided-match pairs. It returns the
-// clusters as slices of record IDs, sorted for determinism.
+// clusters as slices of record IDs, sorted for determinism. Pairs
+// beyond the length of decisions count as non-matches; surplus
+// decisions are ignored.
 func Cluster(pairs []entity.Pair, decisions []bool) [][]string {
-	parent := map[string]string{}
-	var find func(string) string
-	find = func(x string) string {
-		if parent[x] == "" || parent[x] == x {
-			parent[x] = x
-			return x
-		}
-		root := find(parent[x])
-		parent[x] = root
-		return root
-	}
-	union := func(a, b string) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			if rb < ra {
-				ra, rb = rb, ra
-			}
-			parent[rb] = ra
-		}
-	}
+	u := NewUnionFind()
 	for i, p := range pairs {
-		find(p.A.ID)
-		find(p.B.ID)
+		u.Add(p.A.ID)
+		u.Add(p.B.ID)
 		if i < len(decisions) && decisions[i] {
-			union(p.A.ID, p.B.ID)
+			u.Union(p.A.ID, p.B.ID)
 		}
 	}
-	groups := map[string][]string{}
-	for id := range parent {
-		root := find(id)
-		groups[root] = append(groups[root], id)
-	}
-	out := make([][]string, 0, len(groups))
-	for _, g := range groups {
-		sort.Strings(g)
-		out = append(out, g)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
-	return out
+	return u.Groups()
 }

@@ -1,0 +1,192 @@
+package blocking
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"llm4em/internal/detrand"
+	"llm4em/internal/entity"
+)
+
+func pair(a, b string) entity.Pair {
+	return entity.Pair{ID: a + "|" + b, A: entity.Record{ID: a}, B: entity.Record{ID: b}}
+}
+
+func TestClusterEmptyInput(t *testing.T) {
+	if got := Cluster(nil, nil); len(got) != 0 {
+		t.Errorf("Cluster(nil) = %v", got)
+	}
+	if got := Cluster([]entity.Pair{}, []bool{true, false}); len(got) != 0 {
+		t.Errorf("Cluster with surplus decisions = %v", got)
+	}
+}
+
+func TestClusterMismatchedDecisionsLength(t *testing.T) {
+	pairs := []entity.Pair{pair("a", "b"), pair("c", "d"), pair("e", "f")}
+	// Shorter decisions: pairs beyond the slice count as non-matches.
+	got := Cluster(pairs, []bool{true})
+	want := [][]string{{"a", "b"}, {"c"}, {"d"}, {"e"}, {"f"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("short decisions: got %v, want %v", got, want)
+	}
+	// Longer decisions: the surplus is ignored.
+	got = Cluster(pairs[:1], []bool{true, true, true, true})
+	want = [][]string{{"a", "b"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("surplus decisions: got %v, want %v", got, want)
+	}
+}
+
+func TestClusterSelfPairs(t *testing.T) {
+	pairs := []entity.Pair{pair("a", "a"), pair("a", "b")}
+	got := Cluster(pairs, []bool{true, false})
+	want := [][]string{{"a"}, {"b"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("self-pair: got %v, want %v", got, want)
+	}
+}
+
+func TestClusterTransitiveChain(t *testing.T) {
+	// a-b, b-c, c-d all match: one entity despite no direct a-d pair.
+	pairs := []entity.Pair{pair("a", "b"), pair("b", "c"), pair("c", "d"), pair("x", "y")}
+	got := Cluster(pairs, []bool{true, true, true, false})
+	want := [][]string{{"a", "b", "c", "d"}, {"x"}, {"y"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("chain: got %v, want %v", got, want)
+	}
+}
+
+// TestClusterDeterministicOrdering shuffles pair order and checks the
+// grouping is identical — group membership, member order and group
+// order.
+func TestClusterDeterministicOrdering(t *testing.T) {
+	var pairs []entity.Pair
+	var decisions []bool
+	for i := 0; i < 30; i++ {
+		a, b := fmt.Sprintf("r%02d", i), fmt.Sprintf("r%02d", (i*7)%30)
+		pairs = append(pairs, pair(a, b))
+		decisions = append(decisions, i%3 != 0)
+	}
+	want := Cluster(pairs, decisions)
+	rng := detrand.New("cluster-shuffle")
+	for trial := 0; trial < 5; trial++ {
+		perm := make([]int, len(pairs))
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := len(perm) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		shuffledPairs := make([]entity.Pair, len(pairs))
+		shuffledDecisions := make([]bool, len(decisions))
+		for i, p := range perm {
+			shuffledPairs[i] = pairs[p]
+			shuffledDecisions[i] = decisions[p]
+		}
+		got := Cluster(shuffledPairs, shuffledDecisions)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: shuffled clustering differs\ngot:  %v\nwant: %v", trial, got, want)
+		}
+	}
+}
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind()
+	if _, ok := u.Find("a"); ok {
+		t.Error("empty forest knows a")
+	}
+	if u.Members("a") != nil {
+		t.Error("Members of unknown ID should be nil")
+	}
+	if root := u.Add("b"); root != "b" {
+		t.Errorf("Add(b) root = %q", root)
+	}
+	if root := u.Add("b"); root != "b" {
+		t.Errorf("re-Add(b) root = %q", root)
+	}
+	if u.Len() != 1 || u.Sets() != 1 {
+		t.Errorf("Len/Sets = %d/%d", u.Len(), u.Sets())
+	}
+	// Union adds unknown IDs and roots at the smallest member.
+	if root := u.Union("c", "b"); root != "b" {
+		t.Errorf("Union(c,b) root = %q, want b", root)
+	}
+	if root := u.Union("a", "c"); root != "a" {
+		t.Errorf("Union(a,c) root = %q, want a", root)
+	}
+	if got, want := u.Members("b"), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Members(b) = %v, want %v", got, want)
+	}
+	if u.Len() != 3 || u.Sets() != 1 {
+		t.Errorf("Len/Sets = %d/%d, want 3/1", u.Len(), u.Sets())
+	}
+	// Self-union is a no-op.
+	if root := u.Union("a", "a"); root != "a" {
+		t.Errorf("Union(a,a) = %q", root)
+	}
+}
+
+// TestUnionFindOrderIndependence: any union order over the same edge
+// set yields identical roots and groups — the property the online
+// store's concurrent folding relies on.
+func TestUnionFindOrderIndependence(t *testing.T) {
+	edges := [][2]string{{"d", "c"}, {"b", "a"}, {"c", "b"}, {"f", "e"}, {"g", "g"}}
+	want := func() [][]string {
+		u := NewUnionFind()
+		for _, e := range edges {
+			u.Union(e[0], e[1])
+		}
+		return u.Groups()
+	}()
+	// All permutations of 5 edges.
+	var permute func(k int, order []int)
+	perms := [][]int{}
+	order := []int{0, 1, 2, 3, 4}
+	permute = func(k int, order []int) {
+		if k == len(order) {
+			perms = append(perms, append([]int(nil), order...))
+			return
+		}
+		for i := k; i < len(order); i++ {
+			order[k], order[i] = order[i], order[k]
+			permute(k+1, order)
+			order[k], order[i] = order[i], order[k]
+		}
+	}
+	permute(0, order)
+	for _, p := range perms {
+		u := NewUnionFind()
+		for _, ei := range p {
+			u.Union(edges[ei][0], edges[ei][1])
+		}
+		if got := u.Groups(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("order %v: groups %v, want %v", p, got, want)
+		}
+	}
+	if want[0][0] != "a" {
+		t.Fatalf("canonical first group should start at smallest ID: %v", want)
+	}
+}
+
+func TestUnionFindIncrementalGrowth(t *testing.T) {
+	u := NewUnionFind()
+	for i := 0; i < 100; i++ {
+		u.Add(fmt.Sprintf("n%03d", i))
+	}
+	// Chain every consecutive pair: one long transitive entity.
+	for i := 1; i < 100; i++ {
+		u.Union(fmt.Sprintf("n%03d", i-1), fmt.Sprintf("n%03d", i))
+	}
+	if u.Sets() != 1 {
+		t.Fatalf("Sets = %d, want 1", u.Sets())
+	}
+	root, _ := u.Find("n099")
+	if root != "n000" {
+		t.Errorf("root = %q, want n000", root)
+	}
+	if got := u.Members("n050"); len(got) != 100 || got[0] != "n000" || got[99] != "n099" {
+		t.Errorf("Members length %d, bounds %q..%q", len(got), got[0], got[len(got)-1])
+	}
+}

@@ -1,0 +1,125 @@
+package blocking
+
+import (
+	"math"
+	"sort"
+
+	"llm4em/internal/entity"
+	"llm4em/internal/tokenize"
+)
+
+// Index is an inverted IDF token index over a record collection:
+// build it (or grow it with Add) once and query it many times.
+// TokenBlocker routes Candidates through a throwaway Index; long-lived
+// callers — the online resolution store, repeated blocking runs over a
+// stable collection — keep the Index and amortize construction.
+//
+// Token weights are derived from document frequencies at query time
+// (IDF = log(1 + n/df)), so an Index stays correct as records are
+// added: a token that was rare can become a stop token later without
+// any rebuild. Stop tokens — tokens occurring in more than StopFrac of
+// the records and in at least stopMinDocs of them — are skipped when
+// scoring, mirroring the build-time filter the TokenBlocker previously
+// applied.
+//
+// An Index is not safe for concurrent mutation; guard Add against
+// concurrent Query with a lock (internal/resolve shards do).
+type Index struct {
+	stopFrac float64
+	records  []entity.Record
+	postings map[string][]int
+}
+
+// stopMinDocs is the absolute document-frequency floor below which a
+// token is never treated as a stop token, so tiny collections keep
+// their vocabulary.
+const stopMinDocs = 5
+
+// NewIndex builds an index over the records. stopFrac is the stop-token
+// document-frequency fraction; values below zero disable no tokens
+// explicitly (a literal zero), values of one or more disable stop-token
+// filtering entirely.
+func NewIndex(records []entity.Record, stopFrac float64) *Index {
+	ix := &Index{
+		stopFrac: math.Max(stopFrac, 0),
+		records:  make([]entity.Record, 0, len(records)),
+		postings: map[string][]int{},
+	}
+	for _, r := range records {
+		ix.Add(r)
+	}
+	return ix
+}
+
+// Add appends one record to the index and returns its position.
+func (ix *Index) Add(r entity.Record) int {
+	pos := len(ix.records)
+	ix.records = append(ix.records, r)
+	seen := map[string]bool{}
+	for _, t := range tokenize.Words(r.Serialize()) {
+		if !seen[t] {
+			ix.postings[t] = append(ix.postings[t], pos)
+			seen[t] = true
+		}
+	}
+	return pos
+}
+
+// Len returns the number of indexed records.
+func (ix *Index) Len() int { return len(ix.records) }
+
+// Record returns the record at an index position.
+func (ix *Index) Record(pos int) entity.Record { return ix.records[pos] }
+
+// Candidate is one query result: an index position and its summed IDF
+// overlap score.
+type Candidate struct {
+	Pos   int
+	Score float64
+}
+
+// Query scores the indexed records against the text by IDF-weighted
+// token overlap and returns candidates with score >= minScore, ranked
+// by decreasing score (ties broken by position). maxCandidates bounds
+// the result; zero or negative means unbounded.
+func (ix *Index) Query(text string, maxCandidates int, minScore float64) []Candidate {
+	n := float64(len(ix.records))
+	scores := map[int]float64{}
+	seen := map[string]bool{}
+	for _, t := range tokenize.Words(text) {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		post := ix.postings[t]
+		df := float64(len(post))
+		if df == 0 {
+			continue
+		}
+		// Stop tokens: frequent both relatively and absolutely, so
+		// tiny collections keep their vocabulary.
+		if df/n > ix.stopFrac && df >= stopMinDocs {
+			continue
+		}
+		w := math.Log(1 + n/df)
+		for _, pos := range post {
+			scores[pos] += w
+		}
+	}
+	cands := make([]Candidate, 0, len(scores))
+	for pos, sc := range scores {
+		if sc >= minScore {
+			cands = append(cands, Candidate{Pos: pos, Score: sc})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Pos < cands[j].Pos
+	})
+	if maxCandidates > 0 && len(cands) > maxCandidates {
+		cands = cands[:maxCandidates]
+	}
+	return cands
+}

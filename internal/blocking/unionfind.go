@@ -1,0 +1,110 @@
+package blocking
+
+import "sort"
+
+// UnionFind is an incremental disjoint-set forest over string IDs.
+// The canonical root of every set is its lexicographically smallest
+// member, so set identities are stable under any union order: merging
+// the same pairs in any sequence yields the same roots and the same
+// groups. That determinism is what lets the online resolution store
+// fold concurrently arriving match decisions into entity groups
+// without ordering them first.
+//
+// A UnionFind is not safe for concurrent use; callers guard it with a
+// lock (internal/resolve does).
+type UnionFind struct {
+	parent  map[string]string
+	members map[string][]string // root -> member IDs (unsorted)
+}
+
+// NewUnionFind returns an empty disjoint-set forest.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{
+		parent:  map[string]string{},
+		members: map[string][]string{},
+	}
+}
+
+// Add ensures the ID is present, as a singleton set if it is new, and
+// returns its root.
+func (u *UnionFind) Add(id string) string {
+	if _, ok := u.parent[id]; !ok {
+		u.parent[id] = id
+		u.members[id] = []string{id}
+	}
+	return u.find(id)
+}
+
+// Find returns the canonical root of the ID's set and whether the ID
+// is known.
+func (u *UnionFind) Find(id string) (string, bool) {
+	if _, ok := u.parent[id]; !ok {
+		return "", false
+	}
+	return u.find(id), true
+}
+
+// find resolves the root with iterative path compression.
+func (u *UnionFind) find(id string) string {
+	root := id
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[id] != root {
+		id, u.parent[id] = u.parent[id], root
+	}
+	return root
+}
+
+// Union merges the sets of a and b, adding either ID if it is new, and
+// returns the root of the merged set — the smallest member ID.
+func (u *UnionFind) Union(a, b string) string {
+	ra, rb := u.Add(a), u.Add(b)
+	if ra == rb {
+		return ra
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.members[ra] = append(u.members[ra], u.members[rb]...)
+	delete(u.members, rb)
+	return ra
+}
+
+// Members returns the sorted member IDs of the set containing the ID,
+// or nil if the ID is unknown.
+func (u *UnionFind) Members(id string) []string {
+	root, ok := u.Find(id)
+	if !ok {
+		return nil
+	}
+	out := make([]string, len(u.members[root]))
+	copy(out, u.members[root])
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of known IDs.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// Sets returns the number of disjoint sets.
+func (u *UnionFind) Sets() int { return len(u.members) }
+
+// Groups returns all sets as sorted member slices, ordered by their
+// root (smallest member) for determinism.
+func (u *UnionFind) Groups() [][]string {
+	roots := make([]string, 0, len(u.members))
+	for r := range u.members {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+	out := make([][]string, 0, len(roots))
+	for _, r := range roots {
+		g := make([]string, len(u.members[r]))
+		copy(g, u.members[r])
+		sort.Strings(g)
+		out = append(out, g)
+	}
+	return out
+}

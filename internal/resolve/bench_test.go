@@ -1,0 +1,102 @@
+package resolve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"llm4em/internal/detrand"
+	"llm4em/internal/entity"
+	"llm4em/internal/llm"
+)
+
+// benchClient answers instantly and deterministically, so the
+// benchmark measures store overhead rather than simulated latency.
+type benchClient struct{}
+
+func (benchClient) Name() string { return "bench" }
+func (benchClient) Chat(messages []llm.Message) (llm.Response, error) {
+	return llm.Response{Content: "No.", PromptTokens: 80, CompletionTokens: 2}, nil
+}
+
+// benchStore seeds a store with n synthetic offers and returns query
+// variants of them (same offer, slightly reworded).
+func benchStore(b *testing.B, n int) (*Store, []entity.Record) {
+	b.Helper()
+	brands := []string{"sony", "canon", "epson", "makita"}
+	cats := []string{"camera", "printer", "drill", "laptop"}
+	rng := detrand.New("resolve-bench")
+	s := New(benchClient{}, Options{})
+	queries := make([]entity.Record, 0, n)
+	for i := 0; i < n; i++ {
+		brand := brands[rng.Intn(len(brands))]
+		cat := cats[rng.Intn(len(cats))]
+		title := fmt.Sprintf("%s %s model%04d", brand, cat, i)
+		if err := s.Add(entity.Record{
+			ID:    fmt.Sprintf("s%05d", i),
+			Attrs: []entity.Attr{{Name: "title", Value: title}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, entity.Record{
+			ID:    fmt.Sprintf("q%05d", i),
+			Attrs: []entity.Attr{{Name: "title", Value: fmt.Sprintf("%s %s digital model%04d", brand, cat, i)}},
+		})
+	}
+	return s, queries
+}
+
+// BenchmarkStoreResolve measures sequential resolve throughput
+// against a 10k-record store.
+func BenchmarkStoreResolve(b *testing.B) {
+	s, queries := benchStore(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		q.ID = fmt.Sprintf("%s-%d", q.ID, i) // fresh graph node per call
+		if _, err := s.Resolve(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := s.Stats()
+	if st.Candidates > 0 {
+		b.ReportMetric(float64(st.LLMPairs)/float64(st.Resolves), "llm-pairs/resolve")
+		b.ReportMetric(100*st.LocalFraction(), "%local")
+	}
+}
+
+// BenchmarkStoreResolveParallel measures concurrent resolve
+// throughput: the serving-path hot loop with per-shard read locks.
+func BenchmarkStoreResolveParallel(b *testing.B) {
+	s, queries := benchStore(b, 10000)
+	var ctr int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := atomic.AddInt64(&ctr, 1)
+			q := queries[int(n)%len(queries)]
+			q.ID = fmt.Sprintf("%s-p%d", q.ID, n)
+			if _, err := s.Resolve(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStoreAdd measures incremental ingestion.
+func BenchmarkStoreAdd(b *testing.B) {
+	s := New(benchClient{}, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Add(entity.Record{
+			ID:    fmt.Sprintf("a%08d", i),
+			Attrs: []entity.Attr{{Name: "title", Value: fmt.Sprintf("sony camera model%08d", i)}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

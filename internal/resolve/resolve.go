@@ -1,0 +1,472 @@
+// Package resolve implements an online, incremental entity-resolution
+// store — the serving-side counterpart of the paper's offline batch
+// experiments. A Store maintains a sharded inverted IDF index
+// (blocking.Index) over the records added so far, resolves incoming
+// query records against it, and folds the resulting match decisions
+// into entity groups with an incremental union-find clusterer
+// (blocking.UnionFind).
+//
+// Candidate pairs are routed through a cascade matcher: a calibrated
+// local scorer (features.Weights over the unified pair feature
+// vector) answers the confident pairs immediately, and only the
+// uncertain band between the accept/reject thresholds is escalated to
+// the LLM via the concurrent pipeline engine. Every Resolve call
+// returns a CostReport showing the split and the estimated spend
+// under the model's hosted pricing (internal/cost).
+//
+// A Store is safe for concurrent use. Index reads take per-shard
+// read locks, record inserts take one shard's write lock, and entity
+// folding takes the graph lock, so Adds and Resolves on different
+// shards proceed in parallel. Resolving against a fixed store is
+// deterministic regardless of concurrency: index queries are pure
+// reads, the simulated models are deterministic at temperature 0, and
+// union-find folding is order-independent (canonical roots are the
+// smallest member IDs).
+package resolve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"llm4em/internal/blocking"
+	"llm4em/internal/core"
+	"llm4em/internal/cost"
+	"llm4em/internal/entity"
+	"llm4em/internal/llm"
+	"llm4em/internal/pipeline"
+	"llm4em/internal/prompt"
+	"llm4em/internal/tokenize"
+)
+
+// Store defaults used when an Options field is left at its zero
+// value.
+const (
+	DefaultShards        = 8
+	DefaultMaxCandidates = 10
+	DefaultMinScore      = 1.0
+	DefaultStopDocFrac   = 0.2
+	DefaultDesign        = "domain-complex-force"
+)
+
+// Options configures a Store. The zero value selects sensible
+// defaults throughout; negative MinScore/StopDocFrac request literal
+// zeros (see blocking.ExplicitZero).
+type Options struct {
+	// Shards is the number of index shards (default DefaultShards).
+	Shards int
+	// MaxCandidates bounds the candidate pairs per Resolve call
+	// (default DefaultMaxCandidates).
+	MaxCandidates int
+	// MinScore is the minimum summed IDF blocking score (default
+	// DefaultMinScore; negative means zero).
+	MinScore float64
+	// StopDocFrac is the stop-token document-frequency fraction of the
+	// shard indexes (default DefaultStopDocFrac; negative means zero).
+	StopDocFrac float64
+	// Design is the prompt design for escalated pairs (zero value
+	// selects DefaultDesign).
+	Design prompt.Design
+	// Domain is the topical domain of the store's records.
+	Domain entity.Domain
+	// Cascade tunes the cascade matcher.
+	Cascade CascadeOptions
+	// Workers, CacheSize and MaxRetries tune the LLM pipeline engine;
+	// zero values select the pipeline defaults.
+	Workers    int
+	CacheSize  int
+	MaxRetries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = DefaultMaxCandidates
+	}
+	if o.MinScore < 0 {
+		o.MinScore = 0
+	} else if o.MinScore == 0 {
+		o.MinScore = DefaultMinScore
+	}
+	if o.StopDocFrac < 0 {
+		o.StopDocFrac = 0
+	} else if o.StopDocFrac == 0 {
+		o.StopDocFrac = DefaultStopDocFrac
+	}
+	if o.Design.Name == "" {
+		o.Design, _ = prompt.DesignByName(DefaultDesign)
+	}
+	return o
+}
+
+// Typed errors, for callers (e.g. the HTTP front end) that map
+// failure classes to response codes.
+var (
+	// ErrNoID marks a record or query with an empty ID — a caller
+	// mistake.
+	ErrNoID = errors.New("resolve: record has no ID")
+	// ErrDuplicateID marks an Add of an already-stored record ID.
+	ErrDuplicateID = errors.New("resolve: duplicate record ID")
+)
+
+// Store is the online entity-resolution store.
+type Store struct {
+	opts    Options
+	eng     *pipeline.Engine
+	pricing cost.Pricing
+	priced  bool
+
+	shards []*shard
+
+	graphMu sync.Mutex
+	graph   *blocking.UnionFind
+
+	statsMu sync.Mutex
+	totals  totals
+}
+
+// shard is one partition of the record store and its inverted index.
+// Records route to shards by ID hash, so concurrent Adds contend only
+// per shard; Resolves read every shard under its read lock.
+type shard struct {
+	mu   sync.RWMutex
+	ix   *blocking.Index
+	recs map[string]entity.Record
+}
+
+// totals accumulates store-lifetime counters under statsMu.
+type totals struct {
+	resolves         uint64
+	candidates       uint64
+	localAccepts     uint64
+	localRejects     uint64
+	llmPairs         uint64
+	budgetDecided    uint64
+	promptTokens     uint64
+	completionTokens uint64
+	cents            float64
+}
+
+// New returns an empty store resolving against the client.
+func New(client llm.Client, opts Options) *Store {
+	o := opts.withDefaults()
+	s := &Store{
+		opts: o,
+		eng: pipeline.New(client, pipeline.Options{
+			Workers:    o.Workers,
+			CacheSize:  o.CacheSize,
+			MaxRetries: o.MaxRetries,
+		}),
+		shards: make([]*shard, o.Shards),
+		graph:  blocking.NewUnionFind(),
+	}
+	s.pricing, s.priced = cost.For(client.Name())
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			ix:   blocking.NewIndex(nil, o.StopDocFrac),
+			recs: map[string]entity.Record{},
+		}
+	}
+	return s
+}
+
+// shardFor routes a record ID to its shard.
+func (s *Store) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Add inserts a record into the store: it becomes findable by Resolve
+// and forms a singleton entity until matched. Records with empty or
+// duplicate IDs are rejected.
+func (s *Store) Add(r entity.Record) error {
+	if r.ID == "" {
+		return ErrNoID
+	}
+	sh := s.shardFor(r.ID)
+	sh.mu.Lock()
+	if _, dup := sh.recs[r.ID]; dup {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDuplicateID, r.ID)
+	}
+	sh.recs[r.ID] = r
+	sh.ix.Add(r)
+	sh.mu.Unlock()
+
+	s.graphMu.Lock()
+	s.graph.Add(r.ID)
+	s.graphMu.Unlock()
+	return nil
+}
+
+// AddBatch inserts the records, stopping at the first error.
+func (s *Store) AddBatch(rs []entity.Record) error {
+	for _, r := range rs {
+		if err := s.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Record returns a stored record by ID.
+func (s *Store) Record(id string) (entity.Record, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	r, ok := sh.recs[id]
+	sh.mu.RUnlock()
+	return r, ok
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.recs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Result is the outcome of resolving one query record.
+type Result struct {
+	// Query is the resolved record.
+	Query entity.Record
+	// EntityID is the canonical ID of the entity the query belongs to
+	// after folding — the smallest member ID of its group (the query's
+	// own ID if nothing matched). It reflects the entity graph at fold
+	// time: concurrently resolved queries that joined the same entity
+	// earlier appear in it. Decisions and the final Snapshot are
+	// independent of that ordering.
+	EntityID string
+	// Members are the sorted IDs of that entity at fold time,
+	// including the query.
+	Members []string
+	// Decisions covers every candidate pair in blocking-rank order.
+	Decisions []PairDecision
+	// Cost accounts the call.
+	Cost CostReport
+}
+
+// Matched reports whether the query matched any stored record.
+func (r Result) Matched() bool { return len(r.Members) > 1 }
+
+// Resolve matches a query record against the store and folds the
+// decisions into the entity graph: the query joins the entity of every
+// record it matched (transitively merging their groups). The query
+// itself is NOT added to the searchable index — call Add for that,
+// before or after — so concurrent Resolves against a fixed store are
+// independent and deterministic.
+func (s *Store) Resolve(q entity.Record) (Result, error) {
+	if q.ID == "" {
+		return Result{}, fmt.Errorf("query: %w", ErrNoID)
+	}
+	text := q.Serialize()
+
+	// Blocking: query every shard's index, merge, re-rank globally.
+	type scored struct {
+		rec   entity.Record
+		score float64
+	}
+	var cands []scored
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, c := range sh.ix.Query(text, s.opts.MaxCandidates, s.opts.MinScore) {
+			r := sh.ix.Record(c.Pos)
+			if r.ID == q.ID {
+				continue // re-resolving an added record
+			}
+			cands = append(cands, scored{rec: r, score: c.Score})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].rec.ID < cands[j].rec.ID
+	})
+	if len(cands) > s.opts.MaxCandidates {
+		cands = cands[:s.opts.MaxCandidates]
+	}
+
+	// Cascade: local scorer first, the uncertain band to the LLM.
+	ids := make([]string, len(cands))
+	texts := make([]string, len(cands))
+	scores := make([]float64, len(cands))
+	for i, c := range cands {
+		ids[i] = c.rec.ID
+		texts[i] = c.rec.Serialize()
+		scores[i] = c.score
+	}
+	spec := prompt.Spec{Design: s.opts.Design, Domain: s.opts.Domain}
+	var estimateCents func(i int) float64
+	if s.priced {
+		// Price the pair's actual prompt plus a typical completion,
+		// so the cost budget tracks the configured design's real
+		// prompt sizes.
+		estimateCents = func(i int) float64 {
+			built := spec.Build(entity.Pair{ID: q.ID + "|" + ids[i], A: q, B: cands[i].rec})
+			return cost.PerPromptCents(s.pricing,
+				float64(tokenize.EstimateTokens(built)), EstCompletionTokens)
+		}
+	}
+	plan := s.opts.Cascade.plan(text, ids, texts, scores, estimateCents)
+	plan.report.Priced = s.priced
+
+	if len(plan.llm) > 0 {
+		pairs := make([]entity.Pair, len(plan.llm))
+		for i, di := range plan.llm {
+			pairs[i] = entity.Pair{
+				ID: q.ID + "|" + cands[di].rec.ID,
+				A:  q,
+				B:  cands[di].rec,
+			}
+		}
+		decided, err := s.eng.Match(pairs, spec.Build, core.ParseAnswer)
+		if err != nil {
+			return Result{}, fmt.Errorf("resolve: %w", err)
+		}
+		for i, pd := range decided {
+			d := &plan.decisions[plan.llm[i]]
+			d.Match = pd.Match
+			d.Method = MethodLLM
+			d.Answer = pd.Answer
+			d.Cached = pd.Cached
+			plan.report.LLMPairs++
+			if pd.Cached {
+				plan.report.CacheHits++
+			}
+			plan.report.PromptTokens += pd.Usage.PromptTokens
+			plan.report.CompletionTokens += pd.Usage.CompletionTokens
+			if s.priced {
+				plan.report.Cents += cost.PerPromptCents(s.pricing,
+					float64(pd.Usage.PromptTokens), float64(pd.Usage.CompletionTokens))
+			}
+		}
+	}
+
+	// Fold the decisions into the entity graph.
+	s.graphMu.Lock()
+	s.graph.Add(q.ID)
+	for _, d := range plan.decisions {
+		if d.Match {
+			s.graph.Union(q.ID, d.CandidateID)
+		}
+	}
+	entityID, _ := s.graph.Find(q.ID)
+	members := s.graph.Members(q.ID)
+	s.graphMu.Unlock()
+
+	s.recordTotals(plan.report)
+	return Result{
+		Query:     q,
+		EntityID:  entityID,
+		Members:   members,
+		Decisions: plan.decisions,
+		Cost:      plan.report,
+	}, nil
+}
+
+// recordTotals folds one call's report into the lifetime counters.
+func (s *Store) recordTotals(r CostReport) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	s.totals.resolves++
+	s.totals.candidates += uint64(r.Candidates)
+	s.totals.localAccepts += uint64(r.LocalAccepts)
+	s.totals.localRejects += uint64(r.LocalRejects)
+	s.totals.llmPairs += uint64(r.LLMPairs)
+	s.totals.budgetDecided += uint64(r.BudgetDecided)
+	s.totals.promptTokens += uint64(r.PromptTokens)
+	s.totals.completionTokens += uint64(r.CompletionTokens)
+	s.totals.cents += r.Cents
+}
+
+// Entity returns the sorted member IDs of the entity containing the
+// ID, which may be a stored record or a previously resolved query.
+func (s *Store) Entity(id string) ([]string, bool) {
+	s.graphMu.Lock()
+	defer s.graphMu.Unlock()
+	if _, ok := s.graph.Find(id); !ok {
+		return nil, false
+	}
+	return s.graph.Members(id), true
+}
+
+// Snapshot returns all entity groups as sorted member slices in
+// deterministic order.
+func (s *Store) Snapshot() [][]string {
+	s.graphMu.Lock()
+	defer s.graphMu.Unlock()
+	return s.graph.Groups()
+}
+
+// Stats is a snapshot of the store's lifetime counters.
+type Stats struct {
+	// Records is the number of stored (indexed) records; Entities the
+	// number of entity groups, which also counts resolved queries.
+	Records  int
+	Entities int
+	// Resolves is the number of Resolve calls served.
+	Resolves uint64
+	// Candidates is the total candidate pairs blocking produced;
+	// LocalAccepts/LocalRejects/LLMPairs/BudgetDecided split them by
+	// deciding stage.
+	Candidates    uint64
+	LocalAccepts  uint64
+	LocalRejects  uint64
+	LLMPairs      uint64
+	BudgetDecided uint64
+	// PromptTokens/CompletionTokens/Cents sum the LLM usage; Priced
+	// reports whether the model has hosted pricing.
+	PromptTokens     uint64
+	CompletionTokens uint64
+	Cents            float64
+	Priced           bool
+	// Engine counts client calls, cache hits and retries of the
+	// underlying pipeline engine.
+	Engine pipeline.Stats
+}
+
+// LocalFraction returns the lifetime fraction of candidate pairs
+// decided without an LLM call.
+func (st Stats) LocalFraction() float64 {
+	if st.Candidates == 0 {
+		return 1
+	}
+	return 1 - float64(st.LLMPairs)/float64(st.Candidates)
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.graphMu.Lock()
+	entities := s.graph.Sets()
+	s.graphMu.Unlock()
+
+	s.statsMu.Lock()
+	t := s.totals
+	s.statsMu.Unlock()
+
+	return Stats{
+		Records:          s.Len(),
+		Entities:         entities,
+		Resolves:         t.resolves,
+		Candidates:       t.candidates,
+		LocalAccepts:     t.localAccepts,
+		LocalRejects:     t.localRejects,
+		LLMPairs:         t.llmPairs,
+		BudgetDecided:    t.budgetDecided,
+		PromptTokens:     t.promptTokens,
+		CompletionTokens: t.completionTokens,
+		Cents:            t.cents,
+		Priced:           s.priced,
+		Engine:           s.eng.Stats(),
+	}
+}

@@ -17,6 +17,13 @@
 // backoff. The Workers, CacheSize and MaxRetries fields of Matcher
 // and BatchMatcher tune it; zero values select sensible defaults.
 //
+// For online serving, llm4em.NewStore returns an incremental
+// entity-resolution store: records are indexed as they arrive,
+// queries resolve against a sharded inverted IDF index, and a cascade
+// matcher answers confident candidate pairs with a local calibrated
+// scorer so only the uncertain band reaches the LLM. The emserve
+// command exposes the store over HTTP JSON.
+//
 // Training data can be plugged in as in-context demonstrations
 // (llm4em.NewRelatedSelector, …), textual matching rules
 // (llm4em.HandwrittenRules, llm4em.LearnRules) or fine-tuning
@@ -36,6 +43,7 @@ import (
 	"llm4em/internal/llm"
 	"llm4em/internal/pipeline"
 	"llm4em/internal/prompt"
+	"llm4em/internal/resolve"
 	"llm4em/internal/rules"
 )
 
@@ -104,6 +112,45 @@ func TransientError(err error) error { return pipeline.Transient(err) }
 
 // IsTransientError reports whether an error is marked retryable.
 func IsTransientError(err error) bool { return pipeline.IsTransient(err) }
+
+// Online entity resolution.
+type (
+	// Store is the online entity-resolution store: a sharded,
+	// incremental inverted IDF index over added records, a cascade
+	// matcher that answers confident candidate pairs with a local
+	// calibrated scorer and escalates only the uncertain band to the
+	// LLM, and an incremental union-find folding decisions into entity
+	// groups. Safe for concurrent use; cmd/emserve exposes it over
+	// HTTP.
+	Store = resolve.Store
+	// StoreOptions configures a Store (shards, blocking thresholds,
+	// prompt design, cascade, pipeline knobs).
+	StoreOptions = resolve.Options
+	// CascadeOptions tunes the cascade matcher's accept/reject
+	// thresholds and LLM/cost budgets.
+	CascadeOptions = resolve.CascadeOptions
+	// ResolveResult is the outcome of resolving one query record.
+	ResolveResult = resolve.Result
+	// ResolveDecision is the outcome of one candidate pair within a
+	// Resolve call.
+	ResolveDecision = resolve.PairDecision
+	// CostReport accounts one Resolve call: cascade split and LLM
+	// spend.
+	CostReport = resolve.CostReport
+	// StoreStats snapshots a store's lifetime counters.
+	StoreStats = resolve.Stats
+)
+
+// NewStore returns an empty online resolution store over the client.
+func NewStore(client Client, opts StoreOptions) *Store { return resolve.New(client, opts) }
+
+// Typed store errors, matched with errors.Is.
+var (
+	// ErrNoRecordID marks a record or query with an empty ID.
+	ErrNoRecordID = resolve.ErrNoID
+	// ErrDuplicateRecordID marks an Add of an already-stored ID.
+	ErrDuplicateRecordID = resolve.ErrDuplicateID
+)
 
 // Language models.
 type (

@@ -173,3 +173,43 @@ func TestFacadeBatchMatcher(t *testing.T) {
 		t.Fatalf("ParseBatchAnswers facade broken: %v", got)
 	}
 }
+
+func TestFacadeStore(t *testing.T) {
+	model, err := llm4em.NewModel(llm4em.GPTMini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := llm4em.NewStore(model, llm4em.StoreOptions{
+		Domain:  llm4em.Product,
+		Cascade: llm4em.CascadeOptions{AcceptAbove: 0.9, RejectBelow: 0.15},
+	})
+	recs := []llm4em.Record{
+		{ID: "r1", Attrs: []llm4em.Attr{{Name: "title", Value: "Sony DSC-120B camera black"}}},
+		{ID: "r2", Attrs: []llm4em.Attr{{Name: "title", Value: "Makita impact drill kit"}}},
+	}
+	for _, r := range recs {
+		if err := store.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := store.Resolve(llm4em.Record{
+		ID:    "q1",
+		Attrs: []llm4em.Attr{{Name: "title", Value: "sony dsc120b camera black"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched() {
+		t.Fatalf("store missed an easy match: %+v", res)
+	}
+	if ent, ok := store.Entity("r1"); !ok || len(ent) != 2 {
+		t.Errorf("Entity(r1) = %v %v, want q1+r1", ent, ok)
+	}
+	st := store.Stats()
+	if st.Records != 2 || st.Resolves != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := len(store.Snapshot()); got != 2 {
+		t.Errorf("snapshot has %d entities, want 2", got)
+	}
+}
