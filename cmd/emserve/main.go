@@ -5,10 +5,19 @@
 // reports how many candidate pairs the cascade decided locally versus
 // escalating to the LLM.
 //
+// With -persist, the store is durable: records and match decisions
+// are journaled to a write-ahead log in the directory and compacted
+// into snapshots; restarting the server recovers the full state —
+// including already-paid LLM decisions — from disk. SIGINT/SIGTERM
+// shut down gracefully: in-flight requests drain (bounded by
+// -shutdown-timeout), then the store flushes and writes a final
+// snapshot.
+//
 // Usage:
 //
 //	emserve -addr :8080 -model GPT-mini
 //	emserve -demo -records 200              # preload WDC offers
+//	emserve -persist ./emserve-data         # durable store
 //
 // Quickstart:
 //
@@ -21,11 +30,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"llm4em"
 	"llm4em/internal/datasets"
@@ -47,6 +61,10 @@ func main() {
 	workers := flag.Int("workers", 0, "LLM pipeline workers (0 = default)")
 	demo := flag.Bool("demo", false, "preload records derived from WDC Products")
 	records := flag.Int("records", 200, "number of records to preload in -demo mode")
+	persistDir := flag.String("persist", "", "durability directory (WAL + snapshots); empty = in-memory")
+	snapshotEvery := flag.Int("snapshot-every", 0, "WAL appends between snapshots (0 = default, negative = only on shutdown)")
+	syncEvery := flag.Int("sync-every", 0, "fsync the WAL every N appends (0 = only on snapshot/shutdown)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	client, err := llm4em.NewModel(*model)
@@ -62,12 +80,15 @@ func main() {
 		fail(fmt.Errorf("unknown domain %q", *domainName))
 	}
 
-	store := llm4em.NewStore(client, llm4em.StoreOptions{
+	store, err := llm4em.OpenStore(client, llm4em.StoreOptions{
 		Shards:        *shards,
 		MaxCandidates: *candidates,
 		Design:        design,
 		Domain:        domain,
 		Workers:       *workers,
+		PersistDir:    *persistDir,
+		SnapshotEvery: *snapshotEvery,
+		SyncEvery:     *syncEvery,
 		Cascade: llm4em.CascadeOptions{
 			AcceptAbove:        *accept,
 			RejectBelow:        *reject,
@@ -76,15 +97,56 @@ func main() {
 			Disable:            *noCascade,
 		},
 	})
-
-	if *demo {
-		recs := demoCollection(*records)
-		fail(store.AddBatch(recs))
-		log.Printf("preloaded %d WDC records", len(recs))
+	fail(err)
+	if ps := store.Stats().Persist; ps.Enabled {
+		log.Printf("persist: %s — recovered %d records, %d decisions, %d resolves (torn tail: %v)",
+			ps.Dir, ps.RecoveredRecords, ps.RecoveredDecisions, ps.RecoveredResolves, ps.TruncatedTail)
 	}
 
+	if *demo {
+		// Per-record, skipping duplicates: a recovered store holds some
+		// or all of the demo collection already, and a batch insert
+		// would stop at the first one.
+		added := 0
+		for _, r := range demoCollection(*records) {
+			switch err := store.Add(r); {
+			case err == nil:
+				added++
+			case errors.Is(err, llm4em.ErrDuplicateRecordID):
+				// already recovered from disk
+			default:
+				fail(err)
+			}
+		}
+		log.Printf("preloaded %d new records, store holds %d", added, store.Len())
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newHandler(store)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
 	log.Printf("emserve: model %s, design %s, listening on %s", *model, *designName, *addr)
-	fail(http.ListenAndServe(*addr, newHandler(store)))
+
+	select {
+	case err := <-serveErr:
+		fail(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		log.Printf("emserve: shutting down, draining in-flight requests (max %s)", *shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("emserve: drain incomplete: %v", err)
+		}
+		// Flush and snapshot after the last request has finished, so
+		// the final state on disk includes everything that was served.
+		if err := store.Close(); err != nil {
+			log.Printf("emserve: close store: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("emserve: state flushed, bye")
+	}
 }
 
 // demoCollection builds a dirty record collection from the WDC test

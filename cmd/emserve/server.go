@@ -66,6 +66,7 @@ type decisionJSON struct {
 	Method      string  `json:"method"`
 	Answer      string  `json:"answer,omitempty"`
 	Cached      bool    `json:"cached,omitempty"`
+	Journaled   bool    `json:"journaled,omitempty"`
 }
 
 type costJSON struct {
@@ -75,6 +76,7 @@ type costJSON struct {
 	LLMPairs         int     `json:"llm_pairs"`
 	CacheHits        int     `json:"cache_hits"`
 	BudgetDecided    int     `json:"budget_decided"`
+	JournalHits      int     `json:"journal_hits"`
 	PromptTokens     int     `json:"prompt_tokens"`
 	CompletionTokens int     `json:"completion_tokens"`
 	Cents            float64 `json:"cents"`
@@ -90,6 +92,7 @@ func fromCost(c llm4em.CostReport) costJSON {
 		LLMPairs:         c.LLMPairs,
 		CacheHits:        c.CacheHits,
 		BudgetDecided:    c.BudgetDecided,
+		JournalHits:      c.JournalHits,
 		PromptTokens:     c.PromptTokens,
 		CompletionTokens: c.CompletionTokens,
 		Cents:            c.Cents,
@@ -157,6 +160,7 @@ func (s *server) resolve(w http.ResponseWriter, r *http.Request) {
 			Method:      string(d.Method),
 			Answer:      d.Answer,
 			Cached:      d.Cached,
+			Journaled:   d.Journaled,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -203,6 +207,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		"local_rejects":     st.LocalRejects,
 		"llm_pairs":         st.LLMPairs,
 		"budget_decided":    st.BudgetDecided,
+		"journal_hits":      st.JournalHits,
 		"local_fraction":    st.LocalFraction(),
 		"prompt_tokens":     st.PromptTokens,
 		"completion_tokens": st.CompletionTokens,
@@ -212,6 +217,19 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 			"client_calls": st.Engine.ClientCalls,
 			"cache_hits":   st.Engine.CacheHits,
 			"retries":      st.Engine.Retries,
+		},
+		"persist": map[string]any{
+			"enabled":             st.Persist.Enabled,
+			"dir":                 st.Persist.Dir,
+			"recovered_records":   st.Persist.RecoveredRecords,
+			"recovered_decisions": st.Persist.RecoveredDecisions,
+			"recovered_resolves":  st.Persist.RecoveredResolves,
+			"truncated_tail":      st.Persist.TruncatedTail,
+			"wal_entries":         st.Persist.WALEntries,
+			"wal_bytes":           st.Persist.WALBytes,
+			"snapshots":           st.Persist.Snapshots,
+			"journal_size":        st.Persist.JournalSize,
+			"journal_hits":        st.Persist.JournalHits,
 		},
 	})
 }

@@ -181,6 +181,77 @@ func TestServerErrorPaths(t *testing.T) {
 	}
 }
 
+// TestServerPersistenceAcrossRestart is the serving-side durability
+// flow: ingest and resolve against a persistent store, shut it down
+// the way main does (drain, then Close), bring up a second server on
+// the same directory, and expect the state — and the already-paid
+// LLM decisions — to be there.
+func TestServerPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*llm4em.Store, *httptest.Server) {
+		model, err := llm4em.NewModel(llm4em.GPTMini)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, err := llm4em.OpenStore(model, llm4em.StoreOptions{
+			Domain:     llm4em.Product,
+			PersistDir: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(newHandler(store))
+		return store, srv
+	}
+
+	store, srv := open()
+	if resp, body := postJSON(t, srv.URL+"/records", seedBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed: %v", body)
+	}
+	resolveBody := `{"id":"q1","attrs":[{"name":"title","value":"Sony DSC-120B Cybershot camera (black)"},{"name":"price","value":"351.00"}]}`
+	if resp, body := postJSON(t, srv.URL+"/resolve", resolveBody); resp.StatusCode != http.StatusOK || body["matched"] != true {
+		t.Fatalf("resolve: %v", body)
+	}
+	_, body := getJSON(t, srv.URL+"/stats")
+	persistBlock, _ := body["persist"].(map[string]any)
+	if persistBlock == nil || persistBlock["enabled"] != true || persistBlock["wal_entries"].(float64) == 0 {
+		t.Fatalf("stats persist block = %v", persistBlock)
+	}
+	// Graceful shutdown: drain, then flush + final snapshot.
+	srv.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, srv2 := open()
+	defer srv2.Close()
+	_, body = getJSON(t, srv2.URL+"/stats")
+	if body["records"].(float64) != 3 || body["resolves"].(float64) != 1 {
+		t.Fatalf("recovered stats = %v", body)
+	}
+	pb, _ := body["persist"].(map[string]any)
+	if pb["recovered_records"].(float64) != 3 || pb["recovered_resolves"].(float64) != 1 {
+		t.Errorf("recovery counters = %v", pb)
+	}
+	// The pre-restart merge survived.
+	resp, body := getJSON(t, srv2.URL+"/entities/r1")
+	if resp.StatusCode != http.StatusOK || body["entity_id"] != "q1" {
+		t.Errorf("recovered entity = %v", body)
+	}
+	// Re-resolving the same query replays the journal: no LLM pairs.
+	_, body = postJSON(t, srv2.URL+"/resolve", resolveBody)
+	cost, _ := body["cost"].(map[string]any)
+	if cost["llm_pairs"].(float64) != 0 || cost["journal_hits"].(float64) == 0 {
+		t.Errorf("re-resolve cost after restart = %v", cost)
+	}
+	decisions, _ := body["decisions"].([]any)
+	for _, d := range decisions {
+		if d.(map[string]any)["journaled"] != true {
+			t.Errorf("decision not journaled after restart: %v", d)
+		}
+	}
+}
+
 // TestServerConcurrentResolves drives the handler with parallel
 // requests — the serving scenario the store's sharding exists for.
 func TestServerConcurrentResolves(t *testing.T) {

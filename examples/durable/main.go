@@ -1,0 +1,85 @@
+// Durability: run an online resolution store backed by a write-ahead
+// log and snapshots, kill it, and reopen it — the recovered store has
+// every record, every entity group and every already-paid match
+// decision, so nothing is sent to the LLM twice across restarts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"llm4em"
+)
+
+func offer(id, title string) llm4em.Record {
+	return llm4em.Record{ID: id, Attrs: []llm4em.Attr{{Name: "title", Value: title}}}
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "llm4em-durable")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	model, err := llm4em.NewModel(llm4em.GPTMini)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := llm4em.StoreOptions{
+		Domain:     llm4em.Product,
+		PersistDir: dir, // WAL + snapshots live here
+	}
+
+	// 1. First process lifetime: ingest and resolve. Every record and
+	// every match decision is journaled to the WAL as it happens.
+	store, err := llm4em.OpenStore(model, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.AddBatch([]llm4em.Record{
+		offer("r1", "Sony DSC-120B Cybershot camera black"),
+		offer("r2", "Makita XDT13 impact driver kit 18V"),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := store.Resolve(offer("q1", "sony dsc120b cyber-shot camera (black)"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before crash: q1 -> entity %s, %d candidate pairs, %d to the LLM\n",
+		res.EntityID, res.Cost.Candidates, res.Cost.LLMPairs)
+	// No Close: simulate a crash. The WAL retains everything; only an
+	// OS-level crash could lose unsynced appends (tune SyncEvery).
+
+	// 2. Second process lifetime: reopen the directory. Recovery
+	// rebuilds the index, the entity groups and the decision journal
+	// from snapshot + WAL without a single LLM call.
+	store2, err := llm4em.OpenStore(model, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps := store2.Stats().Persist
+	fmt.Printf("recovered: %d records, %d decisions, %d resolves (torn tail: %v)\n",
+		ps.RecoveredRecords, ps.RecoveredDecisions, ps.RecoveredResolves, ps.TruncatedTail)
+
+	// 3. Re-resolving a seen query is served from the durable decision
+	// journal — zero LLM pairs, decisions marked Journaled.
+	res, err = store2.Resolve(offer("q1", "sony dsc120b cyber-shot camera (black)"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after recovery: q1 -> entity %s, journal hits %d, LLM pairs %d\n",
+		res.EntityID, res.Cost.JournalHits, res.Cost.LLMPairs)
+	for _, d := range res.Decisions {
+		fmt.Printf("  vs %s: match=%v method=%s journaled=%v\n",
+			d.CandidateID, d.Match, d.Method, d.Journaled)
+	}
+
+	// 4. Clean shutdown: drain, flush, final snapshot + compaction.
+	if err := store2.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("closed: state compacted into snapshot")
+}

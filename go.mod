@@ -1,3 +1,3 @@
 module llm4em
 
-go 1.24
+go 1.23

@@ -1,0 +1,79 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"llm4em/internal/entity"
+)
+
+// RecordEntry is the payload of an EntryRecord: one record ingested
+// into the store.
+type RecordEntry struct {
+	Record entity.Record `json:"record"`
+}
+
+// DecisionEntry is one decided candidate pair inside a ResolveEntry
+// or a snapshot journal — everything needed to short-circuit the pair
+// on a later resolve without re-running the cascade or the LLM.
+type DecisionEntry struct {
+	QueryID     string  `json:"query_id,omitempty"` // set in snapshots; implied by the entry in the WAL
+	CandidateID string  `json:"candidate_id"`
+	BlockScore  float64 `json:"block_score"`
+	Probability float64 `json:"probability"`
+	Match       bool    `json:"match"`
+	Method      string  `json:"method"`
+	Answer      string  `json:"answer,omitempty"`
+}
+
+// ReportEntry carries one resolve call's cost accounting so replay
+// can rebuild the store's lifetime totals without recomputing
+// anything.
+type ReportEntry struct {
+	Candidates       int     `json:"candidates"`
+	LocalAccepts     int     `json:"local_accepts"`
+	LocalRejects     int     `json:"local_rejects"`
+	LLMPairs         int     `json:"llm_pairs"`
+	BudgetDecided    int     `json:"budget_decided"`
+	JournalHits      int     `json:"journal_hits"`
+	PromptTokens     int     `json:"prompt_tokens"`
+	CompletionTokens int     `json:"completion_tokens"`
+	Cents            float64 `json:"cents"`
+}
+
+// ResolveEntry is the payload of an EntryResolve: the query record,
+// the decisions made fresh in this call (journal hits were logged by
+// an earlier entry) and the call's cost report.
+type ResolveEntry struct {
+	Query     entity.Record   `json:"query"`
+	Decisions []DecisionEntry `json:"decisions"`
+	Report    ReportEntry     `json:"report"`
+}
+
+// EncodeRecord frames a record for Append.
+func EncodeRecord(r entity.Record) ([]byte, error) {
+	return json.Marshal(RecordEntry{Record: r})
+}
+
+// DecodeRecord parses an EntryRecord payload.
+func DecodeRecord(payload []byte) (RecordEntry, error) {
+	var e RecordEntry
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return RecordEntry{}, fmt.Errorf("persist: decode record entry: %w", err)
+	}
+	return e, nil
+}
+
+// EncodeResolve frames a resolve call for Append.
+func EncodeResolve(e ResolveEntry) ([]byte, error) {
+	return json.Marshal(e)
+}
+
+// DecodeResolve parses an EntryResolve payload.
+func DecodeResolve(payload []byte) (ResolveEntry, error) {
+	var e ResolveEntry
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return ResolveEntry{}, fmt.Errorf("persist: decode resolve entry: %w", err)
+	}
+	return e, nil
+}

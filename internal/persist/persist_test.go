@@ -1,0 +1,270 @@
+package persist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"llm4em/internal/entity"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), WALFile)
+}
+
+func mustOpen(t *testing.T, path string) (*WAL, Recovery) {
+	t.Helper()
+	w, rec, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, rec
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := walPath(t)
+	w, rec := mustOpen(t, path)
+	if len(rec.Entries) != 0 || rec.TruncatedTail {
+		t.Fatalf("fresh WAL recovery = %+v", rec)
+	}
+	payloads := [][]byte{[]byte("one"), {}, []byte("three-three-three")}
+	types := []EntryType{EntryRecord, EntryResolve, EntryRecord}
+	for i, p := range payloads {
+		if err := w.Append(types[i], p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Entries() != 3 {
+		t.Errorf("Entries = %d, want 3", w.Entries())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rec := mustOpen(t, path)
+	defer w2.Close()
+	if rec.TruncatedTail {
+		t.Error("clean log reported a truncated tail")
+	}
+	if len(rec.Entries) != 3 {
+		t.Fatalf("replayed %d entries, want 3", len(rec.Entries))
+	}
+	for i, e := range rec.Entries {
+		if e.Type != types[i] || !bytes.Equal(e.Payload, payloads[i]) {
+			t.Errorf("entry %d = {%d %q}, want {%d %q}", i, e.Type, e.Payload, types[i], payloads[i])
+		}
+	}
+	// The reopened log appends cleanly after the replayed entries.
+	if err := w2.Append(EntryResolve, []byte("four")); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, rec = mustOpen(t, path)
+	if len(rec.Entries) != 4 {
+		t.Errorf("after reopen+append: %d entries, want 4", len(rec.Entries))
+	}
+}
+
+// TestWALTruncatedTail covers the crash-mid-append signature: a
+// partial frame at the end of the log is dropped, everything before
+// it survives, and the file is truncated so new appends are clean.
+func TestWALTruncatedTail(t *testing.T) {
+	for name, tear := range map[string][]byte{
+		"partial header":  {byte(EntryRecord), 0xff},
+		"partial payload": {byte(EntryRecord), 0x10, 0x00, 0x00, 0x00, 'a', 'b'},
+		"huge length":     {byte(EntryRecord), 0xff, 0xff, 0xff, 0x7f, 'x', 'y', 'z', 0, 0, 0, 0},
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := walPath(t)
+			w, _ := mustOpen(t, path)
+			if err := w.Append(EntryRecord, []byte("kept")); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tear); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			w2, rec := mustOpen(t, path)
+			if !rec.TruncatedTail || rec.DroppedBytes != int64(len(tear)) {
+				t.Errorf("recovery = %+v, want truncated tail of %d bytes", rec, len(tear))
+			}
+			if len(rec.Entries) != 1 || string(rec.Entries[0].Payload) != "kept" {
+				t.Fatalf("entries = %+v, want the pre-tear entry", rec.Entries)
+			}
+			// Appending after recovery yields a clean two-entry log.
+			if err := w2.Append(EntryResolve, []byte("after")); err != nil {
+				t.Fatal(err)
+			}
+			w2.Close()
+			_, rec = mustOpen(t, path)
+			if rec.TruncatedTail || len(rec.Entries) != 2 {
+				t.Errorf("post-recovery log: %+v, want 2 clean entries", rec)
+			}
+		})
+	}
+}
+
+// TestWALCorruptCRC flips a payload bit of the final entry: the
+// checksum must reject it.
+func TestWALCorruptCRC(t *testing.T) {
+	path := walPath(t)
+	w, _ := mustOpen(t, path)
+	if err := w.Append(EntryRecord, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(EntryRecord, []byte("last")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-crcSize-1] ^= 0x01 // corrupt the last payload byte
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, rec := mustOpen(t, path)
+	defer w2.Close()
+	if !rec.TruncatedTail {
+		t.Error("corrupt CRC not detected")
+	}
+	if len(rec.Entries) != 1 || string(rec.Entries[0].Payload) != "first" {
+		t.Errorf("entries = %+v, want only the intact first entry", rec.Entries)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := walPath(t)
+	w, _ := mustOpen(t, path)
+	if err := w.Append(EntryRecord, []byte("gone after reset")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() != 0 {
+		t.Errorf("Bytes after Reset = %d", w.Bytes())
+	}
+	if err := w.Append(EntryResolve, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, rec := mustOpen(t, path)
+	if len(rec.Entries) != 1 || string(rec.Entries[0].Payload) != "fresh" {
+		t.Errorf("after reset: %+v, want only the fresh entry", rec.Entries)
+	}
+}
+
+func TestWALClosed(t *testing.T) {
+	w, _ := mustOpen(t, walPath(t))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // double close is a no-op
+		t.Errorf("second Close: %v", err)
+	}
+	if err := w.Append(EntryRecord, nil); err != ErrClosed {
+		t.Errorf("Append on closed WAL: %v, want ErrClosed", err)
+	}
+	if err := w.Sync(); err != ErrClosed {
+		t.Errorf("Sync on closed WAL: %v, want ErrClosed", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadSnapshot(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	s := &Snapshot{
+		Records: []RecordEntry{{Record: entity.Record{
+			ID:    "r1",
+			Attrs: []entity.Attr{{Name: "title", Value: "sony camera"}},
+		}}},
+		Groups: [][]string{{"q1", "r1"}, {"r2"}},
+		Journal: []DecisionEntry{{
+			QueryID: "q1", CandidateID: "r1", Probability: 0.97,
+			Match: true, Method: "cascade-accept",
+		}},
+		Totals:   ReportEntry{Candidates: 3, LLMPairs: 1, Cents: 0.25},
+		Resolves: 2,
+	}
+	if err := WriteSnapshot(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("ReadSnapshot: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Errorf("snapshot round trip:\ngot  %+v\nwant %+v", got, s)
+	}
+	// No temporary file lingers.
+	if _, err := os.Stat(filepath.Join(dir, snapshotTmp)); !os.IsNotExist(err) {
+		t.Errorf("snapshot tmp file left behind: %v", err)
+	}
+	// Overwriting is atomic and complete.
+	s.Resolves = 9
+	if err := WriteSnapshot(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = ReadSnapshot(dir)
+	if err != nil || got.Resolves != 9 {
+		t.Errorf("rewritten snapshot Resolves = %v err=%v", got.Resolves, err)
+	}
+}
+
+func TestSnapshotVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, SnapshotFile), []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(dir); err == nil {
+		t.Error("future snapshot version accepted")
+	}
+}
+
+func TestEntryCodecs(t *testing.T) {
+	r := entity.Record{ID: "r9", Attrs: []entity.Attr{{Name: "title", Value: "epson printer"}}}
+	p, err := EncodeRecord(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := DecodeRecord(p)
+	if err != nil || !reflect.DeepEqual(re.Record, r) {
+		t.Errorf("record codec: %+v err=%v", re, err)
+	}
+	rv := ResolveEntry{
+		Query: entity.Record{ID: "q1"},
+		Decisions: []DecisionEntry{{
+			CandidateID: "r9", Match: true, Method: "llm", Answer: "Yes.",
+		}},
+		Report: ReportEntry{Candidates: 1, LLMPairs: 1, PromptTokens: 120},
+	}
+	p, err = EncodeResolve(rv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResolve(p)
+	if err != nil || !reflect.DeepEqual(got, rv) {
+		t.Errorf("resolve codec: %+v err=%v", got, err)
+	}
+	if _, err := DecodeRecord([]byte("{")); err == nil {
+		t.Error("malformed record payload accepted")
+	}
+	if _, err := DecodeResolve([]byte("{")); err == nil {
+		t.Error("malformed resolve payload accepted")
+	}
+}

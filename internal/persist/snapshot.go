@@ -1,0 +1,111 @@
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File names inside a persistence directory.
+const (
+	SnapshotFile = "snapshot.json"
+	WALFile      = "wal.log"
+	snapshotTmp  = "snapshot.json.tmp"
+)
+
+// snapshotVersion guards the on-disk schema; a mismatch fails loudly
+// rather than replaying state under wrong semantics.
+const snapshotVersion = 1
+
+// Snapshot is the compacted full state of a resolution store: every
+// ingested record, the entity groups, the decision journal and the
+// lifetime cost totals. Replaying the WAL on top of it must be
+// idempotent — a crash between snapshot rename and WAL reset leaves
+// entries in the log that the snapshot already contains.
+type Snapshot struct {
+	Version int `json:"version"`
+	// Records are the ingested (indexed) records.
+	Records []RecordEntry `json:"records"`
+	// Groups are the entity groups as sorted member slices — enough to
+	// rebuild the union-find exactly, since canonical roots are the
+	// smallest members regardless of union order.
+	Groups [][]string `json:"groups"`
+	// Journal holds every decided pair keyed by query and candidate ID.
+	Journal []DecisionEntry `json:"journal"`
+	// Totals are the lifetime cost counters.
+	Totals ReportEntry `json:"totals"`
+	// Resolves is the lifetime resolve-call count.
+	Resolves uint64 `json:"resolves"`
+}
+
+// WriteSnapshot atomically replaces the snapshot in dir: the state is
+// written to a temporary file, synced, and renamed over the previous
+// snapshot, so a crash at any point leaves either the old or the new
+// snapshot intact — never a partial one.
+func WriteSnapshot(dir string, s *Snapshot) error {
+	s.Version = snapshotVersion
+	data, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("persist: marshal snapshot: %w", err)
+	}
+	tmp := filepath.Join(dir, snapshotTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: create snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, SnapshotFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: install snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ReadSnapshot loads the snapshot from dir. ok is false when no
+// snapshot exists yet (a fresh or WAL-only directory).
+func ReadSnapshot(dir string) (s *Snapshot, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, SnapshotFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("persist: read snapshot: %w", err)
+	}
+	s = &Snapshot{}
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, false, fmt.Errorf("persist: decode snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, false, fmt.Errorf("persist: snapshot version %d, this build reads %d", s.Version, snapshotVersion)
+	}
+	return s, true, nil
+}
+
+// syncDir makes a rename durable by syncing the containing directory.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	// Some filesystems reject fsync on directories; the rename itself
+	// is still atomic, so degrade silently.
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package persist is the durability layer of the online resolution
+// store: an append-only write-ahead log (WAL) of typed,
+// length-prefixed, CRC-checked entries plus an atomically written
+// snapshot file. Together they make a store's state survive process
+// restarts without re-paying LLM calls: the snapshot captures a
+// compacted full state, the WAL the tail of mutations since.
+//
+// Durability layout inside a persistence directory:
+//
+//	snapshot.json   last compacted state (atomic tmp+rename write)
+//	wal.log         entries appended since that snapshot
+//
+// Recovery reads the snapshot (if any) and replays the WAL on top.
+// The WAL tolerates a torn tail: a crash mid-append leaves a partial
+// or CRC-broken final entry, which OpenWAL detects, drops, and
+// truncates away so the log is append-clean again. Replay must be
+// idempotent on the caller's side — a crash between snapshot rename
+// and WAL reset legitimately replays entries already contained in the
+// snapshot (duplicate record adds, repeated merges).
+//
+// The package is deliberately single-writer: one process owns a
+// persistence directory at a time.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// EntryType tags the payload of one WAL entry.
+type EntryType uint8
+
+// WAL entry types.
+const (
+	// EntryRecord is a record ingested into the store (RecordEntry).
+	EntryRecord EntryType = 1
+	// EntryResolve is one resolve call's fresh decisions and cost
+	// accounting (ResolveEntry).
+	EntryResolve EntryType = 2
+)
+
+// Entry is one typed WAL payload.
+type Entry struct {
+	Type    EntryType
+	Payload []byte
+}
+
+// Frame layout: [type:1][len:4 LE][payload:len][crc32:4 LE], where the
+// checksum covers the type byte, the length field and the payload, so
+// a torn or bit-flipped frame never replays silently.
+const (
+	headerSize = 1 + 4
+	crcSize    = 4
+	// maxPayload bounds a single entry. A corrupt length field would
+	// otherwise ask recovery to allocate gigabytes; anything larger
+	// than this is treated as tail corruption.
+	maxPayload = 1 << 26 // 64 MiB
+)
+
+// ErrClosed marks operations on a closed WAL.
+var ErrClosed = errors.New("persist: WAL is closed")
+
+// WAL is an append-only log file. It is not safe for concurrent use;
+// callers serialize access (internal/resolve does).
+type WAL struct {
+	f       *os.File
+	entries uint64 // appended through this handle
+	bytes   int64  // current file size
+}
+
+// Recovery reports what OpenWAL found in an existing log.
+type Recovery struct {
+	// Entries are the valid entries replayed from the log, in append
+	// order.
+	Entries []Entry
+	// TruncatedTail reports that the log ended in a torn or corrupt
+	// frame — the signature of a crash mid-append — which was dropped
+	// and truncated away.
+	TruncatedTail bool
+	// DroppedBytes is the size of the truncated tail.
+	DroppedBytes int64
+}
+
+// OpenWAL opens (creating if absent) the log at path, replays its
+// valid entries and truncates any torn tail so subsequent Appends
+// extend a clean log.
+func OpenWAL(path string) (*WAL, Recovery, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("persist: open WAL: %w", err)
+	}
+	rec, validBytes, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, Recovery{}, err
+	}
+	if rec.TruncatedTail {
+		if err := f.Truncate(validBytes); err != nil {
+			f.Close()
+			return nil, Recovery{}, fmt.Errorf("persist: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(validBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, Recovery{}, fmt.Errorf("persist: seek WAL end: %w", err)
+	}
+	return &WAL{f: f, bytes: validBytes}, rec, nil
+}
+
+// scan reads frames from the start of f, returning the valid entries
+// and the byte offset where validity ends.
+func scan(f *os.File) (Recovery, int64, error) {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return Recovery{}, 0, fmt.Errorf("persist: size WAL: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return Recovery{}, 0, fmt.Errorf("persist: rewind WAL: %w", err)
+	}
+	var rec Recovery
+	var off int64
+	header := make([]byte, headerSize)
+	for off < size {
+		if size-off < headerSize {
+			break // torn header
+		}
+		if _, err := io.ReadFull(f, header); err != nil {
+			return Recovery{}, 0, fmt.Errorf("persist: read WAL header: %w", err)
+		}
+		payloadLen := int64(binary.LittleEndian.Uint32(header[1:]))
+		if payloadLen > maxPayload || size-off-headerSize < payloadLen+crcSize {
+			break // corrupt length or torn payload/checksum
+		}
+		body := make([]byte, payloadLen+crcSize)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return Recovery{}, 0, fmt.Errorf("persist: read WAL entry: %w", err)
+		}
+		sum := crc32.NewIEEE()
+		sum.Write(header)
+		sum.Write(body[:payloadLen])
+		if sum.Sum32() != binary.LittleEndian.Uint32(body[payloadLen:]) {
+			break // bit rot or torn rewrite
+		}
+		rec.Entries = append(rec.Entries, Entry{
+			Type:    EntryType(header[0]),
+			Payload: body[:payloadLen:payloadLen],
+		})
+		off += headerSize + payloadLen + crcSize
+	}
+	if off < size {
+		rec.TruncatedTail = true
+		rec.DroppedBytes = size - off
+	}
+	return rec, off, nil
+}
+
+// Append writes one entry to the log. Durability against OS crashes
+// additionally needs Sync; a process crash alone never loses an
+// appended entry.
+func (w *WAL) Append(t EntryType, payload []byte) error {
+	if w.f == nil {
+		return ErrClosed
+	}
+	if int64(len(payload)) > maxPayload {
+		return fmt.Errorf("persist: entry payload %d bytes exceeds limit", len(payload))
+	}
+	frame := make([]byte, headerSize+len(payload)+crcSize)
+	frame[0] = byte(t)
+	binary.LittleEndian.PutUint32(frame[1:], uint32(len(payload)))
+	copy(frame[headerSize:], payload)
+	sum := crc32.NewIEEE()
+	sum.Write(frame[:headerSize+len(payload)])
+	binary.LittleEndian.PutUint32(frame[headerSize+len(payload):], sum.Sum32())
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("persist: append WAL entry: %w", err)
+	}
+	w.entries++
+	w.bytes += int64(len(frame))
+	return nil
+}
+
+// Sync flushes appended entries to stable storage.
+func (w *WAL) Sync() error {
+	if w.f == nil {
+		return ErrClosed
+	}
+	return w.f.Sync()
+}
+
+// Reset empties the log — called right after a snapshot has captured
+// everything the log held.
+func (w *WAL) Reset() error {
+	if w.f == nil {
+		return ErrClosed
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("persist: reset WAL: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("persist: rewind WAL: %w", err)
+	}
+	w.bytes = 0
+	return w.f.Sync()
+}
+
+// Entries returns the number of entries appended through this handle
+// (replayed entries are reported by OpenWAL, not counted here).
+func (w *WAL) Entries() uint64 { return w.entries }
+
+// Bytes returns the current log size in bytes.
+func (w *WAL) Bytes() int64 { return w.bytes }
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	syncErr := w.f.Sync()
+	closeErr := w.f.Close()
+	w.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

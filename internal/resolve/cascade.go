@@ -95,6 +95,9 @@ const (
 	MethodBudget Method = "budget-local"
 )
 
+// Journaled decisions keep the Method of the stage that originally
+// decided them; the PairDecision.Journaled flag marks the replay.
+
 // PairDecision is the outcome of one candidate pair within a Resolve
 // call.
 type PairDecision struct {
@@ -113,6 +116,11 @@ type PairDecision struct {
 	// Cached reports whether an LLM decision came from the prompt
 	// cache.
 	Cached bool
+	// Journaled reports that the decision was replayed from the
+	// durable decision journal of a persistent store — no scoring and
+	// no LLM call happened in this Resolve; Method and Answer are
+	// those of the original decision.
+	Journaled bool
 }
 
 // CostReport accounts one Resolve call: how the cascade split the
@@ -132,6 +140,9 @@ type CostReport struct {
 	// BudgetDecided is the number of uncertain pairs decided locally
 	// because the LLM or cost budget was exhausted.
 	BudgetDecided int
+	// JournalHits is the number of pairs replayed from the durable
+	// decision journal of a persistent store.
+	JournalHits int
 	// PromptTokens and CompletionTokens sum the LLM usage (cached
 	// decisions carry the accounting of the original request).
 	PromptTokens     int

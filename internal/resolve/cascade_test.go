@@ -1,0 +1,60 @@
+package resolve
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"llm4em/internal/entity"
+	"llm4em/internal/features"
+)
+
+func TestCascadeOptionEdges(t *testing.T) {
+	var o CascadeOptions
+	if o.acceptAbove() != DefaultAcceptAbove || o.rejectBelow() != DefaultRejectBelow {
+		t.Errorf("zero options: accept %v reject %v", o.acceptAbove(), o.rejectBelow())
+	}
+	o = CascadeOptions{AcceptAbove: -1, RejectBelow: -1}
+	if o.acceptAbove() <= 1 {
+		t.Errorf("negative AcceptAbove must never accept locally, got threshold %v", o.acceptAbove())
+	}
+	if o.rejectBelow() != 0 {
+		t.Errorf("negative RejectBelow = %v, want literal 0", o.rejectBelow())
+	}
+	o = CascadeOptions{AcceptAbove: 0.8, RejectBelow: 0.3}
+	if o.acceptAbove() != 0.8 || o.rejectBelow() != 0.3 {
+		t.Errorf("explicit thresholds not honored: %v %v", o.acceptAbove(), o.rejectBelow())
+	}
+
+	custom := features.Ideal()
+	custom.Bias += 1
+	o = CascadeOptions{Weights: &custom}
+	if got := o.weights(); !reflect.DeepEqual(got, custom) {
+		t.Error("custom weights not used")
+	}
+	if got := (CascadeOptions{}).weights(); !reflect.DeepEqual(got, features.Ideal()) {
+		t.Error("default weights are not Ideal")
+	}
+
+	if (CostReport{}).LocalFraction() != 1 {
+		t.Error("empty CostReport.LocalFraction != 1")
+	}
+	if (Stats{}).LocalFraction() != 1 {
+		t.Error("empty Stats.LocalFraction != 1")
+	}
+}
+
+func TestAddBatchStopsAtError(t *testing.T) {
+	s := New(&countingClient{}, Options{})
+	err := s.AddBatch([]entity.Record{
+		rec("r1", "sony camera"),
+		rec("r1", "sony camera duplicate"),
+		rec("r2", "never reached"),
+	})
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("AddBatch: %v, want ErrDuplicateID", err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len after failed batch = %d, want 1", s.Len())
+	}
+}

@@ -1,0 +1,390 @@
+package resolve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"llm4em/internal/entity"
+	"llm4em/internal/llm"
+	"llm4em/internal/persist"
+)
+
+// Open returns a store resolving against the client, durably backed
+// by opts.PersistDir when that field is set (with an empty
+// PersistDir, Open is New). Opening an existing directory recovers
+// the previous state — ingested records, entity groups, the decision
+// journal and the lifetime cost totals — by loading the last snapshot
+// and replaying the write-ahead log on top, without a single LLM
+// call. A torn WAL tail (crash mid-append) is detected, dropped and
+// truncated; replaying entries the snapshot already contains (crash
+// between snapshot and log reset) is idempotent.
+//
+// Pairs found in the recovered decision journal short-circuit later
+// Resolve calls: the durable decision is reused instead of re-running
+// the cascade or re-paying the LLM.
+func Open(client llm.Client, opts Options) (*Store, error) {
+	s := New(client, opts)
+	dir := s.opts.PersistDir
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resolve: create persist dir: %w", err)
+	}
+	snap, ok, err := persist.ReadSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if err := s.installSnapshot(snap); err != nil {
+			return nil, err
+		}
+	}
+	wal, rec, err := persist.OpenWAL(filepath.Join(dir, persist.WALFile))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.replay(rec.Entries); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	s.wal = wal
+	s.pstate.truncatedTail = rec.TruncatedTail
+	return s, nil
+}
+
+// persistState tracks the durability side of a store under persistMu.
+type persistState struct {
+	recoveredRecords   int
+	recoveredDecisions int
+	recoveredResolves  uint64
+	truncatedTail      bool
+	snapshots          uint64
+	sinceSnapshot      int
+	sinceSync          int
+	closed             bool
+}
+
+// pairID keys the decision journal. A struct key keeps arbitrary
+// caller-supplied IDs unambiguous — a string concatenation would
+// collide for IDs containing the separator.
+type pairID struct {
+	query, candidate string
+}
+
+// installSnapshot loads a compacted state into a fresh store. Called
+// before the store is shared, so field access needs no locks.
+func (s *Store) installSnapshot(snap *persist.Snapshot) error {
+	for _, re := range snap.Records {
+		r := re.Record
+		if r.ID == "" {
+			return fmt.Errorf("resolve: snapshot record without ID")
+		}
+		sh := s.shardFor(r.ID)
+		sh.recs[r.ID] = r
+		sh.ix.Add(r)
+		s.graph.Add(r.ID)
+	}
+	for _, g := range snap.Groups {
+		if len(g) == 0 {
+			continue
+		}
+		s.graph.Add(g[0])
+		for _, id := range g[1:] {
+			s.graph.Union(g[0], id)
+		}
+	}
+	for _, je := range snap.Journal {
+		key := pairID{query: je.QueryID, candidate: je.CandidateID}
+		je.QueryID = ""
+		s.journal[key] = je
+	}
+	s.totals = totals{
+		resolves:         snap.Resolves,
+		candidates:       uint64(snap.Totals.Candidates),
+		localAccepts:     uint64(snap.Totals.LocalAccepts),
+		localRejects:     uint64(snap.Totals.LocalRejects),
+		llmPairs:         uint64(snap.Totals.LLMPairs),
+		budgetDecided:    uint64(snap.Totals.BudgetDecided),
+		journalHits:      uint64(snap.Totals.JournalHits),
+		promptTokens:     uint64(snap.Totals.PromptTokens),
+		completionTokens: uint64(snap.Totals.CompletionTokens),
+		cents:            snap.Totals.Cents,
+	}
+	s.pstate.recoveredRecords += len(snap.Records)
+	s.pstate.recoveredDecisions += len(snap.Journal)
+	s.pstate.recoveredResolves += snap.Resolves
+	return nil
+}
+
+// replay applies WAL entries on top of the snapshot state. Duplicate
+// record entries — the legitimate residue of a crash between snapshot
+// rename and WAL reset — are skipped; decision replays overwrite the
+// journal with identical values and re-union merged groups, both
+// idempotent. No LLM call is ever issued here.
+func (s *Store) replay(entries []persist.Entry) error {
+	for _, e := range entries {
+		switch e.Type {
+		case persist.EntryRecord:
+			re, err := persist.DecodeRecord(e.Payload)
+			if err != nil {
+				return err
+			}
+			r := re.Record
+			sh := s.shardFor(r.ID)
+			if _, dup := sh.recs[r.ID]; dup {
+				continue // already in the snapshot
+			}
+			sh.recs[r.ID] = r
+			sh.ix.Add(r)
+			s.graph.Add(r.ID)
+			s.pstate.recoveredRecords++
+		case persist.EntryResolve:
+			rv, err := persist.DecodeResolve(e.Payload)
+			if err != nil {
+				return err
+			}
+			s.graph.Add(rv.Query.ID)
+			for _, d := range rv.Decisions {
+				s.journal[pairID{query: rv.Query.ID, candidate: d.CandidateID}] = d
+				if d.Match {
+					s.graph.Union(rv.Query.ID, d.CandidateID)
+				}
+				s.pstate.recoveredDecisions++
+			}
+			s.applyReport(rv.Report)
+			s.pstate.recoveredResolves++
+		default:
+			// Unknown entry types are skipped so older builds can read
+			// logs written by newer ones.
+		}
+	}
+	return nil
+}
+
+// applyReport folds a replayed cost report into the lifetime totals.
+func (s *Store) applyReport(r persist.ReportEntry) {
+	s.totals.resolves++
+	s.totals.candidates += uint64(r.Candidates)
+	s.totals.localAccepts += uint64(r.LocalAccepts)
+	s.totals.localRejects += uint64(r.LocalRejects)
+	s.totals.llmPairs += uint64(r.LLMPairs)
+	s.totals.budgetDecided += uint64(r.BudgetDecided)
+	s.totals.journalHits += uint64(r.JournalHits)
+	s.totals.promptTokens += uint64(r.PromptTokens)
+	s.totals.completionTokens += uint64(r.CompletionTokens)
+	s.totals.cents += r.Cents
+}
+
+// appendRecordLocked journals one ingested record. Caller holds
+// persistMu.
+func (s *Store) appendRecordLocked(r entity.Record) error {
+	payload, err := persist.EncodeRecord(r)
+	if err != nil {
+		return err
+	}
+	if err := s.wal.Append(persist.EntryRecord, payload); err != nil {
+		return err
+	}
+	return s.afterAppendLocked()
+}
+
+// appendResolveLocked journals one resolve call's fresh decisions and
+// cost report, and installs the decisions into the in-memory journal
+// — only after the WAL append succeeded, so a journal hit never
+// vouches for a decision that is not on disk. Caller holds persistMu.
+func (s *Store) appendResolveLocked(q entity.Record, decisions []persist.DecisionEntry, report CostReport) error {
+	payload, err := persist.EncodeResolve(persist.ResolveEntry{
+		Query:     q,
+		Decisions: decisions,
+		Report: persist.ReportEntry{
+			Candidates:       report.Candidates,
+			LocalAccepts:     report.LocalAccepts,
+			LocalRejects:     report.LocalRejects,
+			LLMPairs:         report.LLMPairs,
+			BudgetDecided:    report.BudgetDecided,
+			JournalHits:      report.JournalHits,
+			PromptTokens:     report.PromptTokens,
+			CompletionTokens: report.CompletionTokens,
+			Cents:            report.Cents,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.wal.Append(persist.EntryResolve, payload); err != nil {
+		return err
+	}
+	for _, d := range decisions {
+		s.journal[pairID{query: q.ID, candidate: d.CandidateID}] = d
+	}
+	return s.afterAppendLocked()
+}
+
+// afterAppendLocked runs the sync and snapshot cadences after one WAL
+// append. Caller holds persistMu.
+func (s *Store) afterAppendLocked() error {
+	s.pstate.sinceSnapshot++
+	s.pstate.sinceSync++
+	if s.opts.SyncEvery > 0 && s.pstate.sinceSync >= s.opts.SyncEvery {
+		if err := s.wal.Sync(); err != nil {
+			return err
+		}
+		s.pstate.sinceSync = 0
+	}
+	if s.opts.SnapshotEvery > 0 && s.pstate.sinceSnapshot >= s.opts.SnapshotEvery {
+		return s.checkpointLocked()
+	}
+	return nil
+}
+
+// checkpointLocked writes a snapshot of the full store state and
+// resets the WAL. Caller holds persistMu, which blocks concurrent
+// appends; any in-memory mutation not yet journaled lands in the
+// snapshot and its late WAL entry replays idempotently.
+func (s *Store) checkpointLocked() error {
+	snap := &persist.Snapshot{}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, r := range sh.recs {
+			snap.Records = append(snap.Records, persist.RecordEntry{Record: r})
+		}
+		sh.mu.RUnlock()
+	}
+	s.graphMu.Lock()
+	snap.Groups = s.graph.Groups()
+	s.graphMu.Unlock()
+	snap.Journal = make([]persist.DecisionEntry, 0, len(s.journal))
+	for key, je := range s.journal {
+		je.QueryID = key.query
+		snap.Journal = append(snap.Journal, je)
+	}
+	s.statsMu.Lock()
+	t := s.totals
+	s.statsMu.Unlock()
+	snap.Resolves = t.resolves
+	snap.Totals = persist.ReportEntry{
+		Candidates:       int(t.candidates),
+		LocalAccepts:     int(t.localAccepts),
+		LocalRejects:     int(t.localRejects),
+		LLMPairs:         int(t.llmPairs),
+		BudgetDecided:    int(t.budgetDecided),
+		JournalHits:      int(t.journalHits),
+		PromptTokens:     int(t.promptTokens),
+		CompletionTokens: int(t.completionTokens),
+		Cents:            t.cents,
+	}
+	if err := persist.WriteSnapshot(s.opts.PersistDir, snap); err != nil {
+		return err
+	}
+	if err := s.wal.Reset(); err != nil {
+		return err
+	}
+	s.pstate.snapshots++
+	s.pstate.sinceSnapshot = 0
+	s.pstate.sinceSync = 0
+	return nil
+}
+
+// Checkpoint forces a snapshot+compaction now, independent of the
+// SnapshotEvery cadence. A no-op on in-memory stores.
+func (s *Store) Checkpoint() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.pstate.closed {
+		return persist.ErrClosed
+	}
+	return s.checkpointLocked()
+}
+
+// Flush fsyncs the WAL, making every journaled mutation durable
+// against OS crashes. A no-op on in-memory stores.
+func (s *Store) Flush() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.pstate.closed {
+		return persist.ErrClosed
+	}
+	s.pstate.sinceSync = 0
+	return s.wal.Sync()
+}
+
+// Close flushes, writes a final snapshot and closes the WAL. The
+// store must not be used afterwards: mutations would fail with a
+// closed-WAL error. A no-op on in-memory stores and on second calls.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.pstate.closed {
+		return nil
+	}
+	s.pstate.closed = true
+	snapErr := s.checkpointLocked()
+	closeErr := s.wal.Close()
+	if snapErr != nil {
+		return snapErr
+	}
+	return closeErr
+}
+
+// PersistStats snapshots the durability counters of a store.
+type PersistStats struct {
+	// Enabled reports whether the store is durably backed; every other
+	// field is zero when it is not.
+	Enabled bool
+	// Dir is the persistence directory.
+	Dir string
+	// RecoveredRecords, RecoveredDecisions and RecoveredResolves count
+	// the state rebuilt from disk when the store was opened.
+	RecoveredRecords   int
+	RecoveredDecisions int
+	RecoveredResolves  uint64
+	// TruncatedTail reports that recovery dropped a torn final WAL
+	// entry — the signature of a crash mid-append.
+	TruncatedTail bool
+	// WALEntries and WALBytes describe appends since open; Snapshots
+	// counts compactions since open.
+	WALEntries uint64
+	WALBytes   int64
+	Snapshots  uint64
+	// JournalSize is the number of durably decided pairs;
+	// JournalHits counts Resolve decisions served from them (lifetime,
+	// survives restarts).
+	JournalSize uint64
+	JournalHits uint64
+}
+
+// persistStats gathers PersistStats under persistMu.
+func (s *Store) persistStats() PersistStats {
+	if s.wal == nil {
+		return PersistStats{}
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	s.statsMu.Lock()
+	hits := s.totals.journalHits
+	s.statsMu.Unlock()
+	return PersistStats{
+		Enabled:            true,
+		Dir:                s.opts.PersistDir,
+		RecoveredRecords:   s.pstate.recoveredRecords,
+		RecoveredDecisions: s.pstate.recoveredDecisions,
+		RecoveredResolves:  s.pstate.recoveredResolves,
+		TruncatedTail:      s.pstate.truncatedTail,
+		WALEntries:         s.wal.Entries(),
+		WALBytes:           s.wal.Bytes(),
+		Snapshots:          s.pstate.snapshots,
+		JournalSize:        uint64(len(s.journal)),
+		JournalHits:        hits,
+	}
+}

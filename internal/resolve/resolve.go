@@ -36,6 +36,7 @@ import (
 	"llm4em/internal/cost"
 	"llm4em/internal/entity"
 	"llm4em/internal/llm"
+	"llm4em/internal/persist"
 	"llm4em/internal/pipeline"
 	"llm4em/internal/prompt"
 	"llm4em/internal/tokenize"
@@ -49,6 +50,9 @@ const (
 	DefaultMinScore      = 1.0
 	DefaultStopDocFrac   = 0.2
 	DefaultDesign        = "domain-complex-force"
+	// DefaultSnapshotEvery is the WAL-append count between automatic
+	// snapshot+compaction runs of a persistent store.
+	DefaultSnapshotEvery = 4096
 )
 
 // Options configures a Store. The zero value selects sensible
@@ -78,6 +82,21 @@ type Options struct {
 	Workers    int
 	CacheSize  int
 	MaxRetries int
+	// PersistDir enables durability: the store journals every ingested
+	// record and fresh match decision to a write-ahead log in this
+	// directory and periodically compacts the log into a snapshot.
+	// Open replays the directory on startup and reuses journaled
+	// decisions without re-invoking the LLM; New ignores the field
+	// (in-memory store). Empty means in-memory.
+	PersistDir string
+	// SnapshotEvery is the number of WAL appends between automatic
+	// snapshot+compaction runs (default DefaultSnapshotEvery; negative
+	// disables the cadence — Checkpoint and Close still compact).
+	SnapshotEvery int
+	// SyncEvery fsyncs the WAL after every N appends (default 0: sync
+	// only on snapshot, Flush and Close; 1 makes every append durable
+	// against OS crashes at a heavy throughput cost).
+	SyncEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +118,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Design.Name == "" {
 		o.Design, _ = prompt.DesignByName(DefaultDesign)
+	}
+	if o.SnapshotEvery < 0 {
+		o.SnapshotEvery = 0
+	} else if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if o.SyncEvery < 0 {
+		o.SyncEvery = 0
 	}
 	return o
 }
@@ -127,6 +154,15 @@ type Store struct {
 
 	statsMu sync.Mutex
 	totals  totals
+
+	// persistMu serializes WAL appends, journal writes and snapshots.
+	// Lock order: persistMu before graphMu/shard locks/statsMu, never
+	// the other way around. All persistence fields are static after
+	// Open, so wal == nil reliably selects the in-memory fast path.
+	persistMu sync.Mutex
+	wal       *persist.WAL
+	journal   map[pairID]persist.DecisionEntry
+	pstate    persistState
 }
 
 // shard is one partition of the record store and its inverted index.
@@ -146,6 +182,7 @@ type totals struct {
 	localRejects     uint64
 	llmPairs         uint64
 	budgetDecided    uint64
+	journalHits      uint64
 	promptTokens     uint64
 	completionTokens uint64
 	cents            float64
@@ -161,8 +198,9 @@ func New(client llm.Client, opts Options) *Store {
 			CacheSize:  o.CacheSize,
 			MaxRetries: o.MaxRetries,
 		}),
-		shards: make([]*shard, o.Shards),
-		graph:  blocking.NewUnionFind(),
+		shards:  make([]*shard, o.Shards),
+		graph:   blocking.NewUnionFind(),
+		journal: map[pairID]persist.DecisionEntry{},
 	}
 	s.pricing, s.priced = cost.For(client.Name())
 	for i := range s.shards {
@@ -201,6 +239,15 @@ func (s *Store) Add(r entity.Record) error {
 	s.graphMu.Lock()
 	s.graph.Add(r.ID)
 	s.graphMu.Unlock()
+
+	if s.wal != nil {
+		s.persistMu.Lock()
+		err := s.appendRecordLocked(r)
+		s.persistMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("resolve: journal record %q: %w", r.ID, err)
+		}
+	}
 	return nil
 }
 
@@ -296,14 +343,46 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 		cands = cands[:s.opts.MaxCandidates]
 	}
 
+	// Journal short-circuit: pairs decided in an earlier call —
+	// possibly before a restart — replay their durable decision
+	// instead of re-running the cascade or re-paying the LLM.
+	decisions := make([]PairDecision, len(cands))
+	var fresh []int // indices into cands still needing a decision
+	var journalHits int
+	if s.wal != nil {
+		s.persistMu.Lock()
+		for i, c := range cands {
+			if je, ok := s.journal[pairID{query: q.ID, candidate: c.rec.ID}]; ok {
+				decisions[i] = PairDecision{
+					CandidateID: c.rec.ID,
+					BlockScore:  c.score,
+					Probability: je.Probability,
+					Match:       je.Match,
+					Method:      Method(je.Method),
+					Answer:      je.Answer,
+					Journaled:   true,
+				}
+				journalHits++
+			} else {
+				fresh = append(fresh, i)
+			}
+		}
+		s.persistMu.Unlock()
+	} else {
+		fresh = make([]int, len(cands))
+		for i := range cands {
+			fresh[i] = i
+		}
+	}
+
 	// Cascade: local scorer first, the uncertain band to the LLM.
-	ids := make([]string, len(cands))
-	texts := make([]string, len(cands))
-	scores := make([]float64, len(cands))
-	for i, c := range cands {
-		ids[i] = c.rec.ID
-		texts[i] = c.rec.Serialize()
-		scores[i] = c.score
+	ids := make([]string, len(fresh))
+	texts := make([]string, len(fresh))
+	scores := make([]float64, len(fresh))
+	for fi, ci := range fresh {
+		ids[fi] = cands[ci].rec.ID
+		texts[fi] = cands[ci].rec.Serialize()
+		scores[fi] = cands[ci].score
 	}
 	spec := prompt.Spec{Design: s.opts.Design, Domain: s.opts.Domain}
 	var estimateCents func(i int) float64
@@ -312,21 +391,23 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 		// so the cost budget tracks the configured design's real
 		// prompt sizes.
 		estimateCents = func(i int) float64 {
-			built := spec.Build(entity.Pair{ID: q.ID + "|" + ids[i], A: q, B: cands[i].rec})
+			built := spec.Build(entity.Pair{ID: q.ID + "|" + ids[i], A: q, B: cands[fresh[i]].rec})
 			return cost.PerPromptCents(s.pricing,
 				float64(tokenize.EstimateTokens(built)), EstCompletionTokens)
 		}
 	}
 	plan := s.opts.Cascade.plan(text, ids, texts, scores, estimateCents)
+	plan.report.Candidates = len(cands)
+	plan.report.JournalHits = journalHits
 	plan.report.Priced = s.priced
 
 	if len(plan.llm) > 0 {
 		pairs := make([]entity.Pair, len(plan.llm))
 		for i, di := range plan.llm {
 			pairs[i] = entity.Pair{
-				ID: q.ID + "|" + cands[di].rec.ID,
+				ID: q.ID + "|" + cands[fresh[di]].rec.ID,
 				A:  q,
-				B:  cands[di].rec,
+				B:  cands[fresh[di]].rec,
 			}
 		}
 		decided, err := s.eng.Match(pairs, spec.Build, core.ParseAnswer)
@@ -351,11 +432,20 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 			}
 		}
 	}
+	for fi, ci := range fresh {
+		decisions[ci] = plan.decisions[fi]
+	}
 
-	// Fold the decisions into the entity graph.
+	// Fold the decisions into the entity graph and, for a persistent
+	// store, commit them to the journal and the WAL. persistMu spans
+	// fold, totals and append so a concurrent snapshot never captures
+	// totals whose WAL entry would replay on top of them.
+	if s.wal != nil {
+		s.persistMu.Lock()
+	}
 	s.graphMu.Lock()
 	s.graph.Add(q.ID)
-	for _, d := range plan.decisions {
+	for _, d := range decisions {
 		if d.Match {
 			s.graph.Union(q.ID, d.CandidateID)
 		}
@@ -365,11 +455,30 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 	s.graphMu.Unlock()
 
 	s.recordTotals(plan.report)
+	if s.wal != nil {
+		freshEntries := make([]persist.DecisionEntry, len(fresh))
+		for fi, ci := range fresh {
+			d := decisions[ci]
+			freshEntries[fi] = persist.DecisionEntry{
+				CandidateID: d.CandidateID,
+				BlockScore:  d.BlockScore,
+				Probability: d.Probability,
+				Match:       d.Match,
+				Method:      string(d.Method),
+				Answer:      d.Answer,
+			}
+		}
+		err := s.appendResolveLocked(q, freshEntries, plan.report)
+		s.persistMu.Unlock()
+		if err != nil {
+			return Result{}, fmt.Errorf("resolve: journal decisions for %q: %w", q.ID, err)
+		}
+	}
 	return Result{
 		Query:     q,
 		EntityID:  entityID,
 		Members:   members,
-		Decisions: plan.decisions,
+		Decisions: decisions,
 		Cost:      plan.report,
 	}, nil
 }
@@ -384,6 +493,7 @@ func (s *Store) recordTotals(r CostReport) {
 	s.totals.localRejects += uint64(r.LocalRejects)
 	s.totals.llmPairs += uint64(r.LLMPairs)
 	s.totals.budgetDecided += uint64(r.BudgetDecided)
+	s.totals.journalHits += uint64(r.JournalHits)
 	s.totals.promptTokens += uint64(r.PromptTokens)
 	s.totals.completionTokens += uint64(r.CompletionTokens)
 	s.totals.cents += r.Cents
@@ -424,6 +534,9 @@ type Stats struct {
 	LocalRejects  uint64
 	LLMPairs      uint64
 	BudgetDecided uint64
+	// JournalHits counts pairs decided from the durable decision
+	// journal of a persistent store.
+	JournalHits uint64
 	// PromptTokens/CompletionTokens/Cents sum the LLM usage; Priced
 	// reports whether the model has hosted pricing.
 	PromptTokens     uint64
@@ -433,6 +546,10 @@ type Stats struct {
 	// Engine counts client calls, cache hits and retries of the
 	// underlying pipeline engine.
 	Engine pipeline.Stats
+	// Persist reports the durability side: recovery counts, WAL and
+	// snapshot activity. Persist.Enabled is false for in-memory
+	// stores.
+	Persist PersistStats
 }
 
 // LocalFraction returns the lifetime fraction of candidate pairs
@@ -446,6 +563,10 @@ func (st Stats) LocalFraction() float64 {
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
+	// persistStats locks persistMu, which must never be acquired with
+	// graphMu or statsMu held — gather it first.
+	ps := s.persistStats()
+
 	s.graphMu.Lock()
 	entities := s.graph.Sets()
 	s.graphMu.Unlock()
@@ -463,10 +584,12 @@ func (s *Store) Stats() Stats {
 		LocalRejects:     t.localRejects,
 		LLMPairs:         t.llmPairs,
 		BudgetDecided:    t.budgetDecided,
+		JournalHits:      t.journalHits,
 		PromptTokens:     t.promptTokens,
 		CompletionTokens: t.completionTokens,
 		Cents:            t.cents,
 		Priced:           s.priced,
 		Engine:           s.eng.Stats(),
+		Persist:          ps,
 	}
 }

@@ -139,10 +139,27 @@ type (
 	CostReport = resolve.CostReport
 	// StoreStats snapshots a store's lifetime counters.
 	StoreStats = resolve.Stats
+	// StorePersistStats snapshots the durability counters of a
+	// persistent store: recovery counts, WAL and snapshot activity.
+	StorePersistStats = resolve.PersistStats
 )
 
 // NewStore returns an empty online resolution store over the client.
+// The store is in-memory; use OpenStore for a durable one.
 func NewStore(client Client, opts StoreOptions) *Store { return resolve.New(client, opts) }
+
+// OpenStore returns an online resolution store over the client,
+// durably backed by opts.PersistDir when that field is set: every
+// ingested record and match decision is journaled to a write-ahead
+// log and periodically compacted into a snapshot. Opening an existing
+// directory recovers the previous state — records, entity groups,
+// decision journal and cost totals — without re-invoking the LLM,
+// tolerating a torn WAL tail from a crash mid-append. Journaled pairs
+// short-circuit later Resolve calls. Shut down with Store.Close
+// (flush + final snapshot); Store.Checkpoint and Store.Flush force a
+// compaction or an fsync between the automatic cadences. With an
+// empty PersistDir, OpenStore equals NewStore.
+func OpenStore(client Client, opts StoreOptions) (*Store, error) { return resolve.Open(client, opts) }
 
 // Typed store errors, matched with errors.Is.
 var (

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Benchmark-regression gate for the resolve store.
+#
+# 1. Runs the resolve benches once (-benchtime=1x) as a smoke check —
+#    they fail loudly if the store's hot path breaks under bench load.
+# 2. Replays the cascade reference workload (120 WDC seed records x
+#    120 queries) and compares the LLM-call count against the baseline
+#    recorded in BENCH_resolve.json. More LLM calls than the baseline
+#    is a cost regression and fails the build; when a change moves the
+#    number intentionally, regenerate BENCH_resolve.json in the same
+#    PR (the file documents how).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== resolve bench smoke (-benchtime=1x) =="
+go test -run '^$' -bench 'BenchmarkStore' -benchtime=1x ./internal/resolve/
+
+echo ""
+echo "== LLM-call regression gate vs BENCH_resolve.json =="
+BENCH_REGRESSION=1 go test -count=1 -run 'TestLLMCallRegression' -v ./internal/resolve/
