@@ -18,6 +18,7 @@
 //	emserve -addr :8080 -model GPT-mini
 //	emserve -demo -records 200              # preload WDC offers
 //	emserve -persist ./emserve-data         # durable store
+//	emserve -pprof 6060                     # profiling on 127.0.0.1:6060
 //
 // Quickstart:
 //
@@ -27,6 +28,16 @@
 //	curl -s -X POST localhost:8080/resolve -d \
 //	  '{"id":"q1","attrs":[{"name":"title","value":"Sony DSC-120B camera (black)"}]}'
 //	curl -s localhost:8080/entities/q1
+//
+// POST /records also accepts a bare JSON array of records, a single
+// record object, or NDJSON (Content-Type: application/x-ndjson, one
+// record per line); every form is ingested as one batch.
+//
+// Profiling quickstart (-pprof <port>, loopback only):
+//
+//	go tool pprof "http://127.0.0.1:6060/debug/pprof/profile?seconds=10"
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/heap
+//	curl -s "http://127.0.0.1:6060/debug/pprof/trace?seconds=5" -o trace.out && go tool trace trace.out
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -pprof flag: profiling endpoint on a localhost-only port
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,6 +74,7 @@ func main() {
 	demo := flag.Bool("demo", false, "preload records derived from WDC Products")
 	records := flag.Int("records", 200, "number of records to preload in -demo mode")
 	persistDir := flag.String("persist", "", "durability directory (WAL + snapshots); empty = in-memory")
+	pprofPort := flag.Int("pprof", 0, "expose net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "WAL appends between snapshots (0 = default, negative = only on shutdown)")
 	syncEvery := flag.Int("sync-every", 0, "fsync the WAL every N appends (0 = only on snapshot/shutdown)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
@@ -119,6 +132,19 @@ func main() {
 			}
 		}
 		log.Printf("preloaded %d new records, store holds %d", added, store.Len())
+	}
+
+	if *pprofPort > 0 {
+		// Profiling endpoint on a loopback-only port, separate from the
+		// serving mux: the pprof import registers its handlers on
+		// http.DefaultServeMux, which the API server never uses.
+		pprofAddr := fmt.Sprintf("127.0.0.1:%d", *pprofPort)
+		go func() {
+			log.Printf("emserve: pprof on http://%s/debug/pprof/", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				log.Printf("emserve: pprof server: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: newHandler(store)}

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 
 	"llm4em"
 )
@@ -101,35 +104,93 @@ func fromCost(c llm4em.CostReport) costJSON {
 	}
 }
 
-// addRecords handles POST /records.
+// addRecords handles POST /records. Accepted bodies:
+//
+//	{"records":[{...},...]}   wrapper object (original form)
+//	[{...},...]               bare JSON array of records
+//	{...}                     single record object
+//	{...}\n{...}\n            NDJSON (Content-Type application/x-ndjson)
+//
+// Every form routes through Store.AddBatch, so a bulk ingest pays one
+// handler and one lock round-trip per shard instead of one per
+// record.
 func (s *server) addRecords(w http.ResponseWriter, r *http.Request) {
-	var body struct {
-		Records []recordJSON `json:"records"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+	recs, err := decodeRecordsBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(body.Records) == 0 {
+	if len(recs) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("no records in body"))
 		return
 	}
-	added := 0
-	for _, rec := range body.Records {
-		if err := s.store.Add(rec.toRecord()); err != nil {
-			status := http.StatusBadRequest
-			if errors.Is(err, llm4em.ErrDuplicateRecordID) {
-				status = http.StatusConflict
-			}
-			writeError(w, status, fmt.Errorf("after %d added: %w", added, err))
-			return
+	batch := make([]llm4em.Record, len(recs))
+	for i, rj := range recs {
+		batch[i] = rj.toRecord()
+	}
+	if err := s.store.AddBatch(batch); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, llm4em.ErrDuplicateRecordID) {
+			status = http.StatusConflict
 		}
-		added++
+		added := 0
+		var be *llm4em.BatchError
+		if errors.As(err, &be) {
+			added = be.Added
+		}
+		writeError(w, status, fmt.Errorf("after %d added: %w", added, err))
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"added":   added,
+		"added":   len(batch),
 		"records": s.store.Len(),
 	})
+}
+
+// decodeRecordsBody parses the accepted POST /records body shapes
+// into a record list.
+func decodeRecordsBody(r *http.Request) ([]recordJSON, error) {
+	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
+		dec := json.NewDecoder(r.Body)
+		var out []recordJSON
+		for {
+			var rec recordJSON
+			if err := dec.Decode(&rec); err == io.EOF {
+				return out, nil
+			} else if err != nil {
+				return nil, fmt.Errorf("decode ndjson record %d: %w", len(out)+1, err)
+			}
+			out = append(out, rec)
+		}
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var out []recordJSON
+		if err := json.Unmarshal(body, &out); err != nil {
+			return nil, fmt.Errorf("decode record array: %w", err)
+		}
+		return out, nil
+	}
+	// An object: either the {"records":[...]} wrapper or one record.
+	var obj struct {
+		Records []recordJSON `json:"records"`
+		ID      string       `json:"id"`
+		Attrs   []attrJSON   `json:"attrs"`
+	}
+	if err := json.Unmarshal(body, &obj); err != nil {
+		return nil, fmt.Errorf("decode body: %w", err)
+	}
+	if obj.Records != nil {
+		return obj.Records, nil
+	}
+	if obj.ID != "" || obj.Attrs != nil {
+		return []recordJSON{{ID: obj.ID, Attrs: obj.Attrs}}, nil
+	}
+	return nil, nil
 }
 
 // resolve handles POST /resolve.

@@ -289,3 +289,51 @@ func TestServerConcurrentResolves(t *testing.T) {
 		t.Errorf("entity has %d members, want 9", len(members))
 	}
 }
+
+// TestAddRecordsBodyShapes covers the bulk-ingest body forms: bare
+// JSON array, single object and NDJSON all route through AddBatch.
+func TestAddRecordsBodyShapes(t *testing.T) {
+	srv := newTestServer(t)
+
+	// Bare JSON array.
+	resp, body := postJSON(t, srv.URL+"/records",
+		`[{"id":"a1","attrs":[{"name":"title","value":"sony camera"}]},
+		  {"id":"a2","attrs":[{"name":"title","value":"epson printer"}]}]`)
+	if resp.StatusCode != http.StatusOK || body["added"].(float64) != 2 {
+		t.Fatalf("array body: %d %v", resp.StatusCode, body)
+	}
+
+	// Single record object.
+	resp, body = postJSON(t, srv.URL+"/records",
+		`{"id":"a3","attrs":[{"name":"title","value":"makita drill"}]}`)
+	if resp.StatusCode != http.StatusOK || body["added"].(float64) != 1 {
+		t.Fatalf("single-object body: %d %v", resp.StatusCode, body)
+	}
+
+	// NDJSON.
+	nd := `{"id":"a4","attrs":[{"name":"title","value":"canon eos camera"}]}
+{"id":"a5","attrs":[{"name":"title","value":"bose soundlink speaker"}]}
+`
+	httpResp, err := http.Post(srv.URL+"/records", "application/x-ndjson", strings.NewReader(nd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = decodeBody(t, httpResp)
+	if httpResp.StatusCode != http.StatusOK || body["added"].(float64) != 2 {
+		t.Fatalf("ndjson body: %d %v", httpResp.StatusCode, body)
+	}
+	if body["records"].(float64) != 5 {
+		t.Fatalf("store holds %v records, want 5", body["records"])
+	}
+
+	// A batch with an in-batch duplicate is rejected atomically.
+	resp, body = postJSON(t, srv.URL+"/records",
+		`[{"id":"d1","attrs":[{"name":"title","value":"x"}]},
+		  {"id":"d1","attrs":[{"name":"title","value":"y"}]}]`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("in-batch duplicate: status %d, want 409 (%v)", resp.StatusCode, body)
+	}
+	if _, getOne := getJSON(t, srv.URL+"/entities/d1"); getOne["error"] == nil {
+		t.Fatal("rejected batch leaked a record into the store")
+	}
+}

@@ -89,6 +89,25 @@ func BenchmarkCandidatesIndexReuse(b *testing.B) {
 	}
 }
 
+// benchmarkIndexQuery measures one Query call against a prebuilt
+// index of n records — the per-request blocking hot path.
+func benchmarkIndexQuery(b *testing.B, n int) {
+	records := syntheticRecords(n)
+	ix := NewIndex(records, 0.2)
+	queries := make([]string, 256)
+	for i := range queries {
+		queries[i] = records[(i*37)%n].Serialize()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Query(queries[i%len(queries)], 10, 1.0)
+	}
+}
+
+func BenchmarkIndexQuery10k(b *testing.B)  { benchmarkIndexQuery(b, 10000) }
+func BenchmarkIndexQuery100k(b *testing.B) { benchmarkIndexQuery(b, 100000) }
+
 // BenchmarkIndexAdd measures incremental index growth per record.
 func BenchmarkIndexAdd(b *testing.B) {
 	records := syntheticRecords(10000)

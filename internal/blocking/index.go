@@ -3,6 +3,8 @@ package blocking
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"llm4em/internal/entity"
 	"llm4em/internal/tokenize"
@@ -14,6 +16,14 @@ import (
 // callers — the online resolution store, repeated blocking runs over a
 // stable collection — keep the Index and amortize construction.
 //
+// Internally the index is built for the serving hot path: token
+// strings are interned into dense uint32 IDs (tokenize.Vocab), the
+// postings are a slice of position lists over those IDs, per-token IDF
+// weights are cached between queries, query scoring runs over a
+// pooled flat scratch (epoch-marked, so it is never cleared), and
+// bounded results come from top-K heap selection instead of a full
+// sort. Query and QueryTokens allocate only the returned slice.
+//
 // Token weights are derived from document frequencies at query time
 // (IDF = log(1 + n/df)), so an Index stays correct as records are
 // added: a token that was rare can become a stop token later without
@@ -24,16 +34,47 @@ import (
 //
 // An Index is not safe for concurrent mutation; guard Add against
 // concurrent Query with a lock (internal/resolve shards do).
+// Concurrent Queries are safe with each other.
 type Index struct {
 	stopFrac float64
+	vocab    *tokenize.Vocab
 	records  []entity.Record
-	postings map[string][]int
+	// postings[id] lists the positions containing token id, ascending;
+	// its length is the token's document frequency.
+	postings [][]int32
+	// idfBits/idfAtN cache math.Float64bits of each token's IDF weight
+	// and the record count n it was computed at. Queries fill the
+	// cache through atomics: concurrent fillers write identical values
+	// (n and df are fixed while queries run), so the worst case is a
+	// redundant Log, never a torn or stale read — a reader only trusts
+	// idfBits after observing the matching idfAtN.
+	idfBits []uint64
+	idfAtN  []uint64
+	// addIDs is the tokenization scratch of Add (mutation path, so a
+	// single shared buffer is safe).
+	addIDs []uint32
+	// scratch pools per-query state so concurrent queries do not
+	// contend and repeated ones do not allocate.
+	scratch sync.Pool
 }
 
 // stopMinDocs is the absolute document-frequency floor below which a
 // token is never treated as a stop token, so tiny collections keep
 // their vocabulary.
 const stopMinDocs = 5
+
+// queryScratch is the reusable per-query state: token IDs, the flat
+// score accumulator with its epoch marks, the touched-position list
+// and the top-K heap.
+type queryScratch struct {
+	ids     []uint32
+	buf     []byte
+	scores  []float64
+	epoch   []uint32
+	cur     uint32
+	touched []int32
+	heap    []Candidate
+}
 
 // NewIndex builds an index over the records. stopFrac is the stop-token
 // document-frequency fraction; values below zero disable no tokens
@@ -42,9 +83,10 @@ const stopMinDocs = 5
 func NewIndex(records []entity.Record, stopFrac float64) *Index {
 	ix := &Index{
 		stopFrac: math.Max(stopFrac, 0),
+		vocab:    tokenize.NewVocab(),
 		records:  make([]entity.Record, 0, len(records)),
-		postings: map[string][]int{},
 	}
+	ix.scratch.New = func() any { return &queryScratch{} }
 	for _, r := range records {
 		ix.Add(r)
 	}
@@ -53,15 +95,36 @@ func NewIndex(records []entity.Record, stopFrac float64) *Index {
 
 // Add appends one record to the index and returns its position.
 func (ix *Index) Add(r entity.Record) int {
+	return ix.AddSerialized(r, r.Serialize())
+}
+
+// AddSerialized appends a record whose serialized text the caller
+// already computed (it must equal r.Serialize()), sparing the index a
+// re-serialization — the resolve store serializes once per record for
+// its feature-extraction cache and hands the same text here.
+func (ix *Index) AddSerialized(r entity.Record, text string) int {
 	pos := len(ix.records)
 	ix.records = append(ix.records, r)
-	seen := map[string]bool{}
-	for _, t := range tokenize.Words(r.Serialize()) {
-		if !seen[t] {
-			ix.postings[t] = append(ix.postings[t], pos)
-			seen[t] = true
+	ids := ix.vocab.AppendIDs(ix.addIDs[:0], text)
+	for n := ix.vocab.Len(); len(ix.postings) < n; {
+		ix.postings = append(ix.postings, nil)
+		ix.idfBits = append(ix.idfBits, 0)
+		ix.idfAtN = append(ix.idfAtN, 0)
+	}
+	// First occurrence per record only: df counts documents.
+	for i, id := range ids {
+		dup := false
+		for _, prev := range ids[:i] {
+			if prev == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ix.postings[id] = append(ix.postings[id], int32(pos))
 		}
 	}
+	ix.addIDs = ids[:0]
 	return pos
 }
 
@@ -83,43 +146,137 @@ type Candidate struct {
 // by decreasing score (ties broken by position). maxCandidates bounds
 // the result; zero or negative means unbounded.
 func (ix *Index) Query(text string, maxCandidates int, minScore float64) []Candidate {
-	n := float64(len(ix.records))
-	scores := map[int]float64{}
-	seen := map[string]bool{}
-	for _, t := range tokenize.Words(text) {
-		if seen[t] {
+	if len(ix.records) == 0 {
+		return nil
+	}
+	sc := ix.scratch.Get().(*queryScratch)
+	sc.ids, sc.buf = ix.vocab.AppendKnownIDs(sc.ids[:0], sc.buf, text)
+	out := ix.queryIDs(sc, maxCandidates, minScore)
+	ix.scratch.Put(sc)
+	return out
+}
+
+// QueryTokens is Query over pre-split tokens (as produced by
+// tokenize.Words): callers resolving one text against many indexes —
+// the sharded store — tokenize once and fan the tokens out. Duplicate
+// tokens are ignored, exactly as Query ignores repeated words.
+func (ix *Index) QueryTokens(tokens []string, maxCandidates int, minScore float64) []Candidate {
+	if len(ix.records) == 0 || len(tokens) == 0 {
+		return nil
+	}
+	sc := ix.scratch.Get().(*queryScratch)
+	sc.ids = ix.vocab.AppendKnownTokenIDs(sc.ids[:0], tokens)
+	out := ix.queryIDs(sc, maxCandidates, minScore)
+	ix.scratch.Put(sc)
+	return out
+}
+
+// queryIDs scores the postings of sc.ids into the scratch and selects
+// the ranked result. Read-only on the index, so concurrent queries
+// are safe; sc is owned by this call.
+func (ix *Index) queryIDs(sc *queryScratch, maxCandidates int, minScore float64) []Candidate {
+	n := len(ix.records)
+	nf := float64(n)
+	if len(sc.scores) < n {
+		sc.scores = append(sc.scores, make([]float64, n-len(sc.scores))...)
+		sc.epoch = append(sc.epoch, make([]uint32, n-len(sc.epoch))...)
+	}
+	sc.cur++
+	if sc.cur == 0 { // epoch wrap: stale marks would alias
+		clear(sc.epoch)
+		sc.cur = 1
+	}
+	touched := sc.touched[:0]
+
+	ids := sc.ids
+	for i, id := range ids {
+		dup := false
+		for _, prev := range ids[:i] {
+			if prev == id {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[t] = true
-		post := ix.postings[t]
-		df := float64(len(post))
+		post := ix.postings[id]
+		df := len(post)
 		if df == 0 {
 			continue
 		}
 		// Stop tokens: frequent both relatively and absolutely, so
 		// tiny collections keep their vocabulary.
-		if df/n > ix.stopFrac && df >= stopMinDocs {
+		if float64(df)/nf > ix.stopFrac && df >= stopMinDocs {
 			continue
 		}
-		w := math.Log(1 + n/df)
+		w := ix.idfWeight(id, n, df)
 		for _, pos := range post {
-			scores[pos] += w
+			if sc.epoch[pos] != sc.cur {
+				sc.epoch[pos] = sc.cur
+				sc.scores[pos] = w
+				touched = append(touched, pos)
+			} else {
+				sc.scores[pos] += w
+			}
 		}
 	}
-	cands := make([]Candidate, 0, len(scores))
-	for pos, sc := range scores {
-		if sc >= minScore {
-			cands = append(cands, Candidate{Pos: pos, Score: sc})
+	sc.touched = touched
+
+	if maxCandidates <= 0 {
+		// Unbounded: collect everything above the floor and sort. Not
+		// the serving path — bounded queries go through the heap.
+		out := make([]Candidate, 0, len(touched))
+		for _, pos := range touched {
+			if s := sc.scores[pos]; s >= minScore {
+				out = append(out, Candidate{Pos: int(pos), Score: s})
+			}
 		}
+		sort.Slice(out, func(i, j int) bool { return candidateBefore(out[i], out[j]) })
+		return out
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Score != cands[j].Score {
-			return cands[i].Score > cands[j].Score
+
+	// Bounded: keep the top K in a min-heap rooted at the worst kept
+	// candidate, then sort the heap into rank order. Same total order
+	// as the sort above — score descending, position ascending on
+	// ties — so the result is byte-identical to sort-then-truncate.
+	h := sc.heap[:0]
+	for _, pos := range touched {
+		s := sc.scores[pos]
+		if s < minScore {
+			continue
 		}
-		return cands[i].Pos < cands[j].Pos
-	})
-	if maxCandidates > 0 && len(cands) > maxCandidates {
-		cands = cands[:maxCandidates]
+		h = PushBounded(h, maxCandidates, Candidate{Pos: int(pos), Score: s}, candidateBefore)
 	}
-	return cands
+	sc.heap = h[:0]
+	if len(h) == 0 {
+		return nil
+	}
+	SortTopK(h, candidateBefore)
+	out := make([]Candidate, len(h))
+	copy(out, h)
+	return out
+}
+
+// idfWeight returns log(1 + n/df) for a token, serving it from the
+// per-token cache when it was computed at the same record count.
+func (ix *Index) idfWeight(id uint32, n, df int) float64 {
+	if atomic.LoadUint64(&ix.idfAtN[id]) == uint64(n) {
+		return math.Float64frombits(atomic.LoadUint64(&ix.idfBits[id]))
+	}
+	w := math.Log(1 + float64(n)/float64(df))
+	// Bits first, count second: a reader that sees the matching count
+	// is guaranteed to read these (identical) bits or newer.
+	atomic.StoreUint64(&ix.idfBits[id], math.Float64bits(w))
+	atomic.StoreUint64(&ix.idfAtN[id], uint64(n))
+	return w
+}
+
+// candidateBefore is the ranking order: score descending, ties broken
+// by ascending position.
+func candidateBefore(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Pos < b.Pos
 }

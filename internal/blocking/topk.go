@@ -1,0 +1,62 @@
+package blocking
+
+// Bounded top-K selection shared by the index query path and the
+// resolve store's shard merge: a binary min-heap whose root is the
+// lowest-ranked kept element, so a full sort of everything scored is
+// never needed. before reports whether a ranks ahead of b; it must be
+// a strict total order for the selection to be deterministic (both
+// call sites break score ties by a unique key).
+
+// PushBounded offers x to the heap h holding at most k elements: it
+// is appended while the heap is short, replaces the root when it
+// ranks ahead of it, and is dropped otherwise. Returns the updated
+// heap slice.
+func PushBounded[T any](h []T, k int, x T, before func(a, b T) bool) []T {
+	if len(h) < k {
+		h = append(h, x)
+		for i := len(h) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !before(h[parent], h[i]) {
+				break
+			}
+			h[parent], h[i] = h[i], h[parent]
+			i = parent
+		}
+		return h
+	}
+	if before(x, h[0]) {
+		h[0] = x
+		siftDownRoot(h, before)
+	}
+	return h
+}
+
+// SortTopK converts the heap into rank order in place, best first —
+// the same result sorting all offered elements and truncating to k
+// would have produced.
+func SortTopK[T any](h []T, before func(a, b T) bool) {
+	for n := len(h); n > 1; n-- {
+		h[0], h[n-1] = h[n-1], h[0]
+		siftDownRoot(h[:n-1], before)
+	}
+}
+
+// siftDownRoot restores the heap property from the root (the element
+// that would be evicted first).
+func siftDownRoot[T any](h []T, before func(a, b T) bool) {
+	i := 0
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && before(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && before(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}

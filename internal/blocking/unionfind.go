@@ -14,7 +14,7 @@ import "sort"
 // lock (internal/resolve does).
 type UnionFind struct {
 	parent  map[string]string
-	members map[string][]string // root -> member IDs (unsorted)
+	members map[string][]string // root -> member IDs, kept sorted
 }
 
 // NewUnionFind returns an empty disjoint-set forest.
@@ -67,9 +67,39 @@ func (u *UnionFind) Union(a, b string) string {
 		ra, rb = rb, ra
 	}
 	u.parent[rb] = ra
-	u.members[ra] = append(u.members[ra], u.members[rb]...)
+	// Merge the two sorted member lists; keeping lists sorted at union
+	// time makes every Members/Groups read copy-only, and reads vastly
+	// outnumber unions on the serving path.
+	u.members[ra] = mergeSorted(u.members[ra], u.members[rb])
 	delete(u.members, rb)
 	return ra
+}
+
+// mergeSorted merges sorted b into sorted a, reusing a's capacity
+// (amortized growth, like plain append): non-overlapping ranges are a
+// straight append, the general case merges backwards in place.
+func mergeSorted(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append(a, b...)
+	}
+	if a[len(a)-1] <= b[0] {
+		return append(a, b...)
+	}
+	i := len(a) - 1
+	a = append(a, b...)
+	for j, k := len(b)-1, len(a)-1; j >= 0; k-- {
+		if i >= 0 && a[i] > b[j] {
+			a[k] = a[i]
+			i--
+		} else {
+			a[k] = b[j]
+			j--
+		}
+	}
+	return a
 }
 
 // Members returns the sorted member IDs of the set containing the ID,
@@ -81,7 +111,6 @@ func (u *UnionFind) Members(id string) []string {
 	}
 	out := make([]string, len(u.members[root]))
 	copy(out, u.members[root])
-	sort.Strings(out)
 	return out
 }
 
@@ -102,8 +131,7 @@ func (u *UnionFind) Groups() [][]string {
 	out := make([][]string, 0, len(roots))
 	for _, r := range roots {
 		g := make([]string, len(u.members[r]))
-		copy(g, u.members[r])
-		sort.Strings(g)
+		copy(g, u.members[r]) // member lists are maintained sorted
 		out = append(out, g)
 	}
 	return out

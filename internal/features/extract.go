@@ -12,8 +12,10 @@
 package features
 
 import (
+	"sort"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"llm4em/internal/entity"
 	"llm4em/internal/tokenize"
@@ -28,6 +30,11 @@ type Extracted struct {
 	// Tokens is the full lower-cased token sequence (model numbers
 	// kept together).
 	Tokens []string
+	// WordTokens is the plain word tokenization of Raw
+	// (tokenize.Words: alphanumeric runs, model numbers split), cached
+	// so pair scoring and blocking fanout never re-tokenize. Nil on
+	// hand-built extractions; consumers fall back to tokenizing Raw.
+	WordTokens []string
 	// Brand is the recognized brand/vendor name (lower-cased), or "".
 	Brand string
 	// Models holds recognized model-number-like tokens (mixed
@@ -68,26 +75,44 @@ type Extracted struct {
 var lex = buildLexicons()
 
 type lexicons struct {
-	brands     map[string]bool   // lower-cased single tokens
-	brandPairs map[string]bool   // lower-cased two-token brands ("western digital")
-	venues     map[string]string // lower-cased variant -> canonical full name
-	surnames   map[string]bool
-	firstnames map[string]bool
+	brands     map[string]bool // lower-cased single tokens
+	brandPairs map[string]bool // lower-cased two-token brands ("western digital")
+	// brandPairFirst holds the first word of every two-token brand, so
+	// the extractor concatenates a candidate pair only when its first
+	// token can possibly start one.
+	brandPairFirst map[string]bool
+	// venuesByTok indexes venue variants by their first word token, so
+	// the extractor probes only the variants whose leading word
+	// actually occurs in the text instead of substring-scanning the
+	// whole lexicon. Each list is sorted longest variant first (ties
+	// alphabetical) to keep longest-match-wins deterministic.
+	venuesByTok map[string][]venueVariant
+	surnames    map[string]bool
+	firstnames  map[string]bool
+}
+
+// venueVariant is one lower-cased venue surface form and its
+// canonical name.
+type venueVariant struct {
+	text  string
+	canon string
 }
 
 func buildLexicons() lexicons {
 	l := lexicons{
-		brands:     map[string]bool{},
-		brandPairs: map[string]bool{},
-		venues:     map[string]string{},
-		surnames:   map[string]bool{},
-		firstnames: map[string]bool{},
+		brands:         map[string]bool{},
+		brandPairs:     map[string]bool{},
+		brandPairFirst: map[string]bool{},
+		venuesByTok:    map[string][]venueVariant{},
+		surnames:       map[string]bool{},
+		firstnames:     map[string]bool{},
 	}
 	for _, b := range vocab.AllBrandNames() {
 		lb := strings.ToLower(b)
 		words := strings.Fields(lb)
 		if len(words) >= 2 {
 			l.brandPairs[strings.Join(words, " ")] = true
+			l.brandPairFirst[words[0]] = true
 			l.brands[words[0]] = true // allow partial recognition
 		} else {
 			l.brands[lb] = true
@@ -95,10 +120,22 @@ func buildLexicons() lexicons {
 	}
 	for _, v := range vocab.Venues {
 		canon := v.Full
-		l.venues[strings.ToLower(v.Full)] = canon
-		for _, alt := range v.Variants {
-			l.venues[strings.ToLower(alt)] = canon
+		for _, alt := range append([]string{v.Full}, v.Variants...) {
+			lower := strings.ToLower(alt)
+			toks := tokenize.Words(lower)
+			if len(toks) == 0 {
+				continue
+			}
+			l.venuesByTok[toks[0]] = append(l.venuesByTok[toks[0]], venueVariant{text: lower, canon: canon})
 		}
+	}
+	for _, vs := range l.venuesByTok {
+		sort.Slice(vs, func(i, j int) bool {
+			if len(vs[i].text) != len(vs[j].text) {
+				return len(vs[i].text) > len(vs[j].text)
+			}
+			return vs[i].text < vs[j].text
+		})
 	}
 	for _, n := range vocab.LastNames {
 		l.surnames[strings.ToLower(n)] = true
@@ -115,19 +152,30 @@ func buildLexicons() lexicons {
 func ExtractText(s string) Extracted {
 	e := Extracted{Raw: s}
 	e.Tokens = tokenize.WordsKeepAlnum(s)
+	e.WordTokens = tokenize.Words(s)
 	lower := strings.ToLower(s)
 
-	// Venue: longest matching lexicon entry present as a substring.
+	// Venue: longest matching lexicon variant present as a substring.
+	// Instead of substring-scanning the whole lexicon, only variants
+	// whose first word occurs in the text are probed — as a word token
+	// or as the letter prefix of a fused token ("vldb2004" probes
+	// "vldb"), the two ways a contained variant's leading word
+	// realistically surfaces. A variant fused mid-token ("xvldb") is
+	// the one substring match the old scan found that this probe does
+	// not.
 	bestVenueLen := 0
-	for variant, canon := range lex.venues {
-		if len(variant) > bestVenueLen && strings.Contains(lower, variant) {
-			e.Venue = canon
-			bestVenueLen = len(variant)
+	for _, t := range e.WordTokens {
+		e.Venue, bestVenueLen = probeVenueKey(lower, t, e.Venue, bestVenueLen)
+		if p := letterPrefixOf(t); p != "" && p != t {
+			e.Venue, bestVenueLen = probeVenueKey(lower, p, e.Venue, bestVenueLen)
 		}
 	}
 
 	// Brand: first lexicon hit in token order; two-token brands first.
 	for i := 0; i+1 < len(e.Tokens); i++ {
+		if !lex.brandPairFirst[e.Tokens[i]] {
+			continue // skip the concatenation for impossible pairs
+		}
 		pair := e.Tokens[i] + " " + e.Tokens[i+1]
 		if lex.brandPairs[pair] {
 			e.Brand = pair
@@ -310,6 +358,32 @@ var colorWords = map[string]bool{
 var editionPhrases = []string{
 	"upgrade", "full version", "academic", "student edition", "oem",
 	"small box", "retail box", "3-user", "single user",
+}
+
+// probeVenueKey checks the venue variants filed under key against the
+// lower-cased text, keeping whichever of (canon, bestLen) and the
+// longest contained variant wins.
+func probeVenueKey(lower, key, canon string, bestLen int) (string, int) {
+	for _, v := range lex.venuesByTok[key] {
+		if len(v.text) <= bestLen {
+			return canon, bestLen // lists are sorted longest first
+		}
+		if strings.Contains(lower, v.text) {
+			return v.canon, len(v.text)
+		}
+	}
+	return canon, bestLen
+}
+
+// letterPrefixOf returns the leading run of letters of a token
+// ("vldb2004" -> "vldb"), or "" if the token starts with a digit.
+func letterPrefixOf(t string) string {
+	for i, r := range t {
+		if !unicode.IsLetter(r) {
+			return t[:i]
+		}
+	}
+	return t
 }
 
 // normalizeModel strips separators from a model token so that

@@ -261,3 +261,21 @@ func TestFeatureNames(t *testing.T) {
 		seen[name] = true
 	}
 }
+
+// TestVenueFusedToken pins venue detection when the venue acronym is
+// fused with a year into one alphanumeric token — the case the
+// token-gated lexicon probe must cover via the letter prefix, since
+// "vldb2004" never appears as the bare word token "vldb".
+func TestVenueFusedToken(t *testing.T) {
+	cases := map[string]string{
+		"efficient joins in vldb2004 proceedings": "VLDB",
+		"scalable matching icde2019 paper":        "ICDE",
+		"query answering Proc. SIGMOD 2001":       "SIGMOD Conference",
+		"no venue words at all":                   "",
+	}
+	for text, want := range cases {
+		if got := ExtractText(text).Venue; got != want {
+			t.Errorf("ExtractText(%q).Venue = %q, want %q", text, got, want)
+		}
+	}
+}

@@ -166,7 +166,14 @@ func PairFeatures(a, b Extracted) (Vector, Presence) {
 		p[YearMatch] = true
 	}
 
-	v[OverallJaccard] = textsim.Jaccard(tokenize.Words(a.Raw), tokenize.Words(b.Raw))
+	wa, wb := a.WordTokens, b.WordTokens
+	if wa == nil {
+		wa = tokenize.Words(a.Raw)
+	}
+	if wb == nil {
+		wb = tokenize.Words(b.Raw)
+	}
+	v[OverallJaccard] = textsim.Jaccard(wa, wb)
 	p[OverallJaccard] = true
 
 	return v, p

@@ -48,8 +48,14 @@ func benchStore(b *testing.B, n int) (*Store, []entity.Record) {
 
 // BenchmarkStoreResolve measures sequential resolve throughput
 // against a 10k-record store.
-func BenchmarkStoreResolve(b *testing.B) {
-	s, queries := benchStore(b, 10000)
+func BenchmarkStoreResolve(b *testing.B) { benchmarkStoreResolve(b, 10000) }
+
+// BenchmarkStoreResolve100k is the same workload at 100k records,
+// probing how blocking scales with the collection.
+func BenchmarkStoreResolve100k(b *testing.B) { benchmarkStoreResolve(b, 100000) }
+
+func benchmarkStoreResolve(b *testing.B, n int) {
+	s, queries := benchStore(b, n)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

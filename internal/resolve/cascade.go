@@ -171,11 +171,13 @@ type cascadePlan struct {
 }
 
 // plan scores each candidate pair with the local scorer and decides
-// which stage answers it. queryText is the serialized query;
-// candTexts/candIDs/blockScores describe the candidates in rank
-// order. estimateCents prices one pair's prospective LLM call for the
-// cost budget; nil disables the cost cap (no hosted pricing).
-func (o CascadeOptions) plan(queryText string, candIDs []string, candTexts []string, blockScores []float64, estimateCents func(i int) float64) cascadePlan {
+// which stage answers it. query is the extraction of the serialized
+// query (computed once per Resolve); candExts/candIDs/blockScores
+// describe the candidates in rank order, with extractions served from
+// the store's per-record cache. estimateCents prices one pair's
+// prospective LLM call for the cost budget; nil disables the cost cap
+// (no hosted pricing).
+func (o CascadeOptions) plan(query features.Extracted, candIDs []string, candExts []*features.Extracted, blockScores []float64, estimateCents func(i int) float64) cascadePlan {
 	p := cascadePlan{decisions: make([]PairDecision, len(candIDs))}
 	p.report.Candidates = len(candIDs)
 
@@ -183,7 +185,7 @@ func (o CascadeOptions) plan(queryText string, candIDs []string, candTexts []str
 	ws := o.weights()
 	var uncertain []int
 	for i, id := range candIDs {
-		v, pres := features.PairFeaturesText(queryText, candTexts[i])
+		v, pres := features.PairFeatures(query, *candExts[i])
 		prob := ws.Probability(v, pres)
 		d := PairDecision{
 			CandidateID: id,

@@ -45,6 +45,8 @@ func TestCascadeOptionEdges(t *testing.T) {
 }
 
 func TestAddBatchStopsAtError(t *testing.T) {
+	// An in-batch duplicate is caught by upfront validation: the whole
+	// batch is rejected before anything is inserted.
 	s := New(&countingClient{}, Options{})
 	err := s.AddBatch([]entity.Record{
 		rec("r1", "sony camera"),
@@ -54,7 +56,35 @@ func TestAddBatchStopsAtError(t *testing.T) {
 	if !errors.Is(err, ErrDuplicateID) {
 		t.Fatalf("AddBatch: %v, want ErrDuplicateID", err)
 	}
+	if s.Len() != 0 {
+		t.Errorf("Len after in-batch duplicate = %d, want 0 (batch rejected upfront)", s.Len())
+	}
+	var be *BatchError
+	if !errors.As(err, &be) || be.Added != 0 {
+		t.Errorf("error %v, want *BatchError with Added=0", err)
+	}
+
+	// An empty ID rejects the batch the same way.
+	if err := s.AddBatch([]entity.Record{rec("", "no id")}); !errors.Is(err, ErrNoID) {
+		t.Errorf("empty-ID batch: %v, want ErrNoID", err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len after empty-ID batch = %d, want 0", s.Len())
+	}
+
+	// A duplicate against the store surfaces mid-insert: already
+	// inserted records stay, and BatchError reports how many.
+	if err := s.Add(rec("r1", "sony camera")); err != nil {
+		t.Fatal(err)
+	}
+	err = s.AddBatch([]entity.Record{rec("r1", "dup against store")})
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("store-dup batch: %v, want ErrDuplicateID", err)
+	}
+	if !errors.As(err, &be) || be.Added != 0 {
+		t.Errorf("store-dup batch error %v, want *BatchError with Added=0", err)
+	}
 	if s.Len() != 1 {
-		t.Errorf("Len after failed batch = %d, want 1", s.Len())
+		t.Errorf("Len after store-dup batch = %d, want 1", s.Len())
 	}
 }

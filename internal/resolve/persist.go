@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"llm4em/internal/entity"
+	"llm4em/internal/features"
 	"llm4em/internal/llm"
 	"llm4em/internal/persist"
 )
@@ -82,10 +83,12 @@ func (s *Store) installSnapshot(snap *persist.Snapshot) error {
 			return fmt.Errorf("resolve: snapshot record without ID")
 		}
 		sh := s.shardFor(r.ID)
-		sh.recs[r.ID] = r
-		sh.ix.Add(r)
+		text := r.Serialize()
+		ext := features.ExtractText(text)
+		sh.insertLocked(r, text, &ext)
 		s.graph.Add(r.ID)
 	}
+	s.count.Store(int64(s.Len()))
 	for _, g := range snap.Groups {
 		if len(g) == 0 {
 			continue
@@ -136,8 +139,10 @@ func (s *Store) replay(entries []persist.Entry) error {
 			if _, dup := sh.recs[r.ID]; dup {
 				continue // already in the snapshot
 			}
-			sh.recs[r.ID] = r
-			sh.ix.Add(r)
+			text := r.Serialize()
+			ext := features.ExtractText(text)
+			sh.insertLocked(r, text, &ext)
+			s.count.Add(1)
 			s.graph.Add(r.ID)
 			s.pstate.recoveredRecords++
 		case persist.EntryResolve:

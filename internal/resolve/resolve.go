@@ -28,13 +28,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"llm4em/internal/blocking"
 	"llm4em/internal/core"
 	"llm4em/internal/cost"
 	"llm4em/internal/entity"
+	"llm4em/internal/features"
 	"llm4em/internal/llm"
 	"llm4em/internal/persist"
 	"llm4em/internal/pipeline"
@@ -53,6 +54,14 @@ const (
 	// DefaultSnapshotEvery is the WAL-append count between automatic
 	// snapshot+compaction runs of a persistent store.
 	DefaultSnapshotEvery = 4096
+	// DefaultFanoutRecords is the stored-record count above which
+	// Resolve queries the index shards from parallel goroutines. Shard
+	// queries cost single-digit microseconds on small stores, where
+	// the goroutine handoff would dominate; the default engages the
+	// fanout only once per-shard work is large enough to amortize it.
+	// Tune per deployment: lower it on many-core serving hosts, raise
+	// it (or disable with a negative value) on small ones.
+	DefaultFanoutRecords = 1 << 20
 )
 
 // Options configures a Store. The zero value selects sensible
@@ -70,6 +79,10 @@ type Options struct {
 	// StopDocFrac is the stop-token document-frequency fraction of the
 	// shard indexes (default DefaultStopDocFrac; negative means zero).
 	StopDocFrac float64
+	// FanoutRecords is the stored-record count at which Resolve starts
+	// querying the shards in parallel (default DefaultFanoutRecords;
+	// negative keeps the fanout serial regardless of size).
+	FanoutRecords int
 	// Design is the prompt design for escalated pairs (zero value
 	// selects DefaultDesign).
 	Design prompt.Design
@@ -116,6 +129,9 @@ func (o Options) withDefaults() Options {
 	} else if o.StopDocFrac == 0 {
 		o.StopDocFrac = DefaultStopDocFrac
 	}
+	if o.FanoutRecords == 0 {
+		o.FanoutRecords = DefaultFanoutRecords
+	}
 	if o.Design.Name == "" {
 		o.Design, _ = prompt.DesignByName(DefaultDesign)
 	}
@@ -148,6 +164,12 @@ type Store struct {
 	priced  bool
 
 	shards []*shard
+	// count tracks the stored-record total without touching shard
+	// locks; Resolve reads it to decide whether parallel shard fanout
+	// is worth the goroutine overhead.
+	count atomic.Int64
+	// rscratch pools per-resolve candidate buffers (*resolveScratch).
+	rscratch sync.Pool
 
 	graphMu sync.Mutex
 	graph   *blocking.UnionFind
@@ -172,6 +194,121 @@ type shard struct {
 	mu   sync.RWMutex
 	ix   *blocking.Index
 	recs map[string]entity.Record
+	// ext caches each record's feature extraction, position-aligned
+	// with ix, so the cascade scores candidates without re-extracting
+	// (or re-serializing) them on every Resolve. Pointers are handed
+	// out to queries and stay valid across append growth; the pointed-
+	// to extractions are immutable once stored — PairFeatures only
+	// reads them.
+	ext []*features.Extracted
+}
+
+// insertLocked indexes one pre-serialized, pre-extracted record. The
+// caller holds mu (or has exclusive access during recovery) and has
+// already rejected duplicates.
+func (sh *shard) insertLocked(r entity.Record, text string, ext *features.Extracted) {
+	sh.recs[r.ID] = r
+	sh.ix.AddSerialized(r, text)
+	sh.ext = append(sh.ext, ext)
+}
+
+// collect queries one shard for blocking candidates and copies the
+// matching records out under the read lock, appending to dst (a
+// reusable buffer owned by the caller). words is the pre-split query
+// tokenization shared by every shard.
+func (sh *shard) collect(dst []scored, qid string, words []string, maxCandidates int, minScore float64) []scored {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, c := range sh.ix.QueryTokens(words, maxCandidates, minScore) {
+		r := sh.ix.Record(c.Pos)
+		if r.ID == qid {
+			continue // re-resolving an added record
+		}
+		dst = append(dst, scored{rec: r, ext: sh.ext[c.Pos], score: c.Score})
+	}
+	return dst
+}
+
+// scored is one blocking candidate copied out of a shard: the record,
+// its cached feature extraction and the summed-IDF blocking score.
+type scored struct {
+	rec   entity.Record
+	ext   *features.Extracted
+	score float64
+}
+
+// resolveScratch pools the per-shard candidate buffers of
+// blockCandidates. Only the buffers are pooled: the merged result
+// holds value copies, so handing the scratch back never aliases a
+// returned candidate.
+type resolveScratch struct {
+	perShard [][]scored
+}
+
+// blockCandidates fans the pre-tokenized query out to every shard and
+// merges the per-shard ranked lists into the global top
+// MaxCandidates. Above Options.FanoutRecords the fanout runs one
+// bounded goroutine per shard; results land in per-shard slots, so
+// the merge — and therefore the final ranking — is deterministic
+// regardless of scheduling.
+func (s *Store) blockCandidates(qid string, words []string) []scored {
+	sc := s.rscratch.Get().(*resolveScratch)
+	if len(sc.perShard) != len(s.shards) {
+		sc.perShard = make([][]scored, len(s.shards))
+	}
+	perShard := sc.perShard
+	if len(s.shards) > 1 && s.opts.FanoutRecords > 0 && s.count.Load() >= int64(s.opts.FanoutRecords) {
+		var wg sync.WaitGroup
+		wg.Add(len(s.shards))
+		for i, sh := range s.shards {
+			go func(i int, sh *shard) {
+				defer wg.Done()
+				perShard[i] = sh.collect(perShard[i][:0], qid, words, s.opts.MaxCandidates, s.opts.MinScore)
+			}(i, sh)
+		}
+		wg.Wait()
+	} else {
+		for i, sh := range s.shards {
+			perShard[i] = sh.collect(perShard[i][:0], qid, words, s.opts.MaxCandidates, s.opts.MinScore)
+		}
+	}
+	out := mergeTopK(perShard, s.opts.MaxCandidates)
+	s.rscratch.Put(sc)
+	return out
+}
+
+// scoredBefore is the global candidate order: score descending, ties
+// broken by ascending record ID (IDs are unique across shards).
+func scoredBefore(a, b scored) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.rec.ID < b.rec.ID
+}
+
+// mergeTopK selects the global top-K from the per-shard candidate
+// lists with the shared bounded-heap selection — the same result
+// sorting everything and truncating produced, without the global
+// sort.
+func mergeTopK(perShard [][]scored, k int) []scored {
+	total := 0
+	for _, cs := range perShard {
+		total += len(cs)
+	}
+	if total == 0 {
+		return nil
+	}
+	if k > total {
+		k = total
+	}
+	h := make([]scored, 0, k)
+	for _, cs := range perShard {
+		for _, c := range cs {
+			h = blocking.PushBounded(h, k, c, scoredBefore)
+		}
+	}
+	blocking.SortTopK(h, scoredBefore)
+	return h
 }
 
 // totals accumulates store-lifetime counters under statsMu.
@@ -203,6 +340,7 @@ func New(client llm.Client, opts Options) *Store {
 		journal: map[pairID]persist.DecisionEntry{},
 	}
 	s.pricing, s.priced = cost.For(client.Name())
+	s.rscratch.New = func() any { return &resolveScratch{} }
 	for i := range s.shards {
 		s.shards[i] = &shard{
 			ix:   blocking.NewIndex(nil, o.StopDocFrac),
@@ -212,29 +350,36 @@ func New(client llm.Client, opts Options) *Store {
 	return s
 }
 
-// shardFor routes a record ID to its shard.
-func (s *Store) shardFor(id string) *shard {
+// shardIndex routes a record ID to its shard slot.
+func (s *Store) shardIndex(id string) int {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+	return int(h.Sum32() % uint32(len(s.shards)))
 }
+
+// shardFor routes a record ID to its shard.
+func (s *Store) shardFor(id string) *shard { return s.shards[s.shardIndex(id)] }
 
 // Add inserts a record into the store: it becomes findable by Resolve
 // and forms a singleton entity until matched. Records with empty or
-// duplicate IDs are rejected.
+// duplicate IDs are rejected. Serialization and feature extraction
+// run before the shard lock is taken, so concurrent Adds contend only
+// on the map/index insert itself.
 func (s *Store) Add(r entity.Record) error {
 	if r.ID == "" {
 		return ErrNoID
 	}
+	text := r.Serialize()
+	ext := features.ExtractText(text)
 	sh := s.shardFor(r.ID)
 	sh.mu.Lock()
 	if _, dup := sh.recs[r.ID]; dup {
 		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrDuplicateID, r.ID)
 	}
-	sh.recs[r.ID] = r
-	sh.ix.Add(r)
+	sh.insertLocked(r, text, &ext)
 	sh.mu.Unlock()
+	s.count.Add(1)
 
 	s.graphMu.Lock()
 	s.graph.Add(r.ID)
@@ -251,12 +396,105 @@ func (s *Store) Add(r entity.Record) error {
 	return nil
 }
 
-// AddBatch inserts the records, stopping at the first error.
+// BatchError reports a partially applied AddBatch: Added records are
+// in the store (a batch is not transactional), Err is the failure.
+// Unwrap exposes Err, so errors.Is(err, ErrDuplicateID) still works.
+type BatchError struct {
+	Added int
+	Err   error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("resolve: batch add failed after %d records: %v", e.Added, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// AddBatch inserts the records, paying each lock — shard, entity
+// graph, persistence — once per batch instead of once per record.
+// Records with empty IDs or IDs duplicated within the batch reject
+// the whole batch upfront; an ID already in the store stops the
+// insert with a *BatchError reporting how many records made it in
+// (records of a failed batch are not rolled back). Records are
+// processed grouped by shard, not in input order.
 func (s *Store) AddBatch(rs []entity.Record) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(rs))
 	for _, r := range rs {
-		if err := s.Add(r); err != nil {
-			return err
+		if r.ID == "" {
+			return &BatchError{Err: ErrNoID}
 		}
+		if seen[r.ID] {
+			return &BatchError{Err: fmt.Errorf("%w in batch: %q", ErrDuplicateID, r.ID)}
+		}
+		seen[r.ID] = true
+	}
+
+	// Serialize and extract outside any lock, then insert shard by
+	// shard under one lock acquisition each.
+	type prepared struct {
+		rec  entity.Record
+		text string
+		ext  *features.Extracted
+	}
+	byShard := make([][]prepared, len(s.shards))
+	for _, r := range rs {
+		text := r.Serialize()
+		ext := features.ExtractText(text)
+		i := s.shardIndex(r.ID)
+		byShard[i] = append(byShard[i], prepared{rec: r, text: text, ext: &ext})
+	}
+
+	var inserted []entity.Record
+	var insertErr error
+insert:
+	for i, group := range byShard {
+		if len(group) == 0 {
+			continue
+		}
+		sh := s.shards[i]
+		sh.mu.Lock()
+		for _, p := range group {
+			if _, dup := sh.recs[p.rec.ID]; dup {
+				insertErr = fmt.Errorf("%w: %q", ErrDuplicateID, p.rec.ID)
+				sh.mu.Unlock()
+				break insert
+			}
+			sh.insertLocked(p.rec, p.text, p.ext)
+			inserted = append(inserted, p.rec)
+		}
+		sh.mu.Unlock()
+	}
+	s.count.Add(int64(len(inserted)))
+
+	if len(inserted) > 0 {
+		s.graphMu.Lock()
+		for _, r := range inserted {
+			s.graph.Add(r.ID)
+		}
+		s.graphMu.Unlock()
+	}
+
+	// Journal everything that was inserted, even on a failed batch:
+	// the durable log must cover the in-memory state.
+	if s.wal != nil && len(inserted) > 0 {
+		s.persistMu.Lock()
+		for _, r := range inserted {
+			if err := s.appendRecordLocked(r); err != nil {
+				s.persistMu.Unlock()
+				// Keep a pending insert error (e.g. the duplicate ID
+				// that stopped the batch) visible alongside the journal
+				// failure, so errors.Is still finds the typed cause.
+				return &BatchError{Added: len(inserted),
+					Err: errors.Join(insertErr, fmt.Errorf("journal record %q: %w", r.ID, err))}
+			}
+		}
+		s.persistMu.Unlock()
+	}
+	if insertErr != nil {
+		return &BatchError{Added: len(inserted), Err: insertErr}
 	}
 	return nil
 }
@@ -315,33 +553,15 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 		return Result{}, fmt.Errorf("query: %w", ErrNoID)
 	}
 	text := q.Serialize()
+	// One extraction serves everything downstream: its WordTokens are
+	// the blocking tokenization (computed once, fanned out to every
+	// shard) and the extraction itself feeds the cascade scorer.
+	qext := features.ExtractText(text)
 
-	// Blocking: query every shard's index, merge, re-rank globally.
-	type scored struct {
-		rec   entity.Record
-		score float64
-	}
-	var cands []scored
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		for _, c := range sh.ix.Query(text, s.opts.MaxCandidates, s.opts.MinScore) {
-			r := sh.ix.Record(c.Pos)
-			if r.ID == q.ID {
-				continue // re-resolving an added record
-			}
-			cands = append(cands, scored{rec: r, score: c.Score})
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].score != cands[j].score {
-			return cands[i].score > cands[j].score
-		}
-		return cands[i].rec.ID < cands[j].rec.ID
-	})
-	if len(cands) > s.opts.MaxCandidates {
-		cands = cands[:s.opts.MaxCandidates]
-	}
+	// Blocking: query every shard's index — in parallel for large
+	// stores — and merge the per-shard top-K lists into the global
+	// top-K.
+	cands := s.blockCandidates(q.ID, qext.WordTokens)
 
 	// Journal short-circuit: pairs decided in an earlier call —
 	// possibly before a restart — replay their durable decision
@@ -375,13 +595,15 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 		}
 	}
 
-	// Cascade: local scorer first, the uncertain band to the LLM.
+	// Cascade: local scorer first, the uncertain band to the LLM. The
+	// candidate extractions come from the shard cache — no candidate
+	// is re-serialized or re-extracted here.
 	ids := make([]string, len(fresh))
-	texts := make([]string, len(fresh))
+	exts := make([]*features.Extracted, len(fresh))
 	scores := make([]float64, len(fresh))
 	for fi, ci := range fresh {
 		ids[fi] = cands[ci].rec.ID
-		texts[fi] = cands[ci].rec.Serialize()
+		exts[fi] = cands[ci].ext
 		scores[fi] = cands[ci].score
 	}
 	spec := prompt.Spec{Design: s.opts.Design, Domain: s.opts.Domain}
@@ -396,7 +618,7 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 				float64(tokenize.EstimateTokens(built)), EstCompletionTokens)
 		}
 	}
-	plan := s.opts.Cascade.plan(text, ids, texts, scores, estimateCents)
+	plan := s.opts.Cascade.plan(qext, ids, exts, scores, estimateCents)
 	plan.report.Candidates = len(cands)
 	plan.report.JournalHits = journalHits
 	plan.report.Priced = s.priced

@@ -17,21 +17,59 @@ import (
 // Jaccard returns |A∩B| / |A∪B| over the token sets of a and b. Two
 // empty token sets are defined to have similarity 1.
 func Jaccard(a, b []string) float64 {
-	sa, sb := tokenize.Set(a), tokenize.Set(b)
-	if len(sa) == 0 && len(sb) == 0 {
+	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
-	inter := 0
-	for t := range sa {
-		if sb[t] {
-			inter++
+	da, inter := distinctAndInter(a, b)
+	db := 0
+	for j := range b {
+		if !seenBefore(b, j) {
+			db++
 		}
 	}
-	union := len(sa) + len(sb) - inter
+	union := da + db - inter
 	if union == 0 {
 		return 1
 	}
 	return float64(inter) / float64(union)
+}
+
+// seenBefore reports whether ts[i] already occurred in ts[:i] — the
+// token-list equivalent of a set-membership test. The similarity
+// functions below run over short token lists (titles, word tokens),
+// where quadratic slice scans beat building throwaway hash sets.
+func seenBefore(ts []string, i int) bool {
+	for _, p := range ts[:i] {
+		if p == ts[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports whether ts contains t.
+func contains(ts []string, t string) bool {
+	for _, p := range ts {
+		if p == t {
+			return true
+		}
+	}
+	return false
+}
+
+// distinctAndInter counts the distinct tokens of a and how many of
+// them occur in b.
+func distinctAndInter(a, b []string) (distinct, inter int) {
+	for i := range a {
+		if seenBefore(a, i) {
+			continue
+		}
+		distinct++
+		if contains(b, a[i]) {
+			inter++
+		}
+	}
+	return distinct, inter
 }
 
 // JaccardStrings tokenizes both strings with tokenize.Words and
@@ -61,17 +99,11 @@ func Overlap(a, b []string) float64 {
 // Containment returns |A∩B| / |A|: the fraction of a's tokens present
 // in b. It is asymmetric.
 func Containment(a, b []string) float64 {
-	sa, sb := tokenize.Set(a), tokenize.Set(b)
-	if len(sa) == 0 {
+	da, inter := distinctAndInter(a, b)
+	if da == 0 {
 		return 1
 	}
-	inter := 0
-	for t := range sa {
-		if sb[t] {
-			inter++
-		}
-	}
-	return float64(inter) / float64(len(sa))
+	return float64(inter) / float64(da)
 }
 
 // GeneralizedJaccard computes the Generalized Jaccard similarity of
@@ -141,24 +173,45 @@ func GeneralizedJaccardStrings(a, b string) float64 {
 // Cosine returns the cosine similarity of the token-frequency vectors
 // of a and b.
 func Cosine(a, b []string) float64 {
-	ca, cb := tokenize.Counts(a), tokenize.Counts(b)
-	if len(ca) == 0 && len(cb) == 0 {
+	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
+	// Token counts are small integers, so the sums below are exact in
+	// float64 regardless of accumulation order — identical results to
+	// the map-based formulation, without its allocations.
 	var dot, na, nb float64
-	for t, x := range ca {
-		na += float64(x) * float64(x)
-		if y, ok := cb[t]; ok {
-			dot += float64(x) * float64(y)
+	for i, t := range a {
+		if seenBefore(a, i) {
+			continue
+		}
+		x := float64(countOf(a, t))
+		na += x * x
+		if y := countOf(b, t); y > 0 {
+			dot += x * float64(y)
 		}
 	}
-	for _, y := range cb {
-		nb += float64(y) * float64(y)
+	for j, t := range b {
+		if seenBefore(b, j) {
+			continue
+		}
+		y := float64(countOf(b, t))
+		nb += y * y
 	}
 	if na == 0 || nb == 0 {
 		return 0
 	}
 	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// countOf counts occurrences of t in ts.
+func countOf(ts []string, t string) int {
+	n := 0
+	for _, p := range ts {
+		if p == t {
+			n++
+		}
+	}
+	return n
 }
 
 // CosineStrings tokenizes both strings and returns their cosine

@@ -14,60 +14,65 @@ import (
 // run of letters and digits; all other characters act as separators.
 // Alphanumeric model numbers such as "X500-B" therefore become
 // "x500" and "b", while "X500B" stays one token.
+//
+// The string is lower-cased once and tokens are substrings of that
+// copy, so tokenizing costs one allocation (zero for already-lower
+// ASCII input) plus result-slice growth, not one per token.
+// Lower-casing first is equivalent to lower-casing per token:
+// unicode.ToLower maps letters to letters and leaves separators
+// untouched.
 func Words(s string) []string {
+	lower := strings.ToLower(s)
 	var tokens []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			tokens = append(tokens, b.String())
-			b.Reset()
-		}
-	}
-	for _, r := range s {
+	start := -1
+	for i, r := range lower {
 		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			b.WriteRune(unicode.ToLower(r))
-		} else {
-			flush()
+			if start < 0 {
+				start = i
+			}
+		} else if start >= 0 {
+			tokens = append(tokens, lower[start:i])
+			start = -1
 		}
 	}
-	flush()
+	if start >= 0 {
+		tokens = append(tokens, lower[start:])
+	}
 	return tokens
 }
 
 // WordsKeepAlnum splits s into lower-cased tokens, keeping characters
 // of mixed alphanumeric tokens together even across '-' and '/' so
 // that model numbers like "wd-5000aaks" survive as single tokens.
+// Tokens are substrings of one lower-cased copy, as in Words.
 func WordsKeepAlnum(s string) []string {
+	lower := strings.ToLower(s)
 	var tokens []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			tokens = append(tokens, b.String())
-			b.Reset()
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
 		}
+		// Trim trailing joiners left by values such as "model-".
+		if t := strings.Trim(lower[start:end], "-/."); t != "" {
+			tokens = append(tokens, t)
+		}
+		start = -1
 	}
-	for _, r := range s {
+	for i, r := range lower {
 		switch {
 		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			b.WriteRune(unicode.ToLower(r))
-		case (r == '-' || r == '/' || r == '.') && b.Len() > 0:
-			b.WriteRune(r)
+			if start < 0 {
+				start = i
+			}
+		case (r == '-' || r == '/' || r == '.') && start >= 0:
+			// Joiner inside a started token: keep scanning.
 		default:
-			flush()
+			flush(i)
 		}
 	}
-	flush()
-	// Trim trailing joiners left by values such as "model-".
-	for i, t := range tokens {
-		tokens[i] = strings.Trim(t, "-/.")
-	}
-	out := tokens[:0]
-	for _, t := range tokens {
-		if t != "" {
-			out = append(out, t)
-		}
-	}
-	return out
+	flush(len(lower))
+	return tokens
 }
 
 // Set returns the set of tokens in s as a map.

@@ -142,6 +142,10 @@ type (
 	// StorePersistStats snapshots the durability counters of a
 	// persistent store: recovery counts, WAL and snapshot activity.
 	StorePersistStats = resolve.PersistStats
+	// BatchError reports a partially applied Store.AddBatch: Added
+	// records are in the store, and errors.Is still matches the typed
+	// cause (e.g. ErrDuplicateRecordID) through Unwrap.
+	BatchError = resolve.BatchError
 )
 
 // NewStore returns an empty online resolution store over the client.

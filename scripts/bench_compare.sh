@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Benchstat comparison of the hot-path benchmarks between two git
+# revisions of this repository.
+#
+# Usage:
+#   scripts/bench_compare.sh [OLD_REF] [BENCH_REGEX]
+#
+#   OLD_REF      revision to compare against (default HEAD~1)
+#   BENCH_REGEX  benchmarks to run (default: the hot-path set)
+#
+# Environment:
+#   BENCH_COUNT  -count per side (default 6 — benchstat needs repeats
+#                for confidence intervals)
+#   BENCH_TIME   -benchtime per run (default 0.5s)
+#
+# The old revision is checked out into a temporary git worktree, both
+# sides run the same benchmarks, and benchstat reports the deltas.
+# benchstat is installed at a pinned version on first use; if the
+# install fails (offline sandbox), the raw outputs are printed side by
+# side instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OLD_REF="${1:-HEAD~1}"
+BENCH="${2:-BenchmarkIndexQuery|BenchmarkIndexAdd|BenchmarkStoreResolve|BenchmarkStoreAdd}"
+COUNT="${BENCH_COUNT:-6}"
+TIME="${BENCH_TIME:-0.5s}"
+# Pinned so new benchstat releases never change CI behavior silently;
+# bump deliberately.
+BENCHSTAT_PIN="golang.org/x/perf/cmd/benchstat@v0.0.0-20230113213139-801c7ef9e5c5"
+
+TMP="$(mktemp -d)"
+cleanup() {
+    git worktree remove --force "$TMP/old" >/dev/null 2>&1 || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+run_benches() { # dir outfile
+    (cd "$1" && go test -run '^$' -bench "$BENCH" -benchtime "$TIME" -count "$COUNT" \
+        ./internal/blocking/ ./internal/resolve/) > "$2"
+}
+
+echo "== old: $OLD_REF =="
+git worktree add --detach "$TMP/old" "$OLD_REF" >/dev/null
+run_benches "$TMP/old" "$TMP/old.txt"
+
+echo "== new: working tree =="
+run_benches . "$TMP/new.txt"
+
+if ! command -v benchstat >/dev/null 2>&1; then
+    echo "== installing pinned benchstat =="
+    if GOBIN="$TMP/bin" go install "$BENCHSTAT_PIN" 2>/dev/null; then
+        export PATH="$TMP/bin:$PATH"
+    fi
+fi
+
+if command -v benchstat >/dev/null 2>&1; then
+    echo "== benchstat $OLD_REF -> working tree =="
+    benchstat "$TMP/old.txt" "$TMP/new.txt"
+else
+    echo "benchstat unavailable (offline?); raw outputs:"
+    echo "--- old ($OLD_REF) ---"
+    cat "$TMP/old.txt"
+    echo "--- new (working tree) ---"
+    cat "$TMP/new.txt"
+fi
