@@ -5,13 +5,19 @@
 // reports how many candidate pairs the cascade decided locally versus
 // escalating to the LLM.
 //
+// Uncertain pairs from concurrent resolves are coalesced into
+// batched prompts by a cross-request micro-batching dispatcher
+// (-dispatch-pairs, default 16; 0 disables), so heavy traffic pays
+// far fewer LLM round-trips than it resolves pairs. GET /stats
+// reports the dispatcher's batch counters under "dispatch".
+//
 // With -persist, the store is durable: records and match decisions
 // are journaled to a write-ahead log in the directory and compacted
 // into snapshots; restarting the server recovers the full state —
 // including already-paid LLM decisions — from disk. SIGINT/SIGTERM
 // shut down gracefully: in-flight requests drain (bounded by
-// -shutdown-timeout), then the store flushes and writes a final
-// snapshot.
+// -shutdown-timeout), then the dispatcher is drained and the store
+// flushes and writes a final snapshot.
 //
 // Usage:
 //
@@ -71,6 +77,8 @@ func main() {
 	shards := flag.Int("shards", 0, "index shards (0 = default)")
 	candidates := flag.Int("candidates", 0, "max blocking candidates per resolve (0 = default)")
 	workers := flag.Int("workers", 0, "LLM pipeline workers (0 = default)")
+	dispatchPairs := flag.Int("dispatch-pairs", 16, "coalesce uncertain pairs from concurrent resolves into batched prompts of up to N pairs (0 = one round-trip per pair)")
+	dispatchFlush := flag.Duration("dispatch-flush", 0, "max wait for batch-mates before a partial batch is flushed (0 = default)")
 	demo := flag.Bool("demo", false, "preload records derived from WDC Products")
 	records := flag.Int("records", 200, "number of records to preload in -demo mode")
 	persistDir := flag.String("persist", "", "durability directory (WAL + snapshots); empty = in-memory")
@@ -99,6 +107,8 @@ func main() {
 		Design:        design,
 		Domain:        domain,
 		Workers:       *workers,
+		DispatchPairs: *dispatchPairs,
+		DispatchFlush: *dispatchFlush,
 		PersistDir:    *persistDir,
 		SnapshotEvery: *snapshotEvery,
 		SyncEvery:     *syncEvery,

@@ -69,6 +69,7 @@ type decisionJSON struct {
 	Method      string  `json:"method"`
 	Answer      string  `json:"answer,omitempty"`
 	Cached      bool    `json:"cached,omitempty"`
+	Batched     bool    `json:"batched,omitempty"`
 	Journaled   bool    `json:"journaled,omitempty"`
 }
 
@@ -78,6 +79,9 @@ type costJSON struct {
 	LocalRejects     int     `json:"local_rejects"`
 	LLMPairs         int     `json:"llm_pairs"`
 	CacheHits        int     `json:"cache_hits"`
+	BatchedPairs     int     `json:"batched_pairs,omitempty"`
+	Batches          int     `json:"batches,omitempty"`
+	BatchFallbacks   int     `json:"batch_fallbacks,omitempty"`
 	BudgetDecided    int     `json:"budget_decided"`
 	JournalHits      int     `json:"journal_hits"`
 	PromptTokens     int     `json:"prompt_tokens"`
@@ -94,6 +98,9 @@ func fromCost(c llm4em.CostReport) costJSON {
 		LocalRejects:     c.LocalRejects,
 		LLMPairs:         c.LLMPairs,
 		CacheHits:        c.CacheHits,
+		BatchedPairs:     c.BatchedPairs,
+		Batches:          c.Batches,
+		BatchFallbacks:   c.BatchFallbacks,
 		BudgetDecided:    c.BudgetDecided,
 		JournalHits:      c.JournalHits,
 		PromptTokens:     c.PromptTokens,
@@ -221,6 +228,7 @@ func (s *server) resolve(w http.ResponseWriter, r *http.Request) {
 			Method:      string(d.Method),
 			Answer:      d.Answer,
 			Cached:      d.Cached,
+			Batched:     d.Batched,
 			Journaled:   d.Journaled,
 		}
 	}
@@ -267,6 +275,8 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		"local_accepts":     st.LocalAccepts,
 		"local_rejects":     st.LocalRejects,
 		"llm_pairs":         st.LLMPairs,
+		"batched_pairs":     st.BatchedPairs,
+		"batch_fallbacks":   st.BatchFallbacks,
 		"budget_decided":    st.BudgetDecided,
 		"journal_hits":      st.JournalHits,
 		"local_fraction":    st.LocalFraction(),
@@ -278,6 +288,20 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 			"client_calls": st.Engine.ClientCalls,
 			"cache_hits":   st.Engine.CacheHits,
 			"retries":      st.Engine.Retries,
+		},
+		"dispatch": map[string]any{
+			"enabled":            st.Dispatch.Enabled,
+			"batches":            st.Dispatch.Batches,
+			"batched_pairs":      st.Dispatch.BatchedPairs,
+			"mean_batch_size":    st.Dispatch.MeanBatchSize(),
+			"single_pair_calls":  st.Dispatch.SinglePairCalls,
+			"parse_fallbacks":    st.Dispatch.ParseFallbacks,
+			"fallback_pairs":     st.Dispatch.FallbackPairs,
+			"single_flight_hits": st.Dispatch.SingleFlightHits,
+			"cache_hits":         st.Dispatch.CacheHits,
+			"size_flushes":       st.Dispatch.SizeFlushes,
+			"deadline_flushes":   st.Dispatch.DeadlineFlushes,
+			"drain_flushes":      st.Dispatch.DrainFlushes,
 		},
 		"persist": map[string]any{
 			"enabled":             st.Persist.Enabled,

@@ -290,6 +290,62 @@ func TestServerConcurrentResolves(t *testing.T) {
 	}
 }
 
+// TestServerDispatchStats: a dispatcher-enabled store serves
+// concurrent resolves through batched prompts and reports the batch
+// counters under /stats "dispatch"; shutdown via store.Close drains
+// cleanly.
+func TestServerDispatchStats(t *testing.T) {
+	model, err := llm4em.NewModel(llm4em.GPTMini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := llm4em.NewStore(model, llm4em.StoreOptions{
+		Domain:        llm4em.Product,
+		DispatchPairs: 8,
+	})
+	srv := httptest.NewServer(newHandler(store))
+	t.Cleanup(srv.Close)
+
+	if resp, body := postJSON(t, srv.URL+"/records", seedBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed: %v", body)
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			body := fmt.Sprintf(
+				`{"id":"q%d","attrs":[{"name":"title","value":"sony dsc120b cybershot camera black"}]}`, i)
+			resp, err := http.Post(srv.URL+"/resolve", "application/json", strings.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, body := getJSON(t, srv.URL+"/stats")
+	dispatch, ok := body["dispatch"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats carry no dispatch block: %v", body)
+	}
+	if dispatch["enabled"] != true {
+		t.Errorf("dispatch.enabled = %v, want true", dispatch["enabled"])
+	}
+	if body["resolves"].(float64) != 8 {
+		t.Errorf("resolves = %v, want 8", body["resolves"])
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("close dispatcher-enabled store: %v", err)
+	}
+}
+
 // TestAddRecordsBodyShapes covers the bulk-ingest body forms: bare
 // JSON array, single object and NDJSON all route through AddBatch.
 func TestAddRecordsBodyShapes(t *testing.T) {

@@ -39,6 +39,11 @@ type ReportEntry struct {
 	PromptTokens     int     `json:"prompt_tokens"`
 	CompletionTokens int     `json:"completion_tokens"`
 	Cents            float64 `json:"cents"`
+	// Batch accounting of the micro-batching dispatcher. Absent in
+	// logs written before the dispatcher existed, so both omitempty
+	// and the zero default keep old and new builds interchangeable.
+	BatchedPairs   int `json:"batched_pairs,omitempty"`
+	BatchFallbacks int `json:"batch_fallbacks,omitempty"`
 }
 
 // ResolveEntry is the payload of an EntryResolve: the query record,

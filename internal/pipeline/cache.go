@@ -93,6 +93,48 @@ func (c *promptCache) evictLocked() {
 	}
 }
 
+// peek returns the cached response for key without waiting: only
+// completed successful entries report ok. In-flight computations are
+// not joined — callers that want to wait use do.
+func (c *promptCache) peek(key string) (llm.Response, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return llm.Response{}, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		c.mu.Unlock()
+		return llm.Response{}, false
+	}
+	if e.err != nil {
+		c.mu.Unlock()
+		return llm.Response{}, false
+	}
+	c.order.MoveToFront(e.elem)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return e.resp, true
+}
+
+// seed installs a completed response for key as if a client call had
+// produced it. Existing entries — completed or in-flight — are left
+// untouched, so seeding never races a concurrent do on the same key.
+func (c *promptCache) seed(key string, resp llm.Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{}), resp: resp}
+	close(e.ready)
+	e.elem = c.order.PushFront(e)
+	c.entries[key] = e
+	c.evictLocked()
+}
+
 // remove drops an entry (used for failed computations so the key can
 // be retried).
 func (c *promptCache) remove(e *cacheEntry) {

@@ -149,6 +149,32 @@ func (e *Engine) Complete(prompt string) (llm.Response, bool, error) {
 	})
 }
 
+// Peek returns the cached response for a prompt without issuing a
+// client call or waiting for an in-flight one: only completed cached
+// responses report true. It lets layers above the engine — e.g. the
+// cross-request batching dispatcher — consult the per-prompt cache
+// before deciding how to route a request. Always false when caching
+// is disabled.
+func (e *Engine) Peek(prompt string) (llm.Response, bool) {
+	if e.cache == nil {
+		return llm.Response{}, false
+	}
+	return e.cache.peek(e.client.Name() + "\x00" + prompt)
+}
+
+// Seed installs a response for a prompt as if the client had answered
+// it, so later identical prompts are served from the cache. The
+// batching dispatcher uses it to layer per-pair answers extracted
+// from a batched reply onto the per-pair prompt cache. Existing and
+// in-flight entries are left untouched; a no-op when caching is
+// disabled.
+func (e *Engine) Seed(prompt string, resp llm.Response) {
+	if e.cache == nil {
+		return
+	}
+	e.cache.seed(e.client.Name()+"\x00"+prompt, resp)
+}
+
 // chat performs one client call with transient-error retry.
 func (e *Engine) chat(prompt string) (llm.Response, error) {
 	e.clientCalls.Add(1)

@@ -205,6 +205,64 @@ func TestCacheDisabled(t *testing.T) {
 	}
 }
 
+// TestPeekAndSeed covers the cache-layering surface used by the
+// batching dispatcher: Peek never computes or waits, Seed installs a
+// response as if the client had answered, and neither touches
+// existing entries.
+func TestPeekAndSeed(t *testing.T) {
+	client := &fakeClient{}
+	e := New(client, Options{Workers: 2})
+
+	if _, ok := e.Peek("p"); ok {
+		t.Fatal("Peek reported a hit on an empty cache")
+	}
+	e.Seed("p", llm.Response{Content: "Yes.", PromptTokens: 7})
+	resp, ok := e.Peek("p")
+	if !ok || resp.Content != "Yes." || resp.PromptTokens != 7 {
+		t.Fatalf("Peek after Seed = %+v %v", resp, ok)
+	}
+	// A Complete of the seeded prompt is a cache hit: no client call.
+	if _, cached, err := e.Complete("p"); err != nil || !cached {
+		t.Fatalf("Complete(seeded) cached=%v err=%v", cached, err)
+	}
+	if client.calls.Load() != 0 {
+		t.Fatalf("client saw %d calls, want 0", client.calls.Load())
+	}
+
+	// Seeding an existing key leaves the original entry untouched.
+	e.Seed("p", llm.Response{Content: "No."})
+	if resp, _ := e.Peek("p"); resp.Content != "Yes." {
+		t.Fatalf("Seed overwrote an existing entry: %+v", resp)
+	}
+
+	// An in-flight computation is not a Peek hit and is not displaced
+	// by Seed: the coalesced answer wins.
+	slow := &fakeClient{delay: 20 * time.Millisecond}
+	es := New(slow, Options{Workers: 2})
+	done := make(chan llm.Response, 1)
+	go func() {
+		resp, _, _ := es.Complete("same thing")
+		done <- resp
+	}()
+	for slow.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := es.Peek("same thing"); ok {
+		t.Error("Peek joined an in-flight computation")
+	}
+	es.Seed("same thing", llm.Response{Content: "seeded"})
+	if resp := <-done; resp.Content != "Yes." {
+		t.Errorf("in-flight answer = %q, want the client's Yes.", resp.Content)
+	}
+
+	// With caching disabled both are inert.
+	ed := New(&fakeClient{}, Options{CacheSize: -1})
+	ed.Seed("p", llm.Response{Content: "Yes."})
+	if _, ok := ed.Peek("p"); ok {
+		t.Fatal("Peek hit with caching disabled")
+	}
+}
+
 func TestCacheLRUEviction(t *testing.T) {
 	client := &fakeClient{}
 	e := New(client, Options{Workers: 1, CacheSize: 2})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"llm4em/internal/detrand"
 	"llm4em/internal/entity"
@@ -90,6 +91,63 @@ func BenchmarkStoreResolveParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkStoreResolveDispatch measures concurrent resolve
+// throughput when every query carries one uncertain pair — the
+// LLM-bound serving path — with the micro-batching dispatcher
+// coalescing pairs across the concurrent resolvers. The client
+// charges a small fixed latency per round-trip, modelling a hosted
+// LLM; the client-calls/pair metric is the dispatcher's saving.
+func BenchmarkStoreResolveDispatch(b *testing.B) { benchmarkDispatch(b, 16) }
+
+// BenchmarkStoreResolveDispatchOff is the same workload with one
+// round-trip per uncertain pair — the comparison baseline recorded in
+// BENCH_dispatch.json.
+func BenchmarkStoreResolveDispatchOff(b *testing.B) { benchmarkDispatch(b, 0) }
+
+func benchmarkDispatch(b *testing.B, dispatchPairs int) {
+	seed, queries := dispatchWorkload(b, 64)
+	client := &batchConsistentClient{latency: 200 * time.Microsecond}
+	// Caching off so escalations are not answered by a warming cache.
+	// The queries wrap around as b.N grows and the dispatcher's
+	// single-flight can coalesce overlapping repeats of the same pair
+	// — an economy the unbatched path (no coalescing with the cache
+	// off) cannot match — so the round-trip metric below divides by
+	// the pairs that actually consumed a batch seat or their own
+	// call, keeping the two variants comparable.
+	s := New(client, Options{DispatchPairs: dispatchPairs, CacheSize: -1})
+	if err := s.AddBatch(seed); err != nil {
+		b.Fatal(err)
+	}
+	var ctr int64
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := atomic.AddInt64(&ctr, 1)
+			q := queries[int(n)%len(queries)]
+			q.ID = fmt.Sprintf("%s-d%d", q.ID, n)
+			if _, err := s.Resolve(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := s.Stats()
+	routed := st.LLMPairs // unbatched: every pair is its own call
+	if st.Dispatch.Enabled {
+		routed = st.Dispatch.BatchedPairs + st.Dispatch.SinglePairCalls + st.Dispatch.FallbackPairs
+		coalesced := st.Dispatch.SingleFlightHits + st.Dispatch.CacheHits
+		b.ReportMetric(float64(coalesced)/float64(st.LLMPairs), "coalesced/pair")
+	}
+	if routed > 0 {
+		b.ReportMetric(float64(st.Engine.ClientCalls)/float64(routed), "client-calls/pair")
+	}
+	if st.Dispatch.Enabled && st.Dispatch.Batches > 0 {
+		b.ReportMetric(st.Dispatch.MeanBatchSize(), "pairs/batch")
+	}
+	s.Close()
 }
 
 // BenchmarkStoreAdd measures incremental ingestion.

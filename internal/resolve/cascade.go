@@ -116,6 +116,12 @@ type PairDecision struct {
 	// Cached reports whether an LLM decision came from the prompt
 	// cache.
 	Cached bool
+	// Batched reports that the LLM decision rode a cross-request
+	// batched prompt (Options.DispatchPairs) rather than its own
+	// round-trip. Like Cached it is transport accounting: which batch
+	// a pair lands in depends on concurrent traffic, the decision
+	// content does not.
+	Batched bool
 	// Journaled reports that the decision was replayed from the
 	// durable decision journal of a persistent store — no scoring and
 	// no LLM call happened in this Resolve; Method and Answer are
@@ -137,6 +143,16 @@ type CostReport struct {
 	// CacheHits counts escalated pairs answered by the prompt cache
 	// rather than a fresh client call.
 	CacheHits int
+	// BatchedPairs counts LLM pairs answered from a cross-request
+	// batched prompt; Batches is the number of distinct batched
+	// round-trips they rode. Batches are shared across concurrent
+	// Resolve calls, so summing Batches over calls can exceed the
+	// dispatcher's own round-trip count.
+	BatchedPairs int
+	Batches      int
+	// BatchFallbacks counts pairs answered by an individual per-pair
+	// prompt after their batched reply failed to parse cleanly.
+	BatchFallbacks int
 	// BudgetDecided is the number of uncertain pairs decided locally
 	// because the LLM or cost budget was exhausted.
 	BudgetDecided int

@@ -109,6 +109,8 @@ func (s *Store) installSnapshot(snap *persist.Snapshot) error {
 		localAccepts:     uint64(snap.Totals.LocalAccepts),
 		localRejects:     uint64(snap.Totals.LocalRejects),
 		llmPairs:         uint64(snap.Totals.LLMPairs),
+		batchedPairs:     uint64(snap.Totals.BatchedPairs),
+		batchFallbacks:   uint64(snap.Totals.BatchFallbacks),
 		budgetDecided:    uint64(snap.Totals.BudgetDecided),
 		journalHits:      uint64(snap.Totals.JournalHits),
 		promptTokens:     uint64(snap.Totals.PromptTokens),
@@ -175,6 +177,8 @@ func (s *Store) applyReport(r persist.ReportEntry) {
 	s.totals.localAccepts += uint64(r.LocalAccepts)
 	s.totals.localRejects += uint64(r.LocalRejects)
 	s.totals.llmPairs += uint64(r.LLMPairs)
+	s.totals.batchedPairs += uint64(r.BatchedPairs)
+	s.totals.batchFallbacks += uint64(r.BatchFallbacks)
 	s.totals.budgetDecided += uint64(r.BudgetDecided)
 	s.totals.journalHits += uint64(r.JournalHits)
 	s.totals.promptTokens += uint64(r.PromptTokens)
@@ -213,6 +217,8 @@ func (s *Store) appendResolveLocked(q entity.Record, decisions []persist.Decisio
 			PromptTokens:     report.PromptTokens,
 			CompletionTokens: report.CompletionTokens,
 			Cents:            report.Cents,
+			BatchedPairs:     report.BatchedPairs,
+			BatchFallbacks:   report.BatchFallbacks,
 		},
 	})
 	if err != nil {
@@ -279,6 +285,8 @@ func (s *Store) checkpointLocked() error {
 		PromptTokens:     int(t.promptTokens),
 		CompletionTokens: int(t.completionTokens),
 		Cents:            t.cents,
+		BatchedPairs:     int(t.batchedPairs),
+		BatchFallbacks:   int(t.batchFallbacks),
 	}
 	if err := persist.WriteSnapshot(s.opts.PersistDir, snap); err != nil {
 		return err
@@ -321,10 +329,20 @@ func (s *Store) Flush() error {
 	return s.wal.Sync()
 }
 
-// Close flushes, writes a final snapshot and closes the WAL. The
-// store must not be used afterwards: mutations would fail with a
-// closed-WAL error. A no-op on in-memory stores and on second calls.
+// Close shuts the store down: the micro-batching dispatcher (if
+// enabled) is drained — pending uncertain pairs are flushed and their
+// waiting Resolve calls complete — then the WAL is flushed, finally
+// snapshotted and closed. The store must not be used afterwards:
+// mutations would fail with a closed-WAL or closed-dispatcher error.
+// Idempotent; an in-memory store only drains the dispatcher.
 func (s *Store) Close() error {
+	if s.disp != nil {
+		// Drained first so no batch is abandoned mid-flight. Callers
+		// wanting the drained decisions in the final snapshot must wait
+		// for their Resolve calls to return before closing — emserve
+		// does, by draining the HTTP server ahead of the store.
+		s.disp.Close()
+	}
 	if s.wal == nil {
 		return nil
 	}

@@ -30,10 +30,12 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"llm4em/internal/blocking"
 	"llm4em/internal/core"
 	"llm4em/internal/cost"
+	"llm4em/internal/dispatch"
 	"llm4em/internal/entity"
 	"llm4em/internal/features"
 	"llm4em/internal/llm"
@@ -62,6 +64,10 @@ const (
 	// Tune per deployment: lower it on many-core serving hosts, raise
 	// it (or disable with a negative value) on small ones.
 	DefaultFanoutRecords = 1 << 20
+	// DefaultDispatchFlush is the longest an uncertain pair waits for
+	// batch-mates before the micro-batching dispatcher flushes a
+	// partial batch (only meaningful with Options.DispatchPairs > 0).
+	DefaultDispatchFlush = dispatch.DefaultFlushInterval
 )
 
 // Options configures a Store. The zero value selects sensible
@@ -95,6 +101,21 @@ type Options struct {
 	Workers    int
 	CacheSize  int
 	MaxRetries int
+	// DispatchPairs enables the cross-request micro-batching
+	// dispatcher (internal/dispatch): uncertain pairs from concurrent
+	// Resolve calls are coalesced into paper-style batched prompts of
+	// at most this many pairs, cutting LLM round-trips under load.
+	// Zero (or negative) disables it: every uncertain pair is its own
+	// client round-trip. Whether batched answers equal per-pair
+	// answers is the client's contract — the dispatcher preserves
+	// decisions exactly for clients that answer batch positions
+	// consistently with per-pair prompts, while simulated study models
+	// add the paper's position-dependent batch noise.
+	DispatchPairs int
+	// DispatchFlush bounds how long a pending uncertain pair waits for
+	// batch-mates before a partial batch is flushed (default
+	// DefaultDispatchFlush). Only meaningful with DispatchPairs > 0.
+	DispatchFlush time.Duration
 	// PersistDir enables durability: the store journals every ingested
 	// record and fresh match decision to a write-ahead log in this
 	// directory and periodically compacts the log into a snapshot.
@@ -143,6 +164,12 @@ func (o Options) withDefaults() Options {
 	if o.SyncEvery < 0 {
 		o.SyncEvery = 0
 	}
+	if o.DispatchPairs < 0 {
+		o.DispatchPairs = 0
+	}
+	if o.DispatchFlush <= 0 {
+		o.DispatchFlush = DefaultDispatchFlush
+	}
 	return o
 }
 
@@ -162,6 +189,10 @@ type Store struct {
 	eng     *pipeline.Engine
 	pricing cost.Pricing
 	priced  bool
+	// disp is the cross-request micro-batching dispatcher for the
+	// cascade's uncertain band; nil when Options.DispatchPairs is 0.
+	// Shared by every Resolve call, drained by Close.
+	disp *dispatch.Dispatcher
 
 	shards []*shard
 	// count tracks the stored-record total without touching shard
@@ -318,6 +349,8 @@ type totals struct {
 	localAccepts     uint64
 	localRejects     uint64
 	llmPairs         uint64
+	batchedPairs     uint64
+	batchFallbacks   uint64
 	budgetDecided    uint64
 	journalHits      uint64
 	promptTokens     uint64
@@ -340,6 +373,15 @@ func New(client llm.Client, opts Options) *Store {
 		journal: map[pairID]persist.DecisionEntry{},
 	}
 	s.pricing, s.priced = cost.For(client.Name())
+	if o.DispatchPairs > 0 {
+		// The per-pair builder is the same prompt Resolve's unbatched
+		// path sends, so the dispatcher's dedupe and cache layering key
+		// on exactly the prompts the rest of the system uses.
+		spec := prompt.Spec{Design: o.Design, Domain: o.Domain}
+		s.disp = dispatch.New(s.eng, spec.Build,
+			func(ps []entity.Pair) string { return prompt.BuildBatch(o.Domain, ps) },
+			dispatch.Options{MaxBatchPairs: o.DispatchPairs, FlushInterval: o.DispatchFlush})
+	}
 	s.rscratch.New = func() any { return &resolveScratch{} }
 	for i := range s.shards {
 		s.shards[i] = &shard{
@@ -632,26 +674,8 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 				B:  cands[fresh[di]].rec,
 			}
 		}
-		decided, err := s.eng.Match(pairs, spec.Build, core.ParseAnswer)
-		if err != nil {
+		if err := s.escalate(pairs, spec, &plan); err != nil {
 			return Result{}, fmt.Errorf("resolve: %w", err)
-		}
-		for i, pd := range decided {
-			d := &plan.decisions[plan.llm[i]]
-			d.Match = pd.Match
-			d.Method = MethodLLM
-			d.Answer = pd.Answer
-			d.Cached = pd.Cached
-			plan.report.LLMPairs++
-			if pd.Cached {
-				plan.report.CacheHits++
-			}
-			plan.report.PromptTokens += pd.Usage.PromptTokens
-			plan.report.CompletionTokens += pd.Usage.CompletionTokens
-			if s.priced {
-				plan.report.Cents += cost.PerPromptCents(s.pricing,
-					float64(pd.Usage.PromptTokens), float64(pd.Usage.CompletionTokens))
-			}
 		}
 	}
 	for fi, ci := range fresh {
@@ -705,6 +729,75 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 	}, nil
 }
 
+// escalate sends the planned uncertain pairs to the LLM and fills
+// their decisions and the report's LLM accounting. With the
+// micro-batching dispatcher enabled the pairs ride shared batched
+// prompts (possibly alongside other concurrent Resolve calls);
+// otherwise each pair is one engine request on the worker pool. The
+// cascade plan has already applied LLMBudget and MaxCentsPerResolve,
+// so the dispatcher only changes how many round-trips the escalated
+// pairs cost, never which pairs are escalated.
+func (s *Store) escalate(pairs []entity.Pair, spec prompt.Spec, plan *cascadePlan) error {
+	accountUsage := func(promptTokens, completionTokens int) {
+		plan.report.PromptTokens += promptTokens
+		plan.report.CompletionTokens += completionTokens
+		if s.priced {
+			plan.report.Cents += cost.PerPromptCents(s.pricing,
+				float64(promptTokens), float64(completionTokens))
+		}
+	}
+
+	if s.disp != nil {
+		results, err := s.disp.DoAll(pairs)
+		if err != nil {
+			return err
+		}
+		batchesSeen := map[uint64]bool{}
+		for i, r := range results {
+			d := &plan.decisions[plan.llm[i]]
+			d.Match = r.Match
+			d.Method = MethodLLM
+			d.Answer = r.Answer
+			d.Cached = r.Cached
+			d.Batched = r.Batched
+			plan.report.LLMPairs++
+			if r.Cached {
+				plan.report.CacheHits++
+			}
+			if r.Batched {
+				plan.report.BatchedPairs++
+				if !batchesSeen[r.BatchID] {
+					batchesSeen[r.BatchID] = true
+					plan.report.Batches++
+				}
+			}
+			if r.FellBack {
+				plan.report.BatchFallbacks++
+			}
+			accountUsage(r.Usage.PromptTokens, r.Usage.CompletionTokens)
+		}
+		return nil
+	}
+
+	decided, err := s.eng.Match(pairs, spec.Build, core.ParseAnswer)
+	if err != nil {
+		return err
+	}
+	for i, pd := range decided {
+		d := &plan.decisions[plan.llm[i]]
+		d.Match = pd.Match
+		d.Method = MethodLLM
+		d.Answer = pd.Answer
+		d.Cached = pd.Cached
+		plan.report.LLMPairs++
+		if pd.Cached {
+			plan.report.CacheHits++
+		}
+		accountUsage(pd.Usage.PromptTokens, pd.Usage.CompletionTokens)
+	}
+	return nil
+}
+
 // recordTotals folds one call's report into the lifetime counters.
 func (s *Store) recordTotals(r CostReport) {
 	s.statsMu.Lock()
@@ -714,6 +807,8 @@ func (s *Store) recordTotals(r CostReport) {
 	s.totals.localAccepts += uint64(r.LocalAccepts)
 	s.totals.localRejects += uint64(r.LocalRejects)
 	s.totals.llmPairs += uint64(r.LLMPairs)
+	s.totals.batchedPairs += uint64(r.BatchedPairs)
+	s.totals.batchFallbacks += uint64(r.BatchFallbacks)
 	s.totals.budgetDecided += uint64(r.BudgetDecided)
 	s.totals.journalHits += uint64(r.JournalHits)
 	s.totals.promptTokens += uint64(r.PromptTokens)
@@ -756,6 +851,11 @@ type Stats struct {
 	LocalRejects  uint64
 	LLMPairs      uint64
 	BudgetDecided uint64
+	// BatchedPairs counts LLM pairs answered via cross-request batched
+	// prompts; BatchFallbacks pairs re-answered individually after a
+	// batched reply failed to parse.
+	BatchedPairs   uint64
+	BatchFallbacks uint64
 	// JournalHits counts pairs decided from the durable decision
 	// journal of a persistent store.
 	JournalHits uint64
@@ -768,6 +868,10 @@ type Stats struct {
 	// Engine counts client calls, cache hits and retries of the
 	// underlying pipeline engine.
 	Engine pipeline.Stats
+	// Dispatch reports the micro-batching dispatcher's counters;
+	// Dispatch.Enabled is false when Options.DispatchPairs is 0 and
+	// every embedded counter is then zero.
+	Dispatch DispatchStats
 	// Persist reports the durability side: recovery counts, WAL and
 	// snapshot activity. Persist.Enabled is false for in-memory
 	// stores.
@@ -797,7 +901,7 @@ func (s *Store) Stats() Stats {
 	t := s.totals
 	s.statsMu.Unlock()
 
-	return Stats{
+	st := Stats{
 		Records:          s.Len(),
 		Entities:         entities,
 		Resolves:         t.resolves,
@@ -806,6 +910,8 @@ func (s *Store) Stats() Stats {
 		LocalRejects:     t.localRejects,
 		LLMPairs:         t.llmPairs,
 		BudgetDecided:    t.budgetDecided,
+		BatchedPairs:     t.batchedPairs,
+		BatchFallbacks:   t.batchFallbacks,
 		JournalHits:      t.journalHits,
 		PromptTokens:     t.promptTokens,
 		CompletionTokens: t.completionTokens,
@@ -814,4 +920,16 @@ func (s *Store) Stats() Stats {
 		Engine:           s.eng.Stats(),
 		Persist:          ps,
 	}
+	if s.disp != nil {
+		st.Dispatch = DispatchStats{Enabled: true, Stats: s.disp.Stats()}
+	}
+	return st
+}
+
+// DispatchStats snapshots the micro-batching dispatcher's counters.
+// Enabled reports whether the store was built with
+// Options.DispatchPairs > 0.
+type DispatchStats struct {
+	Enabled bool
+	dispatch.Stats
 }

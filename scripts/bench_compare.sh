@@ -19,7 +19,7 @@
 # install fails (offline sandbox), the raw outputs are printed side by
 # side instead.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 OLD_REF="${1:-HEAD~1}"
 BENCH="${2:-BenchmarkIndexQuery|BenchmarkIndexAdd|BenchmarkStoreResolve|BenchmarkStoreAdd}"

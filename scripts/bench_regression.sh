@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Benchmark-regression gate for the resolve store.
 #
-# 1. Runs the resolve and blocking hot-path benches once
+# 1. Runs the resolve, dispatcher and blocking hot-path benches once
 #    (-benchtime=1x) as a smoke check — they fail loudly if the hot
 #    path breaks under bench load.
 # 2. Replays the cascade reference workload (120 WDC seed records x
@@ -10,40 +10,67 @@
 #    is a cost regression and fails the build; when a change moves the
 #    number intentionally, regenerate BENCH_resolve.json in the same
 #    PR (the file documents how).
-# 3. Measures resolve throughput and fails if it regresses more than
+# 3. Replays the dispatcher reference workload (64 concurrent
+#    resolvers, one uncertain pair each) and fails if the
+#    micro-batching dispatcher achieves fewer round-trip savings than
+#    the min_improvement_x recorded in BENCH_dispatch.json.
+# 4. Measures resolve throughput and fails if it regresses more than
 #    HOTPATH_SLACK (default 25%) against the ns/op recorded in
 #    BENCH_hotpath.json. Hardware differences between the baseline
 #    machine and the runner eat into the margin; raise HOTPATH_SLACK
 #    (e.g. HOTPATH_SLACK=2.0) on much slower hosts, and regenerate
 #    BENCH_hotpath.json in the same PR when a change moves the number
 #    intentionally.
+#
+# With ARTIFACT_DIR set, the full output is teed into
+# $ARTIFACT_DIR/bench_output.txt and the dispatcher gate writes its
+# measured-vs-baseline comparison to
+# $ARTIFACT_DIR/dispatch_comparison.json — CI uploads the directory
+# as a workflow artifact.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
-echo "== hot-path bench smoke (-benchtime=1x) =="
-go test -run '^$' -bench 'BenchmarkStore' -benchtime=1x ./internal/resolve/
-go test -run '^$' -bench 'BenchmarkIndexQuery|BenchmarkIndexAdd' -benchtime=1x ./internal/blocking/
+main() {
+    echo "== hot-path bench smoke (-benchtime=1x) =="
+    go test -run '^$' -bench 'BenchmarkStore' -benchtime=1x ./internal/resolve/
+    go test -run '^$' -bench 'BenchmarkIndexQuery|BenchmarkIndexAdd' -benchtime=1x ./internal/blocking/
 
-echo ""
-echo "== LLM-call regression gate vs BENCH_resolve.json =="
-BENCH_REGRESSION=1 go test -count=1 -run 'TestLLMCallRegression' -v ./internal/resolve/
+    echo ""
+    echo "== LLM-call regression gate vs BENCH_resolve.json =="
+    BENCH_REGRESSION=1 go test -count=1 -run 'TestLLMCallRegression' -v ./internal/resolve/
 
-echo ""
-echo "== resolve throughput gate vs BENCH_hotpath.json =="
-BASE_NS="$(python3 -c "import json; print(json.load(open('BENCH_hotpath.json'))['resolve_10k']['after']['ns_op'])")"
-SLACK="${HOTPATH_SLACK:-1.25}"
-GOT_NS="$(go test -run '^$' -bench 'BenchmarkStoreResolve$' -benchtime=0.5s ./internal/resolve/ \
-    | awk '/^BenchmarkStoreResolve/ {print $3; exit}')"
-if [ -z "$GOT_NS" ]; then
-    echo "FAIL: could not measure BenchmarkStoreResolve" >&2
-    exit 1
-fi
-awk -v got="$GOT_NS" -v base="$BASE_NS" -v slack="$SLACK" 'BEGIN {
-    limit = base * slack
-    printf "resolve: %.0f ns/op (baseline %.0f, limit %.0f = baseline x %.2f)\n", got, base, limit, slack
-    if (got + 0 > limit) {
-        printf "FAIL: resolve throughput regressed beyond the %.0f%% margin\n", (slack - 1) * 100
+    echo ""
+    echo "== dispatcher round-trip gate vs BENCH_dispatch.json =="
+    BENCH_REGRESSION=1 go test -count=1 -run 'TestDispatchRoundTrips' -v ./internal/resolve/
+
+    echo ""
+    echo "== resolve throughput gate vs BENCH_hotpath.json =="
+    BASE_NS="$(python3 -c "import json; print(json.load(open('BENCH_hotpath.json'))['resolve_10k']['after']['ns_op'])")"
+    SLACK="${HOTPATH_SLACK:-1.25}"
+    GOT_NS="$(go test -run '^$' -bench 'BenchmarkStoreResolve$' -benchtime=0.5s ./internal/resolve/ \
+        | awk '/^BenchmarkStoreResolve/ {print $3; exit}')"
+    if [ -z "$GOT_NS" ]; then
+        echo "FAIL: could not measure BenchmarkStoreResolve" >&2
         exit 1
-    }
-    print "OK: resolve throughput gate passed"
-}'
+    fi
+    awk -v got="$GOT_NS" -v base="$BASE_NS" -v slack="$SLACK" 'BEGIN {
+        limit = base * slack
+        printf "resolve: %.0f ns/op (baseline %.0f, limit %.0f = baseline x %.2f)\n", got, base, limit, slack
+        if (got + 0 > limit) {
+            printf "FAIL: resolve throughput regressed beyond the %.0f%% margin\n", (slack - 1) * 100
+            exit 1
+        }
+        print "OK: resolve throughput gate passed"
+    }'
+}
+
+if [ -n "${ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$ARTIFACT_DIR"
+    # Absolute: the gate test writes the comparison from inside its
+    # package directory.
+    ARTIFACT_DIR="$(cd "$ARTIFACT_DIR" && pwd)"
+    export DISPATCH_COMPARISON_OUT="$ARTIFACT_DIR/dispatch_comparison.json"
+    main 2>&1 | tee "$ARTIFACT_DIR/bench_output.txt"
+else
+    main
+fi

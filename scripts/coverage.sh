@@ -2,14 +2,16 @@
 # Coverage gate: print per-package coverage and fail if the total
 # drops below the baseline.
 #
-# The baseline is the repo-wide statement coverage measured before the
-# persistence PR (PR 3). When a PR legitimately moves it, update
+# The baseline trails the measured repo-wide statement coverage
+# (82.8% after the dispatcher PR) by a safety margin: dispatcher
+# flush paths are scheduling-dependent, so exact coverage can jitter
+# a few tenths between runs. When a PR legitimately moves it, update
 # COVERAGE_BASELINE here in the same PR and say so in the PR
 # description.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
-BASELINE="${COVERAGE_BASELINE:-81.7}"
+BASELINE="${COVERAGE_BASELINE:-82.0}"
 PROFILE="$(mktemp)"
 trap 'rm -f "$PROFILE"' EXIT
 
@@ -18,7 +20,8 @@ trap 'rm -f "$PROFILE"' EXIT
 # sink the total. Everything else — library, internal, commands — is
 # measured. One run produces both the per-package lines and the
 # merged profile.
-go test -count=1 -coverprofile="$PROFILE" $(go list ./... | grep -v '/examples/')
+mapfile -t PKGS < <(go list ./... | grep -v '/examples/')
+go test -count=1 -coverprofile="$PROFILE" "${PKGS[@]}"
 
 TOTAL="$(go tool cover -func="$PROFILE" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')"
 echo ""

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of cmd/emserve (the CI "e2e-smoke" job, also
+# runnable locally): builds the binary, starts it with durability and
+# the micro-batching dispatcher enabled, exercises the HTTP API
+# (ingest, resolve, entity read-back, stats), then sends SIGTERM and
+# asserts a clean graceful drain and a non-empty final snapshot.
+#
+# Environment:
+#   EMSERVE_ADDR  listen address (default 127.0.0.1:18080)
+set -euo pipefail
+cd "$(dirname "$0")/.." || exit 1
+
+ADDR="${EMSERVE_ADDR:-127.0.0.1:18080}"
+TMP="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -9 "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    if [ -f "$TMP/server.log" ]; then
+        echo "--- server log ---" >&2
+        cat "$TMP/server.log" >&2
+    fi
+    exit 1
+}
+
+echo "== build emserve =="
+go build -o "$TMP/emserve" ./cmd/emserve
+
+echo "== start (persist + dispatcher) =="
+"$TMP/emserve" -addr "$ADDR" -persist "$TMP/data" -dispatch-pairs 8 \
+    >"$TMP/server.log" 2>&1 &
+SRV_PID=$!
+
+up=""
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/stats" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    kill -0 "$SRV_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+done
+[ -n "$up" ] || fail "server did not come up on $ADDR within 10s"
+
+echo "== ingest records =="
+curl -fsS -X POST "http://$ADDR/records" -d '{"records":[
+  {"id":"r1","attrs":[{"name":"title","value":"sony dsc120b cybershot camera silver"}]},
+  {"id":"r2","attrs":[{"name":"title","value":"makita impact drill kit 18v"}]}]}' \
+    | jq -e '.added == 2' >/dev/null || fail "ingest did not add 2 records"
+
+echo "== resolve a query =="
+curl -fsS -X POST "http://$ADDR/resolve" \
+    -d '{"id":"q1","attrs":[{"name":"title","value":"sony dsc120b cybershot camera silver"}]}' \
+    | jq -e '.matched == true and .entity_id == "q1"' >/dev/null \
+    || fail "resolve did not match q1 to r1"
+
+echo "== read entity and stats back =="
+curl -fsS "http://$ADDR/entities/q1" | jq -e '.members | length >= 2' >/dev/null \
+    || fail "entity q1 has fewer than 2 members"
+curl -fsS "http://$ADDR/stats" \
+    | jq -e '.records == 2 and .resolves == 1 and .dispatch.enabled == true and .persist.enabled == true' >/dev/null \
+    || fail "stats do not reflect the workload"
+
+echo "== graceful shutdown (SIGTERM) =="
+kill -TERM "$SRV_PID"
+STATUS=0
+wait "$SRV_PID" || STATUS=$?
+SRV_PID=""
+[ "$STATUS" -eq 0 ] || fail "server exited with status $STATUS"
+grep -q "state flushed, bye" "$TMP/server.log" \
+    || fail "server log lacks the clean-drain line"
+
+echo "== final snapshot =="
+[ -s "$TMP/data/snapshot.json" ] || fail "snapshot.json missing or empty"
+jq -e '(.records | length) == 2' "$TMP/data/snapshot.json" >/dev/null \
+    || fail "snapshot does not contain the 2 ingested records"
+
+echo "OK: e2e smoke passed"
