@@ -7,6 +7,8 @@
 //	emexperiments -table all          # print every table (1-13)
 //	emexperiments -figure 4           # print one figure
 //	emexperiments -maxtest 200        # scale down the test splits
+//	emexperiments -robustness         # dirty-data corruption sweep
+//	emexperiments -crossdomain        # leave-one-dataset-out transfer
 package main
 
 import (
@@ -14,8 +16,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
+	"llm4em/internal/datasets"
 	"llm4em/internal/experiments"
+	"llm4em/internal/llm"
 )
 
 var renderMarkdown bool
@@ -32,9 +37,17 @@ func main() {
 	format := flag.String("format", "text", "output format: text or md")
 	report := flag.String("report", "", "write the complete markdown report to this file")
 	diagnostics := flag.Bool("diagnostics", false, "print the benchmark difficulty diagnostics")
+	robustness := flag.Bool("robustness", false, "run the dirty-data corruption sweep")
+	crossdomain := flag.Bool("crossdomain", false, "run the leave-one-dataset-out threshold transfer eval")
+	seed := flag.String("seed", "robustness", "corruption seed for -robustness")
+	kinds := flag.String("kinds", "", "comma-separated corruption kinds for -robustness (default all)")
+	levels := flag.String("levels", "", "comma-separated corruption levels for -robustness (default 1,2,3)")
+	model := flag.String("model", llm.GPTMini, "model answering the uncertain band for -robustness/-crossdomain")
+	robustOut := flag.String("robust-out", "", "write the full robustness markdown report to this file")
 	flag.Parse()
 
-	if *table == "" && *figure == 0 && !*ablations && !*pr && !*futurework && *report == "" && !*diagnostics {
+	if *table == "" && *figure == 0 && !*ablations && !*pr && !*futurework && *report == "" &&
+		!*diagnostics && !*robustness && !*crossdomain && *robustOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -45,6 +58,41 @@ func main() {
 	cfg.FTEpochs = *epochs
 	cfg.Workers = *workers
 	s := experiments.NewSession(cfg)
+
+	if *robustness || *crossdomain || *robustOut != "" {
+		rcfg := experiments.RobustnessConfig{
+			Model:    *model,
+			Seed:     *seed,
+			MaxPairs: *maxTest,
+			Workers:  *workers,
+		}
+		fail(parseKinds(*kinds, &rcfg))
+		fail(parseLevels(*levels, &rcfg))
+		if *robustOut != "" {
+			f, err := os.Create(*robustOut)
+			fail(err)
+			fail(experiments.WriteRobustnessReport(f, rcfg))
+			fail(f.Close())
+			fmt.Println("wrote", *robustOut)
+			return
+		}
+		if *robustness {
+			cells, err := experiments.Robustness(rcfg)
+			fail(err)
+			renderOne(experiments.RobustnessTable(cells))
+		}
+		if *crossdomain {
+			rows, err := experiments.CrossDomain(experiments.CrossDomainConfig{
+				Model:          *model,
+				MaxCalibration: *maxTest,
+				MaxTest:        *maxTest,
+				Workers:        *workers,
+			})
+			fail(err)
+			renderOne(experiments.CrossDomainTable(rows))
+		}
+		return
+	}
 
 	if *diagnostics {
 		t := experiments.DatasetDiagnostics(cfg)
@@ -172,6 +220,48 @@ func printTable(s *experiments.Session, n int) error {
 	default:
 		return fmt.Errorf("unknown table %d (tables 1-13 exist)", n)
 	}
+}
+
+// renderOne prints a table in the selected format.
+func renderOne(t *experiments.Table) {
+	if renderMarkdown {
+		fmt.Println(t.Markdown())
+		return
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println()
+}
+
+// parseKinds fills the corruption kinds of a robustness config from a
+// comma-separated flag value.
+func parseKinds(list string, cfg *experiments.RobustnessConfig) error {
+	if list == "" {
+		return nil
+	}
+	for _, part := range strings.Split(list, ",") {
+		kind, err := datasets.ParseCorruptionKind(part)
+		if err != nil {
+			return err
+		}
+		cfg.Kinds = append(cfg.Kinds, kind)
+	}
+	return nil
+}
+
+// parseLevels fills the corruption levels of a robustness config from
+// a comma-separated flag value.
+func parseLevels(list string, cfg *experiments.RobustnessConfig) error {
+	if list == "" {
+		return nil
+	}
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad corruption level %q", part)
+		}
+		cfg.Levels = append(cfg.Levels, n)
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -1,0 +1,59 @@
+package features
+
+import (
+	"strings"
+	"testing"
+
+	"llm4em/internal/tokenize"
+)
+
+// TestExtractDirtyInputBounded is the regression test for the
+// superlinear blowups the fuzzer surfaced: repeated venue tokens made
+// the venue probe rescan the full string per occurrence, a single
+// megabyte-sized token made Jaro quadratic, and thousands of repeated
+// tokens exploded the all-pairs GeneralizedJaccard. All of these now
+// complete within the ordinary test timeout instead of hanging for
+// minutes.
+func TestExtractDirtyInputBounded(t *testing.T) {
+	inputs := map[string]string{
+		"giant-token":      strings.Repeat("a", 1<<20),
+		"repeated-venue":   strings.Repeat("vldb ", 20000),
+		"repeated-unicode": strings.Repeat("é¤Ω≈ç√ ", 20000),
+		"many-models":      strings.Repeat("dsc120b x9000 ", 5000),
+		"many-surnames":    strings.Repeat("smith jones garcia ", 5000),
+	}
+	for name, s := range inputs {
+		e := ExtractText(s)
+		if len(e.Models) > maxEvidence || len(e.Authors) > maxEvidence ||
+			len(e.Versions) > maxEvidence || len(e.Variants) > maxEvidence {
+			t.Errorf("%s: evidence lists exceed the cap: %d models, %d authors",
+				name, len(e.Models), len(e.Authors))
+		}
+		v, pres := PairFeaturesText(s, s)
+		p := Ideal().Probability(v, pres)
+		if p < 0 || p > 1 {
+			t.Errorf("%s: self-pair probability %v out of range", name, p)
+		}
+	}
+}
+
+// TestEstimateTokensUnicodeEdges is the regression test for the
+// byte-indexed edge scan EstimateTokens used to have: multi-byte
+// punctuation at word edges was misread as word content because only
+// the first byte of the rune was inspected.
+func TestEstimateTokensUnicodeEdges(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"«word»", 3}, // leading + trailing guillemet, one word
+		{"“hi”", 3},   // curly quotes
+		{"word", 1},
+		{"—", 1}, // em-dash alone: one punctuation token
+	}
+	for _, c := range cases {
+		if got := tokenize.EstimateTokens(c.in); got != c.want {
+			t.Errorf("EstimateTokens(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -163,11 +163,23 @@ func ExtractText(s string) Extracted {
 	// realistically surfaces. A variant fused mid-token ("xvldb") is
 	// the one substring match the old scan found that this probe does
 	// not.
+	// Each distinct key is probed once: the probe is a pure function
+	// of (lower, key), and degenerate inputs repeat the same token
+	// thousands of times — re-probing would rescan the whole string
+	// per occurrence.
 	bestVenueLen := 0
+	probed := map[string]bool{}
+	probe := func(key string) {
+		if key == "" || probed[key] {
+			return
+		}
+		probed[key] = true
+		e.Venue, bestVenueLen = probeVenueKey(lower, key, e.Venue, bestVenueLen)
+	}
 	for _, t := range e.WordTokens {
-		e.Venue, bestVenueLen = probeVenueKey(lower, t, e.Venue, bestVenueLen)
-		if p := letterPrefixOf(t); p != "" && p != t {
-			e.Venue, bestVenueLen = probeVenueKey(lower, p, e.Venue, bestVenueLen)
+		probe(t)
+		if p := letterPrefixOf(t); p != t {
+			probe(p)
 		}
 	}
 
@@ -209,27 +221,35 @@ func ExtractText(s string) Extracted {
 		case isVariantToken(t):
 			// Variant tokens stay in the title as well: they carry
 			// surface similarity in addition to identity evidence.
-			e.Variants = append(e.Variants, t)
+			if len(e.Variants) < maxEvidence {
+				e.Variants = append(e.Variants, t)
+			}
 		case colorWords[t]:
-			e.Colors = append(e.Colors, t)
+			if len(e.Colors) < maxEvidence {
+				e.Colors = append(e.Colors, t)
+			}
 		case isYearToken(t):
 			if y, err := strconv.Atoi(t); err == nil {
 				e.Year, e.HasYear = y, true
 				consumed[i] = true
 			}
 		case isVersionToken(t):
-			e.Versions = append(e.Versions, strings.TrimPrefix(t, "v"))
-			consumed[i] = true
+			if len(e.Versions) < maxEvidence {
+				e.Versions = append(e.Versions, strings.TrimPrefix(t, "v"))
+				consumed[i] = true
+			}
 		case isModelToken(t):
-			e.Models = append(e.Models, normalizeModel(t))
-			consumed[i] = true
+			if len(e.Models) < maxEvidence {
+				e.Models = append(e.Models, normalizeModel(t))
+				consumed[i] = true
+			}
 		}
 	}
 
 	// Authors: known surnames (optionally preceded by a first name or
 	// an initial). Only meaningful for publication-like strings.
 	for i, t := range e.Tokens {
-		if lex.surnames[t] && !consumed[i] {
+		if lex.surnames[t] && !consumed[i] && len(e.Authors) < maxEvidence {
 			e.Authors = append(e.Authors, t)
 			consumed[i] = true
 			if i > 0 && !consumed[i-1] && (lex.firstnames[e.Tokens[i-1]] || len(e.Tokens[i-1]) == 1) {
@@ -269,6 +289,12 @@ func ExtractText(s string) Extracted {
 	}
 	return e
 }
+
+// maxEvidence caps each extracted evidence list. No real description
+// carries dozens of model numbers or authors; past the cap the extra
+// tokens stay in the title, and the downstream pairwise comparisons
+// (bestModelSim, MongeElkan) stay bounded on dirty-data blobs.
+const maxEvidence = 32
 
 // isPriceToken recognizes decimal price strings like "348.00".
 func isPriceToken(t string) bool {

@@ -1,0 +1,209 @@
+package resolve
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"llm4em/internal/datasets"
+	"llm4em/internal/entity"
+	"llm4em/internal/llm"
+)
+
+// evalTestPairs caps a dataset's test split for eval tests, keeping
+// both classes represented.
+func evalTestPairs(t *testing.T, key string, n int) []entity.Pair {
+	t.Helper()
+	ds := datasets.MustLoad(key)
+	if len(ds.Test) < n {
+		n = len(ds.Test)
+	}
+	return ds.Test[:n]
+}
+
+// TestEvaluatePairsSplitsCascade pins the offline eval's routing: the
+// three methods partition the pairs, the report's stage counters add
+// up, and the confusion covers every pair.
+func TestEvaluatePairsSplitsCascade(t *testing.T) {
+	model, err := llm.New("GPT-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := evalTestPairs(t, "wdc", 150)
+	res, err := EvaluatePairs(model, EvalOptions{Domain: entity.Product}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != len(pairs) {
+		t.Fatalf("outcomes %d, want %d", len(res.Outcomes), len(pairs))
+	}
+	var accepts, rejects, llmPairs int
+	for i, out := range res.Outcomes {
+		if out.PairID != pairs[i].ID || out.Gold != pairs[i].Match {
+			t.Fatalf("outcome %d does not describe input pair %q", i, pairs[i].ID)
+		}
+		switch out.Method {
+		case MethodAccept:
+			accepts++
+			if !out.Match {
+				t.Fatal("cascade-accept outcome with Match=false")
+			}
+		case MethodReject:
+			rejects++
+			if out.Match {
+				t.Fatal("cascade-reject outcome with Match=true")
+			}
+		case MethodLLM:
+			llmPairs++
+		default:
+			t.Fatalf("outcome %d decided by unexpected method %q", i, out.Method)
+		}
+	}
+	r := res.Report
+	if r.Candidates != len(pairs) || r.LocalAccepts != accepts || r.LocalRejects != rejects || r.LLMPairs != llmPairs {
+		t.Fatalf("report %+v disagrees with outcomes (accepts %d rejects %d llm %d)",
+			r, accepts, rejects, llmPairs)
+	}
+	if llmPairs == 0 {
+		t.Fatal("no pair landed in the uncertain band; the eval exercises nothing")
+	}
+	if r.PromptTokens == 0 || !r.Priced || r.Cents <= 0 {
+		t.Fatalf("LLM usage not accounted: %+v", r)
+	}
+	if res.Confusion.Total() != len(pairs) {
+		t.Fatalf("confusion covers %d pairs, want %d", res.Confusion.Total(), len(pairs))
+	}
+	if f1 := res.F1(); f1 < 50 || f1 > 100 {
+		t.Fatalf("clean WDC F1 = %.1f, outside any plausible range", f1)
+	}
+}
+
+// TestEvaluatePairsDeterministic pins that evaluation is a pure
+// function of (client, options, pairs), including under worker
+// concurrency.
+func TestEvaluatePairsDeterministic(t *testing.T) {
+	model, err := llm.New("GPT-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := datasets.ForLevel("det", datasets.CorruptEmbed, 2).CorruptPairs(evalTestPairs(t, "ag", 100))
+	a, err := EvaluatePairs(model, EvalOptions{Domain: entity.Product, Workers: 1}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluatePairs(model, EvalOptions{Domain: entity.Product, Workers: 8}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Outcomes, b.Outcomes) || a.Confusion != b.Confusion {
+		t.Fatal("evaluation outcomes depend on worker concurrency")
+	}
+}
+
+// TestEvaluatePairsCorruptionDegrades is the harness's reason to
+// exist: heavy corruption must not silently leave quality untouched —
+// and must never crash the cascade on empty-after-corruption records.
+func TestEvaluatePairsCorruptionDegrades(t *testing.T) {
+	model, err := llm.New("GPT-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := evalTestPairs(t, "wdc", 200)
+	clean, err := EvaluatePairs(model, EvalOptions{Domain: entity.Product}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := EvaluatePairs(model, EvalOptions{Domain: entity.Product},
+		datasets.Corruptor{Seed: "degrade", NullOut: 0.6, TypoRate: 0.3, NoiseWords: 3}.CorruptPairs(pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.F1() > clean.F1() {
+		t.Fatalf("heavy corruption improved F1: clean %.1f, dirty %.1f", clean.F1(), dirty.F1())
+	}
+	for i, out := range dirty.Outcomes {
+		if math.IsNaN(out.Probability) {
+			t.Fatalf("pair %d has NaN probability after corruption", i)
+		}
+	}
+}
+
+// TestEvaluatePairsLLMBudget pins the per-pair budget semantics:
+// LLMBudget < 0 keeps the evaluation entirely local.
+func TestEvaluatePairsLLMBudget(t *testing.T) {
+	client := &countingClient{}
+	pairs := evalTestPairs(t, "wdc", 80)
+	res, err := EvaluatePairs(client, EvalOptions{
+		Domain:  entity.Product,
+		Cascade: CascadeOptions{LLMBudget: -1},
+	}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := client.calls.Load(); got != 0 {
+		t.Fatalf("LLMBudget -1 still made %d client calls", got)
+	}
+	if res.Report.LLMPairs != 0 {
+		t.Fatalf("report counts %d LLM pairs under a negative budget", res.Report.LLMPairs)
+	}
+	if res.Report.BudgetDecided == 0 {
+		t.Fatal("no pair was budget-decided; the band was empty and the test is vacuous")
+	}
+}
+
+// TestEvaluatePairsEmpty pins the degenerate input.
+func TestEvaluatePairsEmpty(t *testing.T) {
+	res, err := EvaluatePairs(&countingClient{}, EvalOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 0 || res.Confusion.Total() != 0 {
+		t.Fatalf("empty input produced %+v", res)
+	}
+}
+
+// TestLocalProbabilitiesMatchOutcomes pins that the threshold-free
+// scorer half agrees with the probabilities EvaluatePairs reports.
+func TestLocalProbabilitiesMatchOutcomes(t *testing.T) {
+	pairs := evalTestPairs(t, "ds", 60)
+	probs := LocalProbabilities(nil, pairs)
+	res, err := EvaluatePairs(&countingClient{}, EvalOptions{Domain: entity.Publication}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if probs[i] != res.Outcomes[i].Probability {
+			t.Fatalf("pair %d: LocalProbabilities %.6f != outcome probability %.6f",
+				i, probs[i], res.Outcomes[i].Probability)
+		}
+	}
+}
+
+// TestLLMVerdictsAnswersEveryPair pins the calibration primitive:
+// every pair gets a verdict and the usage is accounted.
+func TestLLMVerdictsAnswersEveryPair(t *testing.T) {
+	model, err := llm.New("GPT-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := evalTestPairs(t, "ds", 40)
+	verdicts, report, err := LLMVerdicts(model, EvalOptions{Domain: entity.Publication}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != len(pairs) {
+		t.Fatalf("verdicts %d, want %d", len(verdicts), len(pairs))
+	}
+	if report.LLMPairs != len(pairs) || report.PromptTokens == 0 {
+		t.Fatalf("verdict usage not accounted: %+v", report)
+	}
+	agree := 0
+	for i, v := range verdicts {
+		if v == pairs[i].Match {
+			agree++
+		}
+	}
+	if agree*2 < len(pairs) {
+		t.Fatalf("GPT-mini agrees with gold on only %d/%d clean DBLP-Scholar pairs", agree, len(pairs))
+	}
+}

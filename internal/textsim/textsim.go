@@ -9,6 +9,7 @@ package textsim
 
 import (
 	"math"
+	"sort"
 	"strings"
 
 	"llm4em/internal/tokenize"
@@ -19,6 +20,20 @@ import (
 func Jaccard(a, b []string) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
+	}
+	if len(a)+len(b) > smallListMax {
+		sa, sb := tokenize.Set(a), tokenize.Set(b)
+		inter := 0
+		for t := range sa {
+			if sb[t] {
+				inter++
+			}
+		}
+		union := len(sa) + len(sb) - inter
+		if union == 0 {
+			return 1
+		}
+		return float64(inter) / float64(union)
 	}
 	da, inter := distinctAndInter(a, b)
 	db := 0
@@ -33,6 +48,11 @@ func Jaccard(a, b []string) float64 {
 	}
 	return float64(inter) / float64(union)
 }
+
+// smallListMax is the combined token count up to which the similarity
+// functions use quadratic slice scans; longer lists — dirty-data
+// blobs, not real titles — switch to hash sets with identical results.
+const smallListMax = 128
 
 // seenBefore reports whether ts[i] already occurred in ts[:i] — the
 // token-list equivalent of a set-membership test. The similarity
@@ -99,6 +119,19 @@ func Overlap(a, b []string) float64 {
 // Containment returns |A∩B| / |A|: the fraction of a's tokens present
 // in b. It is asymmetric.
 func Containment(a, b []string) float64 {
+	if len(a)+len(b) > smallListMax {
+		sa, sb := tokenize.Set(a), tokenize.Set(b)
+		if len(sa) == 0 {
+			return 1
+		}
+		inter := 0
+		for t := range sa {
+			if sb[t] {
+				inter++
+			}
+		}
+		return float64(inter) / float64(len(sa))
+	}
 	da, inter := distinctAndInter(a, b)
 	if da == 0 {
 		return 1
@@ -122,6 +155,14 @@ func GeneralizedJaccard(a, b []string, sim func(x, y string) float64, threshold 
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
+	// Dirty-data blobs can tokenize into thousands of tokens; the
+	// all-pairs secondary measure below would then dominate the whole
+	// pipeline. Past the cutoff the fuzzy floor is dropped and tokens
+	// match exactly — a deterministic degradation that keeps degenerate
+	// inputs linear while leaving every realistic title untouched.
+	if len(a)*len(b) > maxFuzzyPairs {
+		return exactGeneralizedJaccard(a, b)
+	}
 	type cand struct {
 		i, j int
 		s    float64
@@ -135,17 +176,9 @@ func GeneralizedJaccard(a, b []string, sim func(x, y string) float64, threshold 
 			}
 		}
 	}
-	// Greedy matching in decreasing similarity order (stable
-	// insertion sort keeps determinism for equal scores).
-	for k := 1; k < len(cands); k++ {
-		c := cands[k]
-		l := k - 1
-		for l >= 0 && cands[l].s < c.s {
-			cands[l+1] = cands[l]
-			l--
-		}
-		cands[l+1] = c
-	}
+	// Greedy matching in decreasing similarity order (stable sort
+	// keeps determinism for equal scores).
+	sort.SliceStable(cands, func(x, y int) bool { return cands[x].s > cands[y].s })
 	usedA := make([]bool, len(a))
 	usedB := make([]bool, len(b))
 	sum := 0.0
@@ -162,6 +195,29 @@ func GeneralizedJaccard(a, b []string, sim func(x, y string) float64, threshold 
 	return sum / float64(len(a)+len(b)-matched)
 }
 
+// maxFuzzyPairs bounds the all-pairs work of GeneralizedJaccard: a
+// 128×128-token comparison is the largest the fuzzy path attempts.
+const maxFuzzyPairs = 1 << 14
+
+// exactGeneralizedJaccard is the exact-match degradation of
+// GeneralizedJaccard for degenerate token counts: multiset
+// intersection over identical tokens, scored with the same
+// |A| + |B| − #matched denominator.
+func exactGeneralizedJaccard(a, b []string) float64 {
+	counts := make(map[string]int, len(a))
+	for _, t := range a {
+		counts[t]++
+	}
+	matched := 0
+	for _, t := range b {
+		if counts[t] > 0 {
+			counts[t]--
+			matched++
+		}
+	}
+	return float64(matched) / float64(len(a)+len(b)-matched)
+}
+
 // GeneralizedJaccardStrings applies GeneralizedJaccard with the Jaro
 // secondary measure and threshold 0.5 to the word tokens of a and b,
 // matching the py_stringmatching configuration referenced in the
@@ -175,6 +231,23 @@ func GeneralizedJaccardStrings(a, b string) float64 {
 func Cosine(a, b []string) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
+	}
+	if len(a)+len(b) > smallListMax {
+		ca, cb := tokenize.Counts(a), tokenize.Counts(b)
+		var dot, na, nb float64
+		for t, x := range ca {
+			na += float64(x) * float64(x)
+			if y := cb[t]; y > 0 {
+				dot += float64(x) * float64(y)
+			}
+		}
+		for _, y := range cb {
+			nb += float64(y) * float64(y)
+		}
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		return dot / (math.Sqrt(na) * math.Sqrt(nb))
 	}
 	// Token counts are small integers, so the sums below are exact in
 	// float64 regardless of accumulation order — identical results to
@@ -259,9 +332,32 @@ func LevenshteinSim(a, b string) float64 {
 	return 1 - float64(d)/float64(max(la, lb))
 }
 
-// Jaro returns the Jaro similarity of a and b.
+// maxJaroRunes caps the length Jaro examines: its match window scan
+// is quadratic for near-identical strings, so one megabyte-sized
+// degenerate token must not stall a comparison — GeneralizedJaccard
+// calls Jaro up to maxFuzzyPairs times per title pair. Real tokens
+// are tens of characters; truncation never fires for them.
+const maxJaroRunes = 64
+
+// truncRunes decodes at most n leading runes of s without scanning
+// the rest — a full []rune conversion of a degenerate token would
+// already be linear in its size on every similarity call.
+func truncRunes(s string, n int) []rune {
+	rs := make([]rune, 0, min(n, len(s)))
+	for _, r := range s {
+		if len(rs) == n {
+			break
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// Jaro returns the Jaro similarity of a and b. Strings longer than
+// maxJaroRunes are compared by their leading maxJaroRunes runes.
 func Jaro(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
+	ra := truncRunes(a, maxJaroRunes)
+	rb := truncRunes(b, maxJaroRunes)
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1

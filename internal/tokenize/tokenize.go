@@ -8,6 +8,7 @@ package tokenize
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Words splits s into lower-cased word tokens. A token is a maximal
@@ -171,24 +172,26 @@ func EstimateTokens(s string) int {
 	})
 	for _, f := range fields {
 		// Split punctuation off the word edges; each punctuation run
-		// costs one token.
+		// costs one token. Edges are decoded as runes, not bytes: a
+		// byte-at-a-time scan would misread every multi-byte leading
+		// quote or dash as word content.
 		word := f
 		for word != "" {
-			r := rune(word[0])
+			r, size := utf8.DecodeRuneInString(word)
 			if unicode.IsLetter(r) || unicode.IsDigit(r) {
 				break
 			}
 			n++
-			word = word[1:]
+			word = word[size:]
 		}
 		trailing := 0
 		for word != "" {
-			r := rune(word[len(word)-1])
+			r, size := utf8.DecodeLastRuneInString(word)
 			if unicode.IsLetter(r) || unicode.IsDigit(r) {
 				break
 			}
 			trailing++
-			word = word[:len(word)-1]
+			word = word[:len(word)-size]
 		}
 		if word != "" {
 			// ~4 characters per subword piece.

@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
-BASELINE="${COVERAGE_BASELINE:-82.0}"
+BASELINE="${COVERAGE_BASELINE:-82.3}"
 PROFILE="$(mktemp)"
 trap 'rm -f "$PROFILE"' EXIT
 
