@@ -11,6 +11,16 @@
 // far fewer LLM round-trips than it resolves pairs. GET /stats
 // reports the dispatcher's batch counters under "dispatch".
 //
+// The process is fully instrumented: GET /metrics serves Prometheus
+// text exposition covering per-stage resolve latency, cascade
+// outcomes, dispatcher batching, LLM calls and WAL/snapshot
+// durability; GET /healthz and GET /readyz are the liveness and
+// readiness probes (readiness flips on after recovery and preload
+// finish). Every response carries an X-Request-ID header (inbound
+// values are propagated), access logs are structured (-log-format
+// json|text), and resolves slower than -slow-resolve emit one
+// structured exemplar line with the trace ID and per-stage durations.
+//
 // With -persist, the store is durable: records and match decisions
 // are journaled to a write-ahead log in the directory and compacted
 // into snapshots; restarting the server recovers the full state —
@@ -25,10 +35,12 @@
 //	emserve -demo -records 200              # preload WDC offers
 //	emserve -persist ./emserve-data         # durable store
 //	emserve -pprof 6060                     # profiling on 127.0.0.1:6060
+//	emserve -log-format json -slow-resolve 250ms
 //
 // Quickstart:
 //
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics | grep em_resolve
 //	curl -s -X POST localhost:8080/records -d \
 //	  '{"records":[{"id":"r1","attrs":[{"name":"title","value":"sony dsc120b camera black"}]}]}'
 //	curl -s -X POST localhost:8080/resolve -d \
@@ -51,11 +63,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof flag: profiling endpoint on a localhost-only port
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -86,7 +100,15 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 0, "WAL appends between snapshots (0 = default, negative = only on shutdown)")
 	syncEvery := flag.Int("sync-every", 0, "fsync the WAL every N appends (0 = only on snapshot/shutdown)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	slowResolve := flag.Duration("slow-resolve", time.Second, "resolve latency above which one structured exemplar line is logged (0 = disabled)")
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	fail(err)
+	slog.SetDefault(logger)
+	srvLog := logger.With("component", "emserve")
 
 	client, err := llm4em.NewModel(*model)
 	fail(err)
@@ -101,6 +123,15 @@ func main() {
 		fail(fmt.Errorf("unknown domain %q", *domainName))
 	}
 
+	tel := llm4em.NewTelemetry(llm4em.TelemetryOptions{
+		Logger:      logger.With("component", "resolve"),
+		SlowResolve: *slowResolve,
+	})
+
+	// Readiness stays false until recovery and preload are done, so a
+	// load balancer never routes to a replica still replaying its WAL.
+	ready := &atomic.Bool{}
+
 	store, err := llm4em.OpenStore(client, llm4em.StoreOptions{
 		Shards:        *shards,
 		MaxCandidates: *candidates,
@@ -112,6 +143,7 @@ func main() {
 		PersistDir:    *persistDir,
 		SnapshotEvery: *snapshotEvery,
 		SyncEvery:     *syncEvery,
+		Telemetry:     tel,
 		Cascade: llm4em.CascadeOptions{
 			AcceptAbove:        *accept,
 			RejectBelow:        *reject,
@@ -122,8 +154,12 @@ func main() {
 	})
 	fail(err)
 	if ps := store.Stats().Persist; ps.Enabled {
-		log.Printf("persist: %s — recovered %d records, %d decisions, %d resolves (torn tail: %v)",
-			ps.Dir, ps.RecoveredRecords, ps.RecoveredDecisions, ps.RecoveredResolves, ps.TruncatedTail)
+		srvLog.Info("persist recovered",
+			"dir", ps.Dir,
+			"records", ps.RecoveredRecords,
+			"decisions", ps.RecoveredDecisions,
+			"resolves", ps.RecoveredResolves,
+			"torn_tail", ps.TruncatedTail)
 	}
 
 	if *demo {
@@ -141,47 +177,84 @@ func main() {
 				fail(err)
 			}
 		}
-		log.Printf("preloaded %d new records, store holds %d", added, store.Len())
+		srvLog.Info("demo records preloaded", "added", added, "stored", store.Len())
 	}
+	ready.Store(true)
 
+	var pprofSrv *http.Server
 	if *pprofPort > 0 {
 		// Profiling endpoint on a loopback-only port, separate from the
 		// serving mux: the pprof import registers its handlers on
-		// http.DefaultServeMux, which the API server never uses.
+		// http.DefaultServeMux, which the API server never uses. The
+		// listener is bound synchronously so a taken port fails startup
+		// instead of logging from a goroutine after the fact, and the
+		// explicit server handle has a shutdown path in the drain below.
 		pprofAddr := fmt.Sprintf("127.0.0.1:%d", *pprofPort)
+		ln, err := net.Listen("tcp", pprofAddr)
+		fail(err)
+		pprofSrv = &http.Server{Handler: http.DefaultServeMux}
 		go func() {
-			log.Printf("emserve: pprof on http://%s/debug/pprof/", pprofAddr)
-			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
-				log.Printf("emserve: pprof server: %v", err)
+			srvLog.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", pprofAddr))
+			if err := pprofSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				srvLog.Error("pprof server failed", "error", err)
 			}
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(store)}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(handlerConfig{
+		store: store,
+		tel:   tel,
+		log:   logger.With("component", "http"),
+		ready: ready,
+	})}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
-	log.Printf("emserve: model %s, design %s, listening on %s", *model, *designName, *addr)
+	srvLog.Info("listening", "model", *model, "design", *designName, "addr", *addr)
 
 	select {
 	case err := <-serveErr:
 		fail(err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills hard
-		log.Printf("emserve: shutting down, draining in-flight requests (max %s)", *shutdownTimeout)
+		srvLog.Info("shutting down, draining in-flight requests", "max", *shutdownTimeout)
 		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("emserve: drain incomplete: %v", err)
+			srvLog.Warn("drain incomplete", "error", err)
+		}
+		if pprofSrv != nil {
+			if err := pprofSrv.Close(); err != nil {
+				srvLog.Warn("close pprof server", "error", err)
+			}
 		}
 		// Flush and snapshot after the last request has finished, so
 		// the final state on disk includes everything that was served.
 		if err := store.Close(); err != nil {
-			log.Printf("emserve: close store: %v", err)
+			srvLog.Error("close store", "error", err)
 			os.Exit(1)
 		}
-		log.Printf("emserve: state flushed, bye")
+		srvLog.Info("state flushed, bye")
+	}
+}
+
+// buildLogger constructs the process logger from the -log-format and
+// -log-level flags. Logs go to stderr, keeping stdout clean for
+// piping.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("unknown log level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
 	}
 }
 

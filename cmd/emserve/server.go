@@ -6,10 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"llm4em"
+	"llm4em/internal/telemetry"
 )
 
 // server exposes a resolution store over HTTP JSON. Endpoints:
@@ -17,20 +22,116 @@ import (
 //	POST /records       {"records":[{"id","attrs":[{"name","value"}]}]} — ingest
 //	POST /resolve       {"id","attrs":[...]} — resolve one query record
 //	GET  /entities/{id} — entity group containing the ID
-//	GET  /stats         — store and engine counters
+//	GET  /stats         — store and engine counters (JSON)
+//	GET  /metrics       — Prometheus text exposition
+//	GET  /healthz       — liveness: store can still serve mutations
+//	GET  /readyz        — readiness: recovery/preload done and store live
 type server struct {
 	store *llm4em.Store
+	tel   *llm4em.Telemetry
+	log   *slog.Logger
+	ready *atomic.Bool
+
+	// statsMu/statsIn single-flight concurrent GET /stats calls: the
+	// snapshot walks every shard and several locks, so simultaneous
+	// scrapers share one computation instead of piling onto the store.
+	// Sequential calls always compute fresh.
+	statsMu sync.Mutex
+	statsIn *statsCall
+}
+
+// handlerConfig wires the pieces of the HTTP front end together.
+type handlerConfig struct {
+	store *llm4em.Store
+	// tel carries the process metrics; the HTTP layer registers its
+	// request families on the same registry so GET /metrics covers
+	// everything. Nil disables HTTP metrics and tracing IDs still work.
+	tel *llm4em.Telemetry
+	// log receives per-request access lines. Nil falls back to
+	// slog.Default().
+	log *slog.Logger
+	// ready gates GET /readyz; nil means always ready.
+	ready *atomic.Bool
 }
 
 // newHandler wires the endpoints onto a mux.
-func newHandler(store *llm4em.Store) http.Handler {
-	s := &server{store: store}
+func newHandler(cfg handlerConfig) http.Handler {
+	if cfg.log == nil {
+		cfg.log = slog.Default()
+	}
+	if cfg.ready == nil {
+		cfg.ready = &atomic.Bool{}
+		cfg.ready.Store(true)
+	}
+	s := &server{store: cfg.store, tel: cfg.tel, log: cfg.log, ready: cfg.ready}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /records", s.addRecords)
-	mux.HandleFunc("POST /resolve", s.resolve)
-	mux.HandleFunc("GET /entities/{id}", s.entity)
-	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("POST /records", s.instrument("records", s.addRecords))
+	mux.HandleFunc("POST /resolve", s.instrument("resolve", s.resolve))
+	mux.HandleFunc("GET /entities/{id}", s.instrument("entities", s.entity))
+	mux.HandleFunc("GET /stats", s.instrument("stats", s.stats))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.healthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.readyz))
 	return mux
+}
+
+// probeRoutes are scraped/polled constantly; their access lines log at
+// Debug so steady-state logs stay readable.
+var probeRoutes = map[string]bool{"metrics": true, "healthz": true, "readyz": true, "stats": true}
+
+// statusWriter captures the response status for metrics and the
+// access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the cross-cutting request concerns:
+// X-Request-ID propagation (inbound header reused, otherwise a fresh
+// trace ID), a telemetry.Trace in the request context so
+// ResolveContext records per-stage spans under the same ID, a
+// per-route latency histogram and status-class counters on the shared
+// registry, and a structured access log line carrying the trace ID.
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	var hist *telemetry.Histogram
+	var classes map[int]*telemetry.Counter
+	if reg := s.tel.Registry(); reg != nil {
+		hist = reg.Histogram("em_http_request_seconds",
+			"HTTP request latency by route", telemetry.DurationBuckets(), "route", route)
+		classes = map[int]*telemetry.Counter{}
+		for _, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
+			classes[int(class[0]-'0')] = reg.Counter("em_http_responses_total",
+				"HTTP responses by route and status class", "class", class, "route", route)
+		}
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		tr := llm4em.NewTrace(r.Header.Get("X-Request-ID"))
+		w.Header().Set("X-Request-ID", tr.ID())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(llm4em.ContextWithTrace(r.Context(), tr)))
+		elapsed := time.Since(t0)
+		hist.Observe(elapsed.Seconds())
+		if c, ok := classes[sw.status/100]; ok {
+			c.Inc()
+		}
+		level := slog.LevelInfo
+		if probeRoutes[route] {
+			level = slog.LevelDebug
+		}
+		s.log.LogAttrs(r.Context(), level, "request",
+			slog.String("trace_id", tr.ID()),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", elapsed),
+		)
+	}
 }
 
 // Wire form of an entity record. Attributes are an ordered list
@@ -200,14 +301,16 @@ func decodeRecordsBody(r *http.Request) ([]recordJSON, error) {
 	return nil, nil
 }
 
-// resolve handles POST /resolve.
+// resolve handles POST /resolve. The request context carries the
+// trace the instrument middleware attached, so the store's per-stage
+// spans land under this request's X-Request-ID.
 func (s *server) resolve(w http.ResponseWriter, r *http.Request) {
 	var body recordJSON
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
 		return
 	}
-	res, err := s.store.Resolve(body.toRecord())
+	res, err := s.store.ResolveContext(r.Context(), body.toRecord())
 	if err != nil {
 		// Malformed queries are the caller's fault; anything else is a
 		// matching-backend failure.
@@ -264,9 +367,40 @@ func (s *server) entity(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// statsCall is one in-flight Stats snapshot shared by concurrent
+// GET /stats callers.
+type statsCall struct {
+	done chan struct{}
+	val  llm4em.StoreStats
+}
+
+// snapshotStats returns a store stats snapshot, coalescing concurrent
+// callers onto a single computation. The result of a shared call is
+// at most one snapshot old — never cached across sequential requests.
+func (s *server) snapshotStats() llm4em.StoreStats {
+	s.statsMu.Lock()
+	if c := s.statsIn; c != nil {
+		s.statsMu.Unlock()
+		<-c.done
+		return c.val
+	}
+	c := &statsCall{done: make(chan struct{})}
+	s.statsIn = c
+	s.statsMu.Unlock()
+
+	c.val = s.store.Stats()
+
+	s.statsMu.Lock()
+	s.statsIn = nil
+	s.statsMu.Unlock()
+	close(c.done)
+	return c.val
+}
+
 // stats handles GET /stats.
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
-	st := s.store.Stats()
+	st := s.snapshotStats()
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, map[string]any{
 		"records":           st.Records,
 		"entities":          st.Entities,
@@ -316,7 +450,55 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 			"journal_size":        st.Persist.JournalSize,
 			"journal_hits":        st.Persist.JournalHits,
 		},
+		"telemetry": s.telemetryJSON(),
 	})
+}
+
+// telemetryJSON surfaces the headline telemetry counters in the JSON
+// stats for callers that do not scrape /metrics. All reads are
+// nil-safe, so a telemetry-less server reports zeros with
+// "enabled": false.
+func (s *server) telemetryJSON() map[string]any {
+	t := s.tel
+	out := map[string]any{"enabled": t != nil}
+	if t == nil {
+		return out
+	}
+	out["resolve_total"] = t.ResolveTotal.Value()
+	out["resolve_errors"] = t.ResolveErrors.Value()
+	out["slow_resolves"] = t.SlowResolves.Value()
+	out["resolve_p50_ms"] = t.ResolveSeconds.Quantile(0.50) * 1e3
+	out["resolve_p95_ms"] = t.ResolveSeconds.Quantile(0.95) * 1e3
+	out["resolve_p99_ms"] = t.ResolveSeconds.Quantile(0.99) * 1e3
+	return out
+}
+
+// metrics handles GET /metrics: the Prometheus text exposition of
+// every registered family (empty without telemetry).
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	_ = s.tel.WritePrometheus(w)
+}
+
+// healthz handles GET /healthz: 200 while the store can serve
+// mutations, 503 once the dispatcher or WAL has been closed.
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	if !s.store.Live() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "closed"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyz handles GET /readyz: 200 once recovery/preload finished and
+// the store is live — the gate for load balancers and rollout probes.
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() || !s.store.Live() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

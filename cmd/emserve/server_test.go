@@ -3,9 +3,11 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"llm4em"
@@ -19,9 +21,9 @@ func newTestServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(llm4em.NewStore(model, llm4em.StoreOptions{
+	srv := httptest.NewServer(newHandler(handlerConfig{store: llm4em.NewStore(model, llm4em.StoreOptions{
 		Domain: llm4em.Product,
-	})))
+	})}))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -200,7 +202,7 @@ func TestServerPersistenceAcrossRestart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv := httptest.NewServer(newHandler(store))
+		srv := httptest.NewServer(newHandler(handlerConfig{store: store}))
 		return store, srv
 	}
 
@@ -303,7 +305,7 @@ func TestServerDispatchStats(t *testing.T) {
 		Domain:        llm4em.Product,
 		DispatchPairs: 8,
 	})
-	srv := httptest.NewServer(newHandler(store))
+	srv := httptest.NewServer(newHandler(handlerConfig{store: store}))
 	t.Cleanup(srv.Close)
 
 	if resp, body := postJSON(t, srv.URL+"/records", seedBody); resp.StatusCode != http.StatusOK {
@@ -343,6 +345,172 @@ func TestServerDispatchStats(t *testing.T) {
 	}
 	if err := store.Close(); err != nil {
 		t.Fatalf("close dispatcher-enabled store: %v", err)
+	}
+}
+
+// TestMetricsHealthReady covers the observability endpoints: the
+// Prometheus exposition populates after traffic, readiness flips with
+// the gate, health degrades once the store is closed, and every
+// response carries an X-Request-ID.
+func TestMetricsHealthReady(t *testing.T) {
+	model, err := llm4em.NewModel(llm4em.GPTMini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := llm4em.NewTelemetry(llm4em.TelemetryOptions{})
+	store := llm4em.NewStore(model, llm4em.StoreOptions{
+		Domain:        llm4em.Product,
+		DispatchPairs: 8,
+		Telemetry:     tel,
+	})
+	ready := &atomic.Bool{}
+	srv := httptest.NewServer(newHandler(handlerConfig{store: store, tel: tel, ready: ready}))
+	t.Cleanup(srv.Close)
+
+	// Not ready until the gate flips; healthy the whole time.
+	resp, _ := getJSON(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz before gate = %d, want 503", resp.StatusCode)
+	}
+	resp, _ = getJSON(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+	ready.Store(true)
+	resp, _ = getJSON(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz after gate = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("response missing X-Request-ID")
+	}
+
+	// Inbound request IDs are propagated.
+	req, _ := http.NewRequest("GET", srv.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "trace-from-lb")
+	echoResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoResp.Body.Close()
+	if got := echoResp.Header.Get("X-Request-ID"); got != "trace-from-lb" {
+		t.Errorf("X-Request-ID = %q, want propagated trace-from-lb", got)
+	}
+
+	// Drive traffic so the store-level families populate.
+	if resp, body := postJSON(t, srv.URL+"/records", seedBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed: %v", body)
+	}
+	if resp, body := postJSON(t, srv.URL+"/resolve",
+		`{"id":"q1","attrs":[{"name":"title","value":"sony dsc120b cybershot camera black"}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("resolve: %v", body)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition := string(raw)
+	for _, want := range []string{
+		"# TYPE em_resolve_total counter",
+		"# TYPE em_resolve_stage_seconds histogram",
+		`em_resolve_stage_seconds_bucket{stage="block",le="+Inf"}`,
+		`em_cascade_outcomes_total{outcome="accept"}`,
+		"em_blocking_queries_total",
+		"# TYPE em_http_request_seconds histogram",
+		`em_http_responses_total{class="2xx",route="resolve"} 1`,
+		"em_resolve_total 1",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Every non-comment line is "name{labels} value" with a numeric value.
+	for _, line := range strings.Split(strings.TrimSpace(exposition), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	// Closing the dispatcher-enabled store degrades health and
+	// readiness.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = getJSON(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after close = %d, want 503", resp.StatusCode)
+	}
+	resp, _ = getJSON(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz after close = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestStatsTelemetryBlock: /stats surfaces the telemetry counters and
+// is marked uncacheable.
+func TestStatsTelemetryBlock(t *testing.T) {
+	model, err := llm4em.NewModel(llm4em.GPTMini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := llm4em.NewTelemetry(llm4em.TelemetryOptions{})
+	store := llm4em.NewStore(model, llm4em.StoreOptions{Domain: llm4em.Product, Telemetry: tel})
+	srv := httptest.NewServer(newHandler(handlerConfig{store: store, tel: tel}))
+	t.Cleanup(srv.Close)
+
+	if resp, body := postJSON(t, srv.URL+"/records", seedBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed: %v", body)
+	}
+	if resp, body := postJSON(t, srv.URL+"/resolve",
+		`{"id":"q1","attrs":[{"name":"title","value":"sony dsc120b cybershot camera black"}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("resolve: %v", body)
+	}
+	resp, body := getJSON(t, srv.URL+"/stats")
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control = %q, want no-store", cc)
+	}
+	telBlock, _ := body["telemetry"].(map[string]any)
+	if telBlock == nil || telBlock["enabled"] != true {
+		t.Fatalf("stats telemetry block = %v", telBlock)
+	}
+	if telBlock["resolve_total"].(float64) != 1 {
+		t.Errorf("telemetry.resolve_total = %v, want 1", telBlock["resolve_total"])
+	}
+	if telBlock["resolve_p95_ms"].(float64) <= 0 {
+		t.Errorf("telemetry.resolve_p95_ms = %v, want > 0", telBlock["resolve_p95_ms"])
+	}
+
+	// Concurrent scrapers share snapshots without erroring.
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			resp, err := http.Get(srv.URL + "/stats")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"llm4em/internal/entity"
+	"llm4em/internal/telemetry"
 	"llm4em/internal/tokenize"
 )
 
@@ -56,7 +57,16 @@ type Index struct {
 	// scratch pools per-query state so concurrent queries do not
 	// contend and repeated ones do not allocate.
 	scratch sync.Pool
+	// met instruments the query hot path; the zero value is disabled.
+	// Per-query work is counted into locals and flushed with one
+	// atomic add per counter at the end of the query.
+	met telemetry.BlockingMetrics
 }
+
+// SetMetrics wires telemetry instruments into the index. Call before
+// the index serves concurrent queries (the resolve store does, at
+// construction).
+func (ix *Index) SetMetrics(m telemetry.BlockingMetrics) { ix.met = m }
 
 // stopMinDocs is the absolute document-frequency floor below which a
 // token is never treated as a stop token, so tiny collections keep
@@ -188,6 +198,11 @@ func (ix *Index) queryIDs(sc *queryScratch, maxCandidates int, minScore float64)
 	}
 	touched := sc.touched[:0]
 
+	// Hot-path accounting stays in registers until the single flush
+	// below — enabled telemetry costs integer adds, never atomics in
+	// the scoring loop.
+	var scanned, stopSkipped, heapPushes uint64
+
 	ids := sc.ids
 	for i, id := range ids {
 		dup := false
@@ -208,8 +223,10 @@ func (ix *Index) queryIDs(sc *queryScratch, maxCandidates int, minScore float64)
 		// Stop tokens: frequent both relatively and absolutely, so
 		// tiny collections keep their vocabulary.
 		if float64(df)/nf > ix.stopFrac && df >= stopMinDocs {
+			stopSkipped++
 			continue
 		}
+		scanned += uint64(df)
 		w := ix.idfWeight(id, n, df)
 		for _, pos := range post {
 			if sc.epoch[pos] != sc.cur {
@@ -226,6 +243,9 @@ func (ix *Index) queryIDs(sc *queryScratch, maxCandidates int, minScore float64)
 	if maxCandidates <= 0 {
 		// Unbounded: collect everything above the floor and sort. Not
 		// the serving path — bounded queries go through the heap.
+		ix.met.Queries.Inc()
+		ix.met.PostingsScanned.Add(scanned)
+		ix.met.StopTokensSkipped.Add(stopSkipped)
 		out := make([]Candidate, 0, len(touched))
 		for _, pos := range touched {
 			if s := sc.scores[pos]; s >= minScore {
@@ -246,9 +266,14 @@ func (ix *Index) queryIDs(sc *queryScratch, maxCandidates int, minScore float64)
 		if s < minScore {
 			continue
 		}
+		heapPushes++
 		h = PushBounded(h, maxCandidates, Candidate{Pos: int(pos), Score: s}, candidateBefore)
 	}
 	sc.heap = h[:0]
+	ix.met.Queries.Inc()
+	ix.met.PostingsScanned.Add(scanned)
+	ix.met.StopTokensSkipped.Add(stopSkipped)
+	ix.met.HeapPushes.Add(heapPushes)
 	if len(h) == 0 {
 		return nil
 	}

@@ -43,6 +43,7 @@ import (
 	"llm4em/internal/entity"
 	"llm4em/internal/llm"
 	"llm4em/internal/pipeline"
+	"llm4em/internal/telemetry"
 )
 
 // Defaults used when an Options field is left at its zero value.
@@ -68,6 +69,10 @@ type Options struct {
 	// FlushInterval is the longest a pending pair waits for batch-mates
 	// before a partial batch is flushed (default DefaultFlushInterval).
 	FlushInterval time.Duration
+	// Metrics are the telemetry instruments the dispatcher records
+	// into (queue depth, batch sizes, flush reasons, per-pair wait
+	// latency). The zero value disables them.
+	Metrics telemetry.DispatchMetrics
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +159,9 @@ type call struct {
 	ready chan struct{}
 	res   Result
 	err   error
+	// enqueued is when the call entered the pending queue; only set
+	// (and only read) when the wait-latency histogram is wired.
+	enqueued time.Time
 }
 
 // Dispatcher coalesces per-pair matching calls into batched prompts.
@@ -266,11 +274,15 @@ func (d *Dispatcher) DoAll(pairs []entity.Pair) ([]Result, error) {
 			continue
 		}
 		c := &call{pair: p, key: keys[i], ready: make(chan struct{})}
+		if d.opts.Metrics.WaitSeconds != nil {
+			c.enqueued = time.Now()
+		}
 		d.inflight[keys[i]] = c
 		d.pending = append(d.pending, c)
 		calls[i] = c
 	}
 	d.cutFullLocked()
+	d.opts.Metrics.QueueDepth.Set(int64(len(d.pending)))
 	if len(d.pending) > 0 && !d.timerArmed {
 		d.timerArmed = true
 		time.AfterFunc(d.opts.FlushInterval, d.deadlineFlush)
@@ -310,6 +322,7 @@ func (d *Dispatcher) cutFullLocked() {
 		batch := d.pending[:d.opts.MaxBatchPairs:d.opts.MaxBatchPairs]
 		d.pending = d.pending[d.opts.MaxBatchPairs:]
 		d.stats.sizeFlushes.Add(1)
+		d.opts.Metrics.SizeFlushes.Inc()
 		d.launchLocked(batch)
 	}
 }
@@ -331,6 +344,7 @@ func (d *Dispatcher) flushAllLocked() {
 
 // launchLocked starts one batch executing. Caller holds mu.
 func (d *Dispatcher) launchLocked(batch []*call) {
+	d.opts.Metrics.BatchPairs.Observe(float64(len(batch)))
 	d.wg.Add(1)
 	seq := d.batchSeq.Add(1)
 	go d.execute(batch, seq)
@@ -350,8 +364,10 @@ func (d *Dispatcher) deadlineFlush() {
 	}
 	if len(d.pending) > 0 {
 		d.stats.deadlineFlushes.Add(1)
+		d.opts.Metrics.DeadlineFlushes.Inc()
 		d.flushAllLocked()
 	}
+	d.opts.Metrics.QueueDepth.Set(int64(len(d.pending)))
 	d.mu.Unlock()
 }
 
@@ -365,11 +381,22 @@ func (d *Dispatcher) Close() {
 		d.closed = true
 		if len(d.pending) > 0 {
 			d.stats.drainFlush.Add(1)
+			d.opts.Metrics.DrainFlushes.Inc()
 			d.flushAllLocked()
 		}
+		d.opts.Metrics.QueueDepth.Set(0)
 	}
 	d.mu.Unlock()
 	d.wg.Wait()
+}
+
+// Closed reports whether Close has been called — the liveness signal
+// health endpoints check: a closed dispatcher fails every new
+// submission.
+func (d *Dispatcher) Closed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
 }
 
 // execute runs one cut batch to completion: a batched prompt for ≥2
@@ -464,6 +491,9 @@ func (d *Dispatcher) settle(batch []*call) {
 	}
 	d.mu.Unlock()
 	for _, c := range batch {
+		if !c.enqueued.IsZero() {
+			d.opts.Metrics.WaitSeconds.ObserveSince(c.enqueued)
+		}
 		close(c.ready)
 	}
 }

@@ -29,6 +29,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
+
+	"llm4em/internal/telemetry"
 )
 
 // EntryType tags the payload of one WAL entry.
@@ -70,7 +73,14 @@ type WAL struct {
 	f       *os.File
 	entries uint64 // appended through this handle
 	bytes   int64  // current file size
+	// met instruments append and fsync latency; the zero value is
+	// disabled (SetMetrics wires it).
+	met telemetry.PersistMetrics
 }
+
+// SetMetrics wires telemetry instruments into the log. Call before
+// the WAL is shared (the resolve store does, right after OpenWAL).
+func (w *WAL) SetMetrics(m telemetry.PersistMetrics) { w.met = m }
 
 // Recovery reports what OpenWAL found in an existing log.
 type Recovery struct {
@@ -168,6 +178,10 @@ func (w *WAL) Append(t EntryType, payload []byte) error {
 	if int64(len(payload)) > maxPayload {
 		return fmt.Errorf("persist: entry payload %d bytes exceeds limit", len(payload))
 	}
+	var t0 time.Time
+	if w.met.AppendSeconds != nil {
+		t0 = time.Now()
+	}
 	frame := make([]byte, headerSize+len(payload)+crcSize)
 	frame[0] = byte(t)
 	binary.LittleEndian.PutUint32(frame[1:], uint32(len(payload)))
@@ -180,6 +194,9 @@ func (w *WAL) Append(t EntryType, payload []byte) error {
 	}
 	w.entries++
 	w.bytes += int64(len(frame))
+	if !t0.IsZero() {
+		w.met.AppendSeconds.ObserveSince(t0)
+	}
 	return nil
 }
 
@@ -188,7 +205,13 @@ func (w *WAL) Sync() error {
 	if w.f == nil {
 		return ErrClosed
 	}
-	return w.f.Sync()
+	if w.met.FsyncSeconds == nil {
+		return w.f.Sync()
+	}
+	t0 := time.Now()
+	err := w.f.Sync()
+	w.met.FsyncSeconds.ObserveSince(t0)
+	return err
 }
 
 // Reset empties the log — called right after a snapshot has captured

@@ -25,6 +25,7 @@ import (
 
 	"llm4em/internal/entity"
 	"llm4em/internal/llm"
+	"llm4em/internal/telemetry"
 )
 
 // Defaults used when an Options field is left at its zero value. LLM
@@ -54,6 +55,10 @@ type Options struct {
 	// Backoff is the sleep before the first retry; it doubles with
 	// every further attempt (default DefaultBackoff).
 	Backoff time.Duration
+	// Metrics are the telemetry instruments the engine records into
+	// (call counts, per-attempt latency, retries, cache hits). The
+	// zero value disables them at the cost of nil checks.
+	Metrics telemetry.PipelineMetrics
 }
 
 // withDefaults resolves zero-valued fields to the package defaults.
@@ -144,9 +149,13 @@ func (e *Engine) Complete(prompt string) (llm.Response, bool, error) {
 		return resp, false, err
 	}
 	key := e.client.Name() + "\x00" + prompt
-	return e.cache.do(key, func() (llm.Response, error) {
+	resp, cached, err := e.cache.do(key, func() (llm.Response, error) {
 		return e.chat(prompt)
 	})
+	if cached {
+		e.opts.Metrics.CacheHits.Inc()
+	}
+	return resp, cached, err
 }
 
 // Peek returns the cached response for a prompt without issuing a
@@ -178,10 +187,19 @@ func (e *Engine) Seed(prompt string, resp llm.Response) {
 // chat performs one client call with transient-error retry.
 func (e *Engine) chat(prompt string) (llm.Response, error) {
 	e.clientCalls.Add(1)
+	e.opts.Metrics.Calls.Inc()
+	timed := e.opts.Metrics.CallSeconds != nil
 	backoff := e.opts.Backoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		resp, err := e.client.Chat([]llm.Message{{Role: llm.User, Content: prompt}})
+		if timed {
+			e.opts.Metrics.CallSeconds.ObserveSince(t0)
+		}
 		if err == nil {
 			return resp, nil
 		}
@@ -190,6 +208,7 @@ func (e *Engine) chat(prompt string) (llm.Response, error) {
 			break
 		}
 		e.retries.Add(1)
+		e.opts.Metrics.Retries.Inc()
 		e.sleep(backoff)
 		backoff *= 2
 	}

@@ -9,6 +9,7 @@ import (
 	"llm4em/internal/detrand"
 	"llm4em/internal/entity"
 	"llm4em/internal/llm"
+	"llm4em/internal/telemetry"
 )
 
 // benchClient answers instantly and deterministically, so the
@@ -23,11 +24,15 @@ func (benchClient) Chat(messages []llm.Message) (llm.Response, error) {
 // benchStore seeds a store with n synthetic offers and returns query
 // variants of them (same offer, slightly reworded).
 func benchStore(b *testing.B, n int) (*Store, []entity.Record) {
+	return benchStoreOpts(b, n, Options{})
+}
+
+func benchStoreOpts(b *testing.B, n int, opts Options) (*Store, []entity.Record) {
 	b.Helper()
 	brands := []string{"sony", "canon", "epson", "makita"}
 	cats := []string{"camera", "printer", "drill", "laptop"}
 	rng := detrand.New("resolve-bench")
-	s := New(benchClient{}, Options{})
+	s := New(benchClient{}, opts)
 	queries := make([]entity.Record, 0, n)
 	for i := 0; i < n; i++ {
 		brand := brands[rng.Intn(len(brands))]
@@ -54,6 +59,25 @@ func BenchmarkStoreResolve(b *testing.B) { benchmarkStoreResolve(b, 10000) }
 // BenchmarkStoreResolve100k is the same workload at 100k records,
 // probing how blocking scales with the collection.
 func BenchmarkStoreResolve100k(b *testing.B) { benchmarkStoreResolve(b, 100000) }
+
+// BenchmarkStoreResolveTelemetry is BenchmarkStoreResolve with the
+// full telemetry subsystem enabled — stage timers, counters and
+// histograms live on the hot path. The regression gate compares it
+// against the same baseline as the uninstrumented benchmark, so the
+// instrumentation cost must stay inside the normal slack.
+func BenchmarkStoreResolveTelemetry(b *testing.B) {
+	tel := telemetry.New(telemetry.Options{})
+	s, queries := benchStoreOpts(b, 10000, Options{Telemetry: tel})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		q.ID = fmt.Sprintf("%s-%d", q.ID, i)
+		if _, err := s.Resolve(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func benchmarkStoreResolve(b *testing.B, n int) {
 	s, queries := benchStore(b, n)

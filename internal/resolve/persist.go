@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"llm4em/internal/entity"
 	"llm4em/internal/features"
@@ -45,6 +46,9 @@ func Open(client llm.Client, opts Options) (*Store, error) {
 	wal, rec, err := persist.OpenWAL(filepath.Join(dir, persist.WALFile))
 	if err != nil {
 		return nil, err
+	}
+	if s.opts.Telemetry != nil {
+		wal.SetMetrics(s.opts.Telemetry.Persist)
 	}
 	if err := s.replay(rec.Entries); err != nil {
 		wal.Close()
@@ -288,11 +292,24 @@ func (s *Store) checkpointLocked() error {
 		BatchedPairs:     int(t.batchedPairs),
 		BatchFallbacks:   int(t.batchFallbacks),
 	}
+	var t0 time.Time
+	if tel := s.opts.Telemetry; tel != nil && tel.Persist.SnapshotSeconds != nil {
+		t0 = time.Now()
+	}
 	if err := persist.WriteSnapshot(s.opts.PersistDir, snap); err != nil {
 		return err
 	}
 	if err := s.wal.Reset(); err != nil {
 		return err
+	}
+	if tel := s.opts.Telemetry; tel != nil {
+		if !t0.IsZero() {
+			tel.Persist.SnapshotSeconds.ObserveSince(t0)
+		}
+		tel.Persist.Snapshots.Inc()
+		if fi, err := os.Stat(filepath.Join(s.opts.PersistDir, persist.SnapshotFile)); err == nil {
+			tel.Persist.SnapshotBytes.Set(fi.Size())
+		}
 	}
 	s.pstate.snapshots++
 	s.pstate.sinceSnapshot = 0

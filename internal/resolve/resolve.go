@@ -25,6 +25,7 @@
 package resolve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -42,6 +43,7 @@ import (
 	"llm4em/internal/persist"
 	"llm4em/internal/pipeline"
 	"llm4em/internal/prompt"
+	"llm4em/internal/telemetry"
 	"llm4em/internal/tokenize"
 )
 
@@ -131,6 +133,12 @@ type Options struct {
 	// only on snapshot, Flush and Close; 1 makes every append durable
 	// against OS crashes at a heavy throughput cost).
 	SyncEvery int
+	// Telemetry wires the store (and the pipeline, dispatcher, index
+	// shards and WAL underneath it) into a telemetry handle: per-stage
+	// resolve latency histograms, cascade outcome counters, and the
+	// sampled slow-resolve logger. Nil (the default) disables all
+	// instrumentation; the hot path then pays only nil checks.
+	Telemetry *telemetry.Telemetry
 }
 
 func (o Options) withDefaults() Options {
@@ -361,12 +369,21 @@ type totals struct {
 // New returns an empty store resolving against the client.
 func New(client llm.Client, opts Options) *Store {
 	o := opts.withDefaults()
+	// Sub-package instruments are handed down by value; without a
+	// telemetry handle they stay zero (all-nil, nil-safe no-ops).
+	var pm telemetry.PipelineMetrics
+	var dm telemetry.DispatchMetrics
+	var bm telemetry.BlockingMetrics
+	if o.Telemetry != nil {
+		pm, dm, bm = o.Telemetry.Pipeline, o.Telemetry.Dispatch, o.Telemetry.Blocking
+	}
 	s := &Store{
 		opts: o,
 		eng: pipeline.New(client, pipeline.Options{
 			Workers:    o.Workers,
 			CacheSize:  o.CacheSize,
 			MaxRetries: o.MaxRetries,
+			Metrics:    pm,
 		}),
 		shards:  make([]*shard, o.Shards),
 		graph:   blocking.NewUnionFind(),
@@ -380,7 +397,7 @@ func New(client llm.Client, opts Options) *Store {
 		spec := prompt.Spec{Design: o.Design, Domain: o.Domain}
 		s.disp = dispatch.New(s.eng, spec.Build,
 			func(ps []entity.Pair) string { return prompt.BuildBatch(o.Domain, ps) },
-			dispatch.Options{MaxBatchPairs: o.DispatchPairs, FlushInterval: o.DispatchFlush})
+			dispatch.Options{MaxBatchPairs: o.DispatchPairs, FlushInterval: o.DispatchFlush, Metrics: dm})
 	}
 	s.rscratch.New = func() any { return &resolveScratch{} }
 	for i := range s.shards {
@@ -388,6 +405,7 @@ func New(client llm.Client, opts Options) *Store {
 			ix:   blocking.NewIndex(nil, o.StopDocFrac),
 			recs: map[string]entity.Record{},
 		}
+		s.shards[i].ix.SetMetrics(bm)
 	}
 	return s
 }
@@ -591,19 +609,31 @@ func (r Result) Matched() bool { return len(r.Members) > 1 }
 // before or after — so concurrent Resolves against a fixed store are
 // independent and deterministic.
 func (s *Store) Resolve(q entity.Record) (Result, error) {
+	return s.ResolveContext(context.Background(), q)
+}
+
+// ResolveContext is Resolve carrying a request context: when the
+// context holds a telemetry.Trace (the HTTP layer attaches one per
+// request), per-stage durations are recorded into it under the
+// request's trace ID, alongside the store-level telemetry handle.
+// The context is not used for cancellation.
+func (s *Store) ResolveContext(ctx context.Context, q entity.Record) (Result, error) {
 	if q.ID == "" {
 		return Result{}, fmt.Errorf("query: %w", ErrNoID)
 	}
+	obs := s.newStageObserver(telemetry.FromContext(ctx))
 	text := q.Serialize()
 	// One extraction serves everything downstream: its WordTokens are
 	// the blocking tokenization (computed once, fanned out to every
 	// shard) and the extraction itself feeds the cascade scorer.
 	qext := features.ExtractText(text)
+	obs.lap(telemetry.StageExtract)
 
 	// Blocking: query every shard's index — in parallel for large
 	// stores — and merge the per-shard top-K lists into the global
 	// top-K.
 	cands := s.blockCandidates(q.ID, qext.WordTokens)
+	obs.lap(telemetry.StageBlock)
 
 	// Journal short-circuit: pairs decided in an earlier call —
 	// possibly before a restart — replay their durable decision
@@ -636,6 +666,7 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 			fresh[i] = i
 		}
 	}
+	obs.lap(telemetry.StageJournal)
 
 	// Cascade: local scorer first, the uncertain band to the LLM. The
 	// candidate extractions come from the shard cache — no candidate
@@ -664,6 +695,7 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 	plan.report.Candidates = len(cands)
 	plan.report.JournalHits = journalHits
 	plan.report.Priced = s.priced
+	obs.lap(telemetry.StageScore)
 
 	if len(plan.llm) > 0 {
 		pairs := make([]entity.Pair, len(plan.llm))
@@ -674,9 +706,13 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 				B:  cands[fresh[di]].rec,
 			}
 		}
-		if err := s.escalate(pairs, spec, &plan); err != nil {
-			return Result{}, fmt.Errorf("resolve: %w", err)
+		modelLat, err := s.escalate(pairs, spec, &plan)
+		if err != nil {
+			err = fmt.Errorf("resolve: %w", err)
+			obs.finish(q.ID, plan.report, err)
+			return Result{}, err
 		}
+		obs.lapLLM(modelLat)
 	}
 	for fi, ci := range fresh {
 		decisions[ci] = plan.decisions[fi]
@@ -701,6 +737,7 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 	s.graphMu.Unlock()
 
 	s.recordTotals(plan.report)
+	obs.lap(telemetry.StageFold)
 	if s.wal != nil {
 		freshEntries := make([]persist.DecisionEntry, len(fresh))
 		for fi, ci := range fresh {
@@ -716,10 +753,14 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 		}
 		err := s.appendResolveLocked(q, freshEntries, plan.report)
 		s.persistMu.Unlock()
+		obs.lap(telemetry.StagePersist)
 		if err != nil {
-			return Result{}, fmt.Errorf("resolve: journal decisions for %q: %w", q.ID, err)
+			err = fmt.Errorf("resolve: journal decisions for %q: %w", q.ID, err)
+			obs.finish(q.ID, plan.report, err)
+			return Result{}, err
 		}
 	}
+	obs.finish(q.ID, plan.report, nil)
 	return Result{
 		Query:     q,
 		EntityID:  entityID,
@@ -737,7 +778,12 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 // cascade plan has already applied LLMBudget and MaxCentsPerResolve,
 // so the dispatcher only changes how many round-trips the escalated
 // pairs cost, never which pairs are escalated.
-func (s *Store) escalate(pairs []entity.Pair, spec prompt.Spec, plan *cascadePlan) error {
+//
+// The returned duration sums the model-side latency the answers
+// report (a batched answer reports its share of the batch request),
+// letting the stage observer split the escalation wall-clock into
+// model time and dispatch wait.
+func (s *Store) escalate(pairs []entity.Pair, spec prompt.Spec, plan *cascadePlan) (time.Duration, error) {
 	accountUsage := func(promptTokens, completionTokens int) {
 		plan.report.PromptTokens += promptTokens
 		plan.report.CompletionTokens += completionTokens
@@ -747,10 +793,11 @@ func (s *Store) escalate(pairs []entity.Pair, spec prompt.Spec, plan *cascadePla
 		}
 	}
 
+	var modelLat time.Duration
 	if s.disp != nil {
 		results, err := s.disp.DoAll(pairs)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		batchesSeen := map[uint64]bool{}
 		for i, r := range results {
@@ -774,14 +821,15 @@ func (s *Store) escalate(pairs []entity.Pair, spec prompt.Spec, plan *cascadePla
 			if r.FellBack {
 				plan.report.BatchFallbacks++
 			}
+			modelLat += r.Usage.Latency
 			accountUsage(r.Usage.PromptTokens, r.Usage.CompletionTokens)
 		}
-		return nil
+		return modelLat, nil
 	}
 
 	decided, err := s.eng.Match(pairs, spec.Build, core.ParseAnswer)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for i, pd := range decided {
 		d := &plan.decisions[plan.llm[i]]
@@ -793,9 +841,10 @@ func (s *Store) escalate(pairs []entity.Pair, spec prompt.Spec, plan *cascadePla
 		if pd.Cached {
 			plan.report.CacheHits++
 		}
+		modelLat += pd.Usage.Latency
 		accountUsage(pd.Usage.PromptTokens, pd.Usage.CompletionTokens)
 	}
-	return nil
+	return modelLat, nil
 }
 
 // recordTotals folds one call's report into the lifetime counters.

@@ -1,0 +1,217 @@
+// Package telemetry is the dependency-free observability core of the
+// serving stack: atomic counters, gauges and fixed-bucket latency
+// histograms grouped into labeled families by a Registry that renders
+// Prometheus text exposition (format 0.0.4), plus lightweight
+// per-resolve request tracing carried through context.Context and a
+// sampled slow-request exemplar logger on log/slog.
+//
+// The package is built for the resolve hot path: every instrument
+// method is safe on a nil receiver (a disabled instrument is a few
+// predictable branches, never a pointer chase into a registry) and
+// allocation-free when enabled — counters and gauges are single
+// atomics, histograms bump one atomic bucket plus a CAS'd float sum.
+// Sub-structs of instruments (PipelineMetrics, DispatchMetrics, …) are
+// passed by value into the instrumented packages, so an un-wired
+// package holds all-nil instruments and pays only the nil checks.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero
+// value is ready to use; all methods are no-ops on a nil receiver, so
+// disabled instrumentation costs one branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (zero on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depth, bytes on
+// disk). The zero value is ready; methods are no-ops on nil.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value (zero on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative-style histogram: Observe
+// finds the first bucket whose upper bound holds the value and bumps
+// it atomically, with an implicit +Inf bucket catching the rest. The
+// bucket layout is immutable after construction, so observation is
+// lock-free and allocation-free; the float64 sum is maintained with a
+// CAS loop over its bits. Quantiles are estimated by linear
+// interpolation inside the target bucket — exact enough for p50/p95/
+// p99 dashboards when the buckets are chosen to bracket the expected
+// range (see DurationBuckets).
+type Histogram struct {
+	// bounds are the ascending inclusive upper bounds; counts has one
+	// extra slot for the implicit +Inf bucket.
+	bounds []float64
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// newHistogram builds a histogram over the given ascending bounds.
+// The bounds slice is copied; an empty layout gets a single +Inf
+// bucket.
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (~20) and the loop is
+	// branch-predictable — cheaper than binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations (zero on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (zero on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// distribution by linear interpolation within the bucket holding the
+// target rank. Values in the +Inf bucket clamp to the largest finite
+// bound. Returns zero with no observations or on a nil receiver.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: the best available estimate is the largest
+			// finite bound.
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		return lo + (h.bounds[i]-lo)*(rank-cum)/n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// DurationBuckets is the shared upper-bound layout (seconds) of every
+// latency histogram in the system. It spans 5µs to 10s: the low end
+// brackets the local resolve stages (extraction, blocking and scoring
+// run in single-digit to tens of microseconds on the PR 4 hot path),
+// the middle the WAL fsync and dispatcher-wait range (hundreds of µs
+// to milliseconds), and the high end real LLM round-trips (hundreds
+// of ms to seconds). One shared layout keeps stage latencies directly
+// comparable across families and the exposition size predictable.
+func DurationBuckets() []float64 {
+	return []float64{
+		5e-6, 10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+		1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+		1, 2.5, 5, 10,
+	}
+}
+
+// SizeBuckets is the upper-bound layout for small-count histograms
+// (dispatcher batch sizes): powers of two up to the dispatcher's
+// practical batch ceiling.
+func SizeBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64}
+}

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind tags a family's exposition TYPE.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// child is one labeled series of a family. Exactly one of the value
+// fields is set, matching the family kind.
+type child struct {
+	labels string // pre-rendered `key="value",…` (no braces), "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// family is one metric name: HELP and TYPE plus its labeled children.
+type family struct {
+	name, help string
+	kind       metricKind
+	children   []*child
+}
+
+// Registry holds metric families in registration order and renders
+// them as Prometheus text exposition. Registration takes a lock;
+// the returned instruments are pre-bound, so the hot path never goes
+// through the registry again. Registering the same name with the same
+// kind adds another labeled child to the family; a kind clash panics
+// (a programming error, caught at wiring time).
+type Registry struct {
+	mu     sync.Mutex
+	order  []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// Counter registers (or extends) a counter family and returns the
+// child for the given label pairs (alternating key, value).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c := &Counter{}
+	r.add(name, help, kindCounter, &child{labels: renderLabels(labels), c: c})
+	return c
+}
+
+// Gauge registers (or extends) a gauge family and returns the child.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	g := &Gauge{}
+	r.add(name, help, kindGauge, &child{labels: renderLabels(labels), g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// exposition time — for values another subsystem already maintains
+// (queue lengths, record counts).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.add(name, help, kindGauge, &child{labels: renderLabels(labels), gf: fn})
+}
+
+// Histogram registers (or extends) a histogram family over the given
+// ascending bucket bounds and returns the child.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	h := newHistogram(bounds)
+	r.add(name, help, kindHistogram, &child{labels: renderLabels(labels), h: h})
+	return h
+}
+
+func (r *Registry) add(name, help string, kind metricKind, ch *child) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.order = append(r.order, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	f.children = append(f.children, ch)
+}
+
+// renderLabels turns alternating key/value pairs into the exposition
+// label body (sorted by key, values escaped). Panics on an odd pair
+// count — a wiring-time programming error.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("telemetry: odd label key/value count")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every family in registration order as
+// Prometheus text exposition format 0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.order))
+	copy(fams, r.order)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, ch := range f.children {
+			switch f.kind {
+			case kindCounter:
+				writeSample(&b, f.name, "", ch.labels, "", float64(ch.c.Value()))
+			case kindGauge:
+				v := 0.0
+				if ch.gf != nil {
+					v = ch.gf()
+				} else {
+					v = float64(ch.g.Value())
+				}
+				writeSample(&b, f.name, "", ch.labels, "", v)
+			case kindHistogram:
+				h := ch.h
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					writeSample(&b, f.name, "_bucket", ch.labels,
+						`le="`+formatFloat(bound)+`"`, float64(cum))
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				writeSample(&b, f.name, "_bucket", ch.labels, `le="+Inf"`, float64(cum))
+				writeSample(&b, f.name, "_sum", ch.labels, "", h.Sum())
+				writeSample(&b, f.name, "_count", ch.labels, "", float64(cum))
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSample renders one sample line, merging the child labels with
+// an extra label (the histogram le).
+func writeSample(b *strings.Builder, name, suffix, labels, extra string, v float64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

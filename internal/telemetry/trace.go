@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/hex"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Stage enumerates the spans of one resolve call, in hot-path order.
+// The fixed enumeration is what keeps tracing allocation-free: stage
+// durations live in a fixed-size array indexed by Stage, never a map.
+type Stage uint8
+
+// Resolve stages. DispatchWait is the wall-clock time an escalated
+// band spent queued in (and coordinated by) the micro-batching
+// dispatcher net of model time; LLM is the model-side latency of the
+// escalated pairs.
+const (
+	StageExtract Stage = iota
+	StageBlock
+	StageJournal
+	StageScore
+	StageDispatchWait
+	StageLLM
+	StageFold
+	StagePersist
+
+	numStages
+)
+
+// NumStages is the number of resolve stages, usable as an array size.
+const NumStages = int(numStages)
+
+var stageNames = [NumStages]string{
+	"extract", "block", "journal", "score",
+	"dispatch_wait", "llm", "fold", "persist",
+}
+
+// String returns the stage's metric label ("extract", "block", …).
+func (s Stage) String() string {
+	if int(s) < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// StageDurations holds one duration per resolve stage, indexed by
+// Stage. Passed by value through the slow-log path so recording a
+// span tree never forces the observer onto the heap.
+type StageDurations [NumStages]time.Duration
+
+// Trace is one request's span record: a stable ID plus per-stage
+// durations accumulated as the resolve advances. A Trace is carried
+// through context.Context (WithTrace/FromContext) from the HTTP layer
+// into the store; all methods are safe on a nil receiver, so
+// un-traced calls pay only nil checks.
+//
+// A Trace is owned by one request and is not safe for concurrent
+// mutation.
+type Trace struct {
+	id    string
+	start time.Time
+	durs  StageDurations
+}
+
+// NewTrace returns a trace with the given ID (a fresh generated ID
+// when empty), started now.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = GenerateID()
+	}
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace ID ("" on a nil receiver).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns when the trace was created.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Add accumulates d into the stage's span. No-op on nil.
+func (t *Trace) Add(s Stage, d time.Duration) {
+	if t != nil && int(s) < NumStages {
+		t.durs[s] += d
+	}
+}
+
+// Durations returns a copy of the per-stage spans.
+func (t *Trace) Durations() StageDurations {
+	if t == nil {
+		return StageDurations{}
+	}
+	return t.durs
+}
+
+// ctxKey keys the trace in a context.Context.
+type ctxKey struct{}
+
+// WithTrace returns a context carrying the trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil. Safe on a nil
+// context.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// idState seeds trace-ID generation: process identity folded into the
+// start time, advanced per ID by a fixed odd increment and mixed
+// through a splitmix64 finalizer. Not cryptographic — the IDs only
+// need to be stable within a request and distinct across a fleet's
+// recent history.
+var idState atomic.Uint64
+
+func init() {
+	idState.Store(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32)
+}
+
+// GenerateID returns a 16-hex-character request/trace ID.
+func GenerateID() string {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	var raw [8]byte
+	for i := 0; i < 8; i++ {
+		raw[i] = byte(x >> (8 * i))
+	}
+	var out [16]byte
+	hex.Encode(out[:], raw[:])
+	return string(out[:])
+}

@@ -37,6 +37,8 @@
 package llm4em
 
 import (
+	"context"
+
 	"llm4em/internal/core"
 	"llm4em/internal/datasets"
 	"llm4em/internal/entity"
@@ -48,6 +50,7 @@ import (
 	"llm4em/internal/prompt"
 	"llm4em/internal/resolve"
 	"llm4em/internal/rules"
+	"llm4em/internal/telemetry"
 )
 
 // Core data model.
@@ -180,6 +183,40 @@ var (
 	// ErrDuplicateRecordID marks an Add of an already-stored ID.
 	ErrDuplicateRecordID = resolve.ErrDuplicateID
 )
+
+// Telemetry and request tracing.
+type (
+	// Telemetry is a dependency-free metrics handle: atomic counters,
+	// gauges and latency histograms for every layer of the store
+	// (resolve stages, cascade outcomes, dispatcher batches, LLM calls,
+	// WAL/snapshot durability), rendered as Prometheus text exposition
+	// via WritePrometheus. Wire one into StoreOptions.Telemetry; a nil
+	// handle disables all instrumentation.
+	Telemetry = telemetry.Telemetry
+	// TelemetryOptions configures a Telemetry handle: the slow-resolve
+	// exemplar threshold and the slog logger it writes to.
+	TelemetryOptions = telemetry.Options
+	// Trace is a per-request span record: attach one to a context with
+	// ContextWithTrace and Store.ResolveContext fills in per-stage
+	// durations under the request's trace ID.
+	Trace = telemetry.Trace
+)
+
+// NewTelemetry builds a telemetry handle with every store metric
+// family registered.
+func NewTelemetry(opts TelemetryOptions) *Telemetry { return telemetry.New(opts) }
+
+// NewTrace returns a request trace. An empty id generates one.
+func NewTrace(id string) *Trace { return telemetry.NewTrace(id) }
+
+// ContextWithTrace attaches a request trace to a context for
+// Store.ResolveContext.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return telemetry.WithTrace(ctx, t)
+}
+
+// TraceFromContext returns the trace attached to the context, or nil.
+func TraceFromContext(ctx context.Context) *Trace { return telemetry.FromContext(ctx) }
 
 // Language models.
 type (

@@ -21,6 +21,13 @@
 #    (e.g. HOTPATH_SLACK=2.0) on much slower hosts, and regenerate
 #    BENCH_hotpath.json in the same PR when a change moves the number
 #    intentionally.
+# 5. Measures resolve throughput with the telemetry subsystem enabled
+#    (BenchmarkStoreResolveTelemetry) and compares it against the bare
+#    number just measured on the SAME host: the instrumentation cost
+#    of stage timers, counters and histograms must stay under
+#    TELEMETRY_OVERHEAD (default 1.5 = +50%). Relative to a same-run
+#    measurement, the gate is immune to hardware differences that the
+#    absolute baseline gate needs HOTPATH_SLACK for.
 #
 # With ARTIFACT_DIR set, the full output is teed into
 # $ARTIFACT_DIR/bench_output.txt and the dispatcher gate writes its
@@ -61,6 +68,25 @@ main() {
             exit 1
         }
         print "OK: resolve throughput gate passed"
+    }'
+
+    echo ""
+    echo "== telemetry instrumentation-cost gate (relative to bare resolve) =="
+    OVERHEAD="${TELEMETRY_OVERHEAD:-1.5}"
+    TEL_NS="$(go test -run '^$' -bench 'BenchmarkStoreResolveTelemetry$' -benchtime=0.5s ./internal/resolve/ \
+        | awk '/^BenchmarkStoreResolveTelemetry/ {print $3; exit}')"
+    if [ -z "$TEL_NS" ]; then
+        echo "FAIL: could not measure BenchmarkStoreResolveTelemetry" >&2
+        exit 1
+    fi
+    awk -v got="$TEL_NS" -v bare="$GOT_NS" -v overhead="$OVERHEAD" 'BEGIN {
+        limit = bare * overhead
+        printf "resolve+telemetry: %.0f ns/op (bare %.0f, limit %.0f = bare x %.2f)\n", got, bare, limit, overhead
+        if (got + 0 > limit) {
+            printf "FAIL: telemetry instrumentation costs more than %.0f%% on the hot path\n", (overhead - 1) * 100
+            exit 1
+        }
+        print "OK: telemetry instrumentation-cost gate passed"
     }'
 }
 

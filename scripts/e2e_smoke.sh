@@ -2,8 +2,11 @@
 # End-to-end smoke test of cmd/emserve (the CI "e2e-smoke" job, also
 # runnable locally): builds the binary, starts it with durability and
 # the micro-batching dispatcher enabled, exercises the HTTP API
-# (ingest, resolve, entity read-back, stats), then sends SIGTERM and
-# asserts a clean graceful drain and a non-empty final snapshot.
+# (ingest, resolve — one local and one LLM-escalated — entity
+# read-back, stats), scrapes the observability surface (/metrics
+# exposition, /healthz, /readyz, X-Request-ID, slow-resolve exemplar
+# in the JSON logs), then sends SIGTERM and asserts a clean graceful
+# drain and a non-empty final snapshot.
 #
 # Environment:
 #   EMSERVE_ADDR  listen address (default 127.0.0.1:18080)
@@ -33,8 +36,12 @@ fail() {
 echo "== build emserve =="
 go build -o "$TMP/emserve" ./cmd/emserve
 
-echo "== start (persist + dispatcher) =="
+echo "== start (persist + dispatcher + telemetry) =="
+# -sync-every 1 exercises per-append fsync so em_wal_fsync_seconds is
+# non-zero; -slow-resolve 1ns makes every resolve emit the structured
+# exemplar line, which the JSON log assertions below pick up.
 "$TMP/emserve" -addr "$ADDR" -persist "$TMP/data" -dispatch-pairs 8 \
+    -sync-every 1 -log-format json -slow-resolve 1ns \
     >"$TMP/server.log" 2>&1 &
 SRV_PID=$!
 
@@ -49,24 +56,64 @@ for _ in $(seq 1 100); do
 done
 [ -n "$up" ] || fail "server did not come up on $ADDR within 10s"
 
+echo "== probes =="
+curl -fsS "http://$ADDR/healthz" | jq -e '.status == "ok"' >/dev/null \
+    || fail "/healthz is not ok"
+curl -fsS "http://$ADDR/readyz" | jq -e '.status == "ready"' >/dev/null \
+    || fail "/readyz is not ready after startup"
+curl -fsSi "http://$ADDR/healthz" | grep -qi '^x-request-id:' \
+    || fail "response lacks an X-Request-ID header"
+
 echo "== ingest records =="
 curl -fsS -X POST "http://$ADDR/records" -d '{"records":[
   {"id":"r1","attrs":[{"name":"title","value":"sony dsc120b cybershot camera silver"}]},
-  {"id":"r2","attrs":[{"name":"title","value":"makita impact drill kit 18v"}]}]}' \
-    | jq -e '.added == 2' >/dev/null || fail "ingest did not add 2 records"
+  {"id":"r2","attrs":[{"name":"title","value":"makita impact drill kit 18v"}]},
+  {"id":"r3","attrs":[{"name":"title","value":"alpha beta gamma delta sameent0002"}]}]}' \
+    | jq -e '.added == 3' >/dev/null || fail "ingest did not add 3 records"
 
-echo "== resolve a query =="
+echo "== resolve a query (local decision) =="
 curl -fsS -X POST "http://$ADDR/resolve" \
     -d '{"id":"q1","attrs":[{"name":"title","value":"sony dsc120b cybershot camera silver"}]}' \
     | jq -e '.matched == true and .entity_id == "q1"' >/dev/null \
     || fail "resolve did not match q1 to r1"
 
+echo "== resolve a query (LLM escalation) =="
+# Mid-band similarity to r3: the cascade cannot decide locally and
+# routes the pair through the dispatcher to the model.
+curl -fsS -X POST "http://$ADDR/resolve" \
+    -d '{"id":"q2","attrs":[{"name":"title","value":"alpha beta epsilon zeta sameent0002"}]}' \
+    >/dev/null || fail "escalated resolve failed"
+
 echo "== read entity and stats back =="
 curl -fsS "http://$ADDR/entities/q1" | jq -e '.members | length >= 2' >/dev/null \
     || fail "entity q1 has fewer than 2 members"
 curl -fsS "http://$ADDR/stats" \
-    | jq -e '.records == 2 and .resolves == 1 and .dispatch.enabled == true and .persist.enabled == true' >/dev/null \
+    | jq -e '.records == 3 and .resolves == 2 and .dispatch.enabled == true and .persist.enabled == true' >/dev/null \
     || fail "stats do not reflect the workload"
+curl -fsS "http://$ADDR/stats" \
+    | jq -e '.telemetry.enabled == true and .telemetry.resolve_total == 2' >/dev/null \
+    || fail "stats lack the telemetry block"
+curl -fsSi "http://$ADDR/stats" | grep -qi '^cache-control: no-store' \
+    || fail "/stats is missing Cache-Control: no-store"
+
+echo "== scrape /metrics =="
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics.txt" \
+    || fail "could not scrape /metrics"
+metric_nonzero() {
+    awk -v name="$1" '$1 == name && $2 + 0 > 0 {found = 1} END {exit !found}' "$TMP/metrics.txt" \
+        || fail "metric $1 is missing or zero"
+}
+metric_nonzero em_resolve_total
+metric_nonzero em_llm_calls_total
+metric_nonzero em_wal_fsync_seconds_count
+grep -q '^# TYPE em_resolve_stage_seconds histogram' "$TMP/metrics.txt" \
+    || fail "/metrics lacks the stage histogram TYPE line"
+
+echo "== slow-resolve exemplar in JSON logs =="
+grep -q '"msg":"slow resolve"' "$TMP/server.log" \
+    || fail "no slow-resolve exemplar line in the JSON logs"
+grep '"msg":"slow resolve"' "$TMP/server.log" | head -1 | jq -e '.trace_id | length > 0' >/dev/null \
+    || fail "slow-resolve line lacks a trace_id"
 
 echo "== graceful shutdown (SIGTERM) =="
 kill -TERM "$SRV_PID"
@@ -79,7 +126,7 @@ grep -q "state flushed, bye" "$TMP/server.log" \
 
 echo "== final snapshot =="
 [ -s "$TMP/data/snapshot.json" ] || fail "snapshot.json missing or empty"
-jq -e '(.records | length) == 2' "$TMP/data/snapshot.json" >/dev/null \
-    || fail "snapshot does not contain the 2 ingested records"
+jq -e '(.records | length) == 3' "$TMP/data/snapshot.json" >/dev/null \
+    || fail "snapshot does not contain the 3 ingested records"
 
 echo "OK: e2e smoke passed"
