@@ -9,6 +9,7 @@
 //	emexperiments -maxtest 200        # scale down the test splits
 //	emexperiments -robustness         # dirty-data corruption sweep
 //	emexperiments -crossdomain        # leave-one-dataset-out transfer
+//	emexperiments -strategies         # prompt-strategy × band-width ablation
 package main
 
 import (
@@ -39,15 +40,18 @@ func main() {
 	diagnostics := flag.Bool("diagnostics", false, "print the benchmark difficulty diagnostics")
 	robustness := flag.Bool("robustness", false, "run the dirty-data corruption sweep")
 	crossdomain := flag.Bool("crossdomain", false, "run the leave-one-dataset-out threshold transfer eval")
-	seed := flag.String("seed", "robustness", "corruption seed for -robustness")
+	seed := flag.String("seed", "", "sweep seed for -robustness/-strategies (defaults per harness)")
 	kinds := flag.String("kinds", "", "comma-separated corruption kinds for -robustness (default all)")
 	levels := flag.String("levels", "", "comma-separated corruption levels for -robustness (default 1,2,3)")
 	model := flag.String("model", llm.GPTMini, "model answering the uncertain band for -robustness/-crossdomain")
 	robustOut := flag.String("robust-out", "", "write the full robustness markdown report to this file")
+	strategies := flag.Bool("strategies", false, "run the prompt-strategy × band-width ablation")
+	strategiesOut := flag.String("strategies-out", "", "write the full strategy ablation markdown report to this file")
 	flag.Parse()
 
 	if *table == "" && *figure == 0 && !*ablations && !*pr && !*futurework && *report == "" &&
-		!*diagnostics && !*robustness && !*crossdomain && *robustOut == "" {
+		!*diagnostics && !*robustness && !*crossdomain && *robustOut == "" &&
+		!*strategies && *strategiesOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -58,6 +62,26 @@ func main() {
 	cfg.FTEpochs = *epochs
 	cfg.Workers = *workers
 	s := experiments.NewSession(cfg)
+
+	if *strategies || *strategiesOut != "" {
+		scfg := experiments.StrategiesConfig{
+			Model:   *model,
+			Seed:    *seed,
+			Workers: *workers,
+		}
+		if *strategiesOut != "" {
+			f, err := os.Create(*strategiesOut)
+			fail(err)
+			fail(experiments.WriteStrategiesReport(f, scfg))
+			fail(f.Close())
+			fmt.Println("wrote", *strategiesOut)
+			return
+		}
+		cells, err := experiments.Strategies(scfg)
+		fail(err)
+		renderOne(experiments.StrategiesTable(cells))
+		return
+	}
 
 	if *robustness || *crossdomain || *robustOut != "" {
 		rcfg := experiments.RobustnessConfig{

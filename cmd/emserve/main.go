@@ -11,6 +11,14 @@
 // far fewer LLM round-trips than it resolves pairs. GET /stats
 // reports the dispatcher's batch counters under "dispatch".
 //
+// The prompt formulation for the uncertain band is selectable with
+// -strategy (match|compare|select): compare and select answer all of
+// a query's uncertain candidates with one grouped prompt instead of
+// one prompt per pair, and -reason-tier re-decides pairs whose first
+// LLM verdict conflicts with the local scorer through a structured
+// multi-step reasoning prompt. GET /stats reports per-strategy calls,
+// pairs and tokens under "strategies"; see docs/STRATEGIES.md.
+//
 // The process is fully instrumented: GET /metrics serves Prometheus
 // text exposition covering per-stage resolve latency, cascade
 // outcomes, dispatcher batching, LLM calls and WAL/snapshot
@@ -88,6 +96,8 @@ func main() {
 	llmBudget := flag.Int("llm-budget", 0, "max LLM pairs per resolve (0 = unlimited, negative = none)")
 	maxCents := flag.Float64("max-cents", 0, "max estimated cents per resolve (0 = uncapped)")
 	noCascade := flag.Bool("no-cascade", false, "send every candidate pair to the LLM")
+	strategyName := flag.String("strategy", "match", "uncertain-band prompt strategy: match, compare or select")
+	reasonTier := flag.Bool("reason-tier", false, "re-decide pairs whose LLM verdict conflicts with the local scorer via a structured reasoning prompt")
 	shards := flag.Int("shards", 0, "index shards (0 = default)")
 	candidates := flag.Int("candidates", 0, "max blocking candidates per resolve (0 = default)")
 	workers := flag.Int("workers", 0, "LLM pipeline workers (0 = default)")
@@ -111,6 +121,8 @@ func main() {
 	srvLog := logger.With("component", "emserve")
 
 	client, err := llm4em.NewModel(*model)
+	fail(err)
+	strategy, err := llm4em.ParseStrategy(*strategyName)
 	fail(err)
 	design, err := llm4em.DesignByName(*designName)
 	fail(err)
@@ -150,6 +162,8 @@ func main() {
 			LLMBudget:          *llmBudget,
 			MaxCentsPerResolve: *maxCents,
 			Disable:            *noCascade,
+			Strategy:           strategy,
+			ReasonTier:         *reasonTier,
 		},
 	})
 	fail(err)

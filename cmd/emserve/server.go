@@ -175,21 +175,57 @@ type decisionJSON struct {
 }
 
 type costJSON struct {
-	Candidates       int     `json:"candidates"`
-	LocalAccepts     int     `json:"local_accepts"`
-	LocalRejects     int     `json:"local_rejects"`
-	LLMPairs         int     `json:"llm_pairs"`
-	CacheHits        int     `json:"cache_hits"`
-	BatchedPairs     int     `json:"batched_pairs,omitempty"`
-	Batches          int     `json:"batches,omitempty"`
-	BatchFallbacks   int     `json:"batch_fallbacks,omitempty"`
-	BudgetDecided    int     `json:"budget_decided"`
-	JournalHits      int     `json:"journal_hits"`
-	PromptTokens     int     `json:"prompt_tokens"`
-	CompletionTokens int     `json:"completion_tokens"`
-	Cents            float64 `json:"cents"`
-	Priced           bool    `json:"priced"`
-	LocalFraction    float64 `json:"local_fraction"`
+	Candidates       int          `json:"candidates"`
+	LocalAccepts     int          `json:"local_accepts"`
+	LocalRejects     int          `json:"local_rejects"`
+	LLMPairs         int          `json:"llm_pairs"`
+	CacheHits        int          `json:"cache_hits"`
+	BatchedPairs     int          `json:"batched_pairs,omitempty"`
+	Batches          int          `json:"batches,omitempty"`
+	BatchFallbacks   int          `json:"batch_fallbacks,omitempty"`
+	GroupFallbacks   int          `json:"group_fallbacks,omitempty"`
+	BudgetDecided    int          `json:"budget_decided"`
+	JournalHits      int          `json:"journal_hits"`
+	PromptTokens     int          `json:"prompt_tokens"`
+	CompletionTokens int          `json:"completion_tokens"`
+	Cents            float64      `json:"cents"`
+	Priced           bool         `json:"priced"`
+	LocalFraction    float64      `json:"local_fraction"`
+	Strategies       strategyJSON `json:"strategies"`
+}
+
+// strategyJSON breaks LLM usage down by the prompt strategy that
+// issued it, mirroring CostReport's per-strategy StrategyUsage fields.
+type strategyJSON struct {
+	Match   usageJSON `json:"match"`
+	Compare usageJSON `json:"compare"`
+	Select  usageJSON `json:"select"`
+	Reason  usageJSON `json:"reason"`
+}
+
+type usageJSON struct {
+	Calls            uint64 `json:"calls"`
+	Pairs            uint64 `json:"pairs"`
+	PromptTokens     uint64 `json:"prompt_tokens"`
+	CompletionTokens uint64 `json:"completion_tokens"`
+}
+
+func fromUsage(u llm4em.StrategyUsage) usageJSON {
+	return usageJSON{
+		Calls:            uint64(u.Calls),
+		Pairs:            uint64(u.Pairs),
+		PromptTokens:     uint64(u.PromptTokens),
+		CompletionTokens: uint64(u.CompletionTokens),
+	}
+}
+
+func fromTotals(t llm4em.StrategyTotals) usageJSON {
+	return usageJSON{
+		Calls:            t.Calls,
+		Pairs:            t.Pairs,
+		PromptTokens:     t.PromptTokens,
+		CompletionTokens: t.CompletionTokens,
+	}
 }
 
 func fromCost(c llm4em.CostReport) costJSON {
@@ -202,6 +238,7 @@ func fromCost(c llm4em.CostReport) costJSON {
 		BatchedPairs:     c.BatchedPairs,
 		Batches:          c.Batches,
 		BatchFallbacks:   c.BatchFallbacks,
+		GroupFallbacks:   c.GroupFallbacks,
 		BudgetDecided:    c.BudgetDecided,
 		JournalHits:      c.JournalHits,
 		PromptTokens:     c.PromptTokens,
@@ -209,6 +246,12 @@ func fromCost(c llm4em.CostReport) costJSON {
 		Cents:            c.Cents,
 		Priced:           c.Priced,
 		LocalFraction:    c.LocalFraction(),
+		Strategies: strategyJSON{
+			Match:   fromUsage(c.MatchUsage),
+			Compare: fromUsage(c.CompareUsage),
+			Select:  fromUsage(c.SelectUsage),
+			Reason:  fromUsage(c.ReasonUsage),
+		},
 	}
 }
 
@@ -411,6 +454,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		"llm_pairs":         st.LLMPairs,
 		"batched_pairs":     st.BatchedPairs,
 		"batch_fallbacks":   st.BatchFallbacks,
+		"group_fallbacks":   st.GroupFallbacks,
 		"budget_decided":    st.BudgetDecided,
 		"journal_hits":      st.JournalHits,
 		"local_fraction":    st.LocalFraction(),
@@ -418,6 +462,12 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		"completion_tokens": st.CompletionTokens,
 		"cents":             st.Cents,
 		"priced":            st.Priced,
+		"strategies": strategyJSON{
+			Match:   fromTotals(st.MatchStrategy),
+			Compare: fromTotals(st.CompareStrategy),
+			Select:  fromTotals(st.SelectStrategy),
+			Reason:  fromTotals(st.ReasonStrategy),
+		},
 		"engine": map[string]any{
 			"client_calls": st.Engine.ClientCalls,
 			"cache_hits":   st.Engine.CacheHits,
@@ -432,6 +482,10 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 			"parse_fallbacks":    st.Dispatch.ParseFallbacks,
 			"fallback_pairs":     st.Dispatch.FallbackPairs,
 			"single_flight_hits": st.Dispatch.SingleFlightHits,
+			"group_calls":        st.Dispatch.GroupCalls,
+			"grouped_pairs":      st.Dispatch.GroupedPairs,
+			"group_fallbacks":    st.Dispatch.GroupParseFallbacks,
+			"group_fb_pairs":     st.Dispatch.GroupFallbackPairs,
 			"cache_hits":         st.Dispatch.CacheHits,
 			"size_flushes":       st.Dispatch.SizeFlushes,
 			"deadline_flushes":   st.Dispatch.DeadlineFlushes,

@@ -64,6 +64,68 @@ func ExampleLoadDataset() {
 	// Output: WDC Products: test 259/989
 }
 
+// ExampleNewStore shows the online serving workflow with the strategy
+// tier configured: an in-memory store whose uncertain band is answered
+// by one grouped compare prompt per query, with the reason tier
+// re-checking conflicted verdicts.
+func ExampleNewStore() {
+	model, err := llm4em.NewModel(llm4em.GPT4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := llm4em.NewStore(model, llm4em.StoreOptions{
+		Domain: llm4em.Product,
+		Cascade: llm4em.CascadeOptions{
+			Strategy:   llm4em.StrategyCompare, // one prompt per query's band
+			ReasonTier: true,                   // re-check conflicted verdicts
+		},
+	})
+	rec := func(id, title string) llm4em.Record {
+		return llm4em.Record{ID: id, Attrs: []llm4em.Attr{{Name: "title", Value: title}}}
+	}
+	// Two stored offers fall in the query's uncertain band, so the
+	// compare strategy decides both with a single LLM round-trip.
+	if err := store.AddBatch([]llm4em.Record{
+		rec("r1", "alpha beta epsilon zeta sameent0002"),
+		rec("r2", "alpha beta epsilon zeta sameent0002 extra"),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := store.Resolve(rec("q1", "alpha beta gamma delta sameent0002"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decisions=%d llm_pairs=%d compare_calls=%d\n",
+		len(res.Decisions), res.Cost.LLMPairs, res.Cost.CompareUsage.Calls)
+	// Output: decisions=2 llm_pairs=2 compare_calls=1
+}
+
+// ExampleCostReport reads the per-call cost accounting a Resolve
+// returns — the same fields emserve's /stats endpoint aggregates over
+// the store's lifetime.
+func ExampleCostReport() {
+	model, err := llm4em.NewModel(llm4em.GPTMini)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := llm4em.NewStore(model, llm4em.StoreOptions{Domain: llm4em.Product})
+	if err := store.Add(llm4em.Record{ID: "r1", Attrs: []llm4em.Attr{
+		{Name: "title", Value: "sony cybershot dsc120b camera black"},
+	}}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := store.Resolve(llm4em.Record{ID: "q1", Attrs: []llm4em.Attr{
+		{Name: "title", Value: "sony cybershot dsc120b camera black"},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost := res.Cost
+	fmt.Printf("candidates=%d local_accepts=%d llm_pairs=%d local_fraction=%.2f priced=%v\n",
+		cost.Candidates, cost.LocalAccepts, cost.LLMPairs, cost.LocalFraction(), cost.Priced)
+	// Output: candidates=1 local_accepts=1 llm_pairs=0 local_fraction=1.00 priced=true
+}
+
 // ExampleHandwrittenRules shows the Section 4.2 rule prompting
 // building block.
 func ExampleHandwrittenRules() {

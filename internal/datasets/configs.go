@@ -13,7 +13,11 @@ import (
 // DBLP-Scholar around 89-90 and Abt-Buy around 95.
 
 func generateWDCProducts() *Dataset {
-	return generateProductDataset(productConfig{
+	return generateProductDataset(wdcProductConfig())
+}
+
+func wdcProductConfig() productConfig {
+	return productConfig{
 		key:        "wdc",
 		name:       "WDC Products",
 		abbrev:     "WDC",
@@ -40,11 +44,15 @@ func generateWDCProducts() *Dataset {
 			featureProb: 0.20, priceJitter: 0.05, missingPriceP: 0.15,
 			typoProb: 0.12, dropTypeProb: 0.15,
 		},
-	})
+	}
 }
 
 func generateAbtBuy() *Dataset {
-	return generateProductDataset(productConfig{
+	return generateProductDataset(abProductConfig())
+}
+
+func abProductConfig() productConfig {
+	return productConfig{
 		key:        "ab",
 		name:       "Abt-Buy",
 		abbrev:     "A-B",
@@ -73,11 +81,15 @@ func generateAbtBuy() *Dataset {
 			featureProb: 0.55, priceJitter: 0.04, missingPriceP: 0.15,
 			typoProb: 0.06, dropTypeProb: 0.06,
 		},
-	})
+	}
 }
 
 func generateWalmartAmazon() *Dataset {
-	return generateProductDataset(productConfig{
+	return generateProductDataset(waProductConfig())
+}
+
+func waProductConfig() productConfig {
+	return productConfig{
 		key:        "wa",
 		name:       "Walmart-Amazon",
 		abbrev:     "W-A",
@@ -106,7 +118,7 @@ func generateWalmartAmazon() *Dataset {
 			featureProb: 0.25, priceJitter: 0.06, missingPriceP: 0.18,
 			typoProb: 0.10, dropTypeProb: 0.12,
 		},
-	})
+	}
 }
 
 func generateAmazonGoogle() *Dataset {

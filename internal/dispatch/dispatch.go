@@ -110,9 +110,15 @@ type Result struct {
 	BatchID uint64
 	// BatchSize is the number of pairs in that request.
 	BatchSize int
-	// FellBack reports that the pair's batch reply failed to parse and
-	// the answer came from an individual per-pair prompt instead.
+	// FellBack reports that the pair's batch (or group) reply failed to
+	// parse and the answer came from an individual per-pair prompt
+	// instead.
 	FellBack bool
+	// Grouped reports that a grouped compare/select prompt decided the
+	// pair (see DoGroup); GroupSize is the number of pairs that rode
+	// that prompt.
+	Grouped   bool
+	GroupSize int
 }
 
 // Stats counts what a Dispatcher did.
@@ -141,6 +147,15 @@ type Stats struct {
 	SizeFlushes     uint64
 	DeadlineFlushes uint64
 	DrainFlushes    uint64
+	// GroupCalls is the number of grouped compare/select round-trips
+	// issued; GroupedPairs the pairs they answered.
+	GroupCalls   uint64
+	GroupedPairs uint64
+	// GroupParseFallbacks counts grouped replies that failed strict
+	// parsing; GroupFallbackPairs the pairs re-routed to individual
+	// prompts because of them.
+	GroupParseFallbacks uint64
+	GroupFallbackPairs  uint64
 }
 
 // MeanBatchSize returns the average pairs per batched round-trip.
@@ -178,6 +193,8 @@ type Dispatcher struct {
 		parseFallbacks, fallbackPairs            atomic.Uint64
 		singleFlightHits, cacheHits              atomic.Uint64
 		sizeFlushes, deadlineFlushes, drainFlush atomic.Uint64
+		groupCalls, groupedPairs                 atomic.Uint64
+		groupParseFallbacks, groupFallbackPairs  atomic.Uint64
 	}
 
 	mu         sync.Mutex
@@ -205,16 +222,20 @@ func New(eng *pipeline.Engine, buildPair func(entity.Pair) string, buildBatch fu
 // Stats returns a snapshot of the dispatcher's counters.
 func (d *Dispatcher) Stats() Stats {
 	return Stats{
-		Batches:          d.stats.batches.Load(),
-		BatchedPairs:     d.stats.batchedPairs.Load(),
-		SinglePairCalls:  d.stats.singlePairCalls.Load(),
-		ParseFallbacks:   d.stats.parseFallbacks.Load(),
-		FallbackPairs:    d.stats.fallbackPairs.Load(),
-		SingleFlightHits: d.stats.singleFlightHits.Load(),
-		CacheHits:        d.stats.cacheHits.Load(),
-		SizeFlushes:      d.stats.sizeFlushes.Load(),
-		DeadlineFlushes:  d.stats.deadlineFlushes.Load(),
-		DrainFlushes:     d.stats.drainFlush.Load(),
+		Batches:             d.stats.batches.Load(),
+		BatchedPairs:        d.stats.batchedPairs.Load(),
+		SinglePairCalls:     d.stats.singlePairCalls.Load(),
+		ParseFallbacks:      d.stats.parseFallbacks.Load(),
+		FallbackPairs:       d.stats.fallbackPairs.Load(),
+		SingleFlightHits:    d.stats.singleFlightHits.Load(),
+		CacheHits:           d.stats.cacheHits.Load(),
+		SizeFlushes:         d.stats.sizeFlushes.Load(),
+		DeadlineFlushes:     d.stats.deadlineFlushes.Load(),
+		DrainFlushes:        d.stats.drainFlush.Load(),
+		GroupCalls:          d.stats.groupCalls.Load(),
+		GroupedPairs:        d.stats.groupedPairs.Load(),
+		GroupParseFallbacks: d.stats.groupParseFallbacks.Load(),
+		GroupFallbackPairs:  d.stats.groupFallbackPairs.Load(),
 	}
 }
 

@@ -1,0 +1,173 @@
+package dispatch
+
+import (
+	"fmt"
+
+	"llm4em/internal/core"
+	"llm4em/internal/entity"
+	"llm4em/internal/pipeline"
+)
+
+// Grouped dispatch: the compare/select strategies ("Match, Compare,
+// or Select?", Wang et al.) answer all of a query's uncertain
+// candidates in one prompt instead of k independent pair verdicts.
+// The group path mirrors the batch path's contract — per-pair cache
+// layering, strict parse, per-pair pairwise fallback — but flushes
+// synchronously: a group is one query's candidate set, already
+// complete when submitted, so there is nothing to wait for.
+
+// GroupSpec describes one grouped-prompt formulation: how to render a
+// query's candidate pairs as a single prompt and how to read the
+// per-pair verdicts back out of the reply. Parse must be strict —
+// report ok only when the reply cleanly decides every pair — because
+// a failed parse degrades the group to per-pair pairwise prompts
+// rather than guessing at a partial mapping. Both functions must be
+// pure and safe for concurrent use.
+type GroupSpec struct {
+	// Build renders the grouped prompt over the pairs. Every pair in a
+	// group shares the same query record (pair.A).
+	Build func(pairs []entity.Pair) string
+	// Parse extracts one verdict per pair from the reply, in prompt
+	// order.
+	Parse func(answer string, n int) ([]bool, bool)
+}
+
+// DoGroup submits one query's uncertain pairs as a single grouped
+// prompt and blocks until every pair is decided, returning results in
+// input order. Pairs already answered by the per-pair prompt cache
+// are served from it; the rest ride one grouped round-trip whose
+// verdicts are seeded back into the per-pair cache. A reply the
+// strict parser rejects falls back to individual per-pair prompts for
+// the whole group. Returns ErrClosed after Close.
+func (d *Dispatcher) DoGroup(pairs []entity.Pair, spec GroupSpec) ([]Result, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Group calls are synchronous but must still be drained by Close.
+	d.wg.Add(1)
+	d.mu.Unlock()
+	defer d.wg.Done()
+
+	out, err := RunGroup(d.eng, d.buildPair, pairs, spec)
+	if err != nil {
+		return nil, err
+	}
+	grouped, fresh, fellBack := 0, false, false
+	for _, r := range out {
+		switch {
+		case r.Grouped:
+			grouped++
+			if !r.Cached {
+				fresh = true
+			}
+		case r.FellBack:
+			fellBack = true
+			d.stats.groupFallbackPairs.Add(1)
+		case r.Cached:
+			d.stats.cacheHits.Add(1)
+		}
+	}
+	d.stats.groupedPairs.Add(uint64(grouped))
+	if fresh {
+		d.stats.groupCalls.Add(1)
+	}
+	if fellBack {
+		d.stats.groupParseFallbacks.Add(1)
+	}
+	return out, nil
+}
+
+// RunGroup issues one grouped prompt directly through the engine —
+// the dispatcher-less counterpart of DoGroup, used by offline
+// evaluation. buildPair renders the ordinary per-pair prompt (the
+// cache key and the fallback request). Results come back in input
+// order; the first error of the group request or any fallback request
+// fails the whole group.
+func RunGroup(eng *pipeline.Engine, buildPair func(entity.Pair) string, pairs []entity.Pair, spec GroupSpec) ([]Result, error) {
+	out := make([]Result, len(pairs))
+	keys := make([]string, len(pairs))
+	var remaining []int
+	for i, p := range pairs {
+		keys[i] = buildPair(p)
+		if resp, ok := eng.Peek(keys[i]); ok {
+			out[i] = Result{
+				Match:  core.ParseAnswer(resp.Content),
+				Answer: resp.Content,
+				Usage:  resp,
+				Cached: true,
+			}
+			continue
+		}
+		remaining = append(remaining, i)
+	}
+	if len(remaining) == 0 {
+		return out, nil
+	}
+
+	group := make([]entity.Pair, len(remaining))
+	for j, i := range remaining {
+		group[j] = pairs[i]
+	}
+	resp, groupCached, err := eng.Complete(spec.Build(group))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: group of %d: %w", len(group), err)
+	}
+
+	verdicts, ok := spec.Parse(resp.Content, len(group))
+	if !ok {
+		// The reply did not cleanly decide every pair — degrade the
+		// whole group to individual per-pair prompts, exactly like a
+		// failed batch parse.
+		errs := make([]error, len(remaining))
+		_ = pipeline.ForEach(len(remaining), eng.Workers(), func(j int) error {
+			i := remaining[j]
+			presp, pcached, perr := eng.Complete(keys[i])
+			if perr != nil {
+				errs[j] = fmt.Errorf("dispatch: pair %s: %w", pairs[i].ID, perr)
+				return nil
+			}
+			out[i] = Result{
+				Match:    core.ParseAnswer(presp.Content),
+				Answer:   presp.Content,
+				Usage:    presp,
+				Cached:   pcached,
+				FellBack: true,
+			}
+			return nil
+		})
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		return out, nil
+	}
+
+	shares := splitUsage(resp, len(group))
+	for j, i := range remaining {
+		answer := "No"
+		if verdicts[j] {
+			answer = "Yes"
+		}
+		out[i] = Result{
+			Match:     verdicts[j],
+			Answer:    answer,
+			Usage:     shares[j],
+			Cached:    groupCached,
+			Grouped:   true,
+			GroupSize: len(group),
+		}
+		// Seed the per-pair prompt cache with the extracted verdict so
+		// a later identical pair — grouped, batched or pairwise — is a
+		// cache hit.
+		share := shares[j]
+		share.Content = answer
+		eng.Seed(keys[i], share)
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// strategySmokeConfig shrinks the CI smoke configuration further for
+// unit tests: fewer groups, still seeded and deterministic.
+func strategySmokeConfig() StrategiesConfig {
+	cfg := StrategiesSmoke()
+	cfg.Groups = 24
+	return cfg
+}
+
+// TestStrategiesSweepShape pins the sweep geometry — one cell per
+// band × strategy variant, in deterministic order — and the
+// headline property the strategies exist for: grouped compare and
+// select issue fewer fresh LLM calls per escalated query than
+// pairwise match on the same fixtures.
+func TestStrategiesSweepShape(t *testing.T) {
+	cfg := strategySmokeConfig()
+	cells, err := Strategies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.withDefaults()
+	want := len(c.Bands) * len(strategyVariants())
+	if len(cells) != want {
+		t.Fatalf("sweep produced %d cells, want %d", len(cells), want)
+	}
+	byKey := map[string]StrategyCell{}
+	for i, cell := range cells {
+		if cell.Pairs == 0 || cell.Groups == 0 {
+			t.Fatalf("cell %d evaluated nothing: %+v", i, cell)
+		}
+		if cell.F1 < 0 || cell.F1 > 100 {
+			t.Fatalf("cell %d F1 out of range: %+v", i, cell)
+		}
+		if cell.EscalatedGroups == 0 || cell.Calls == 0 {
+			t.Fatalf("cell %d escalated nothing — the fixtures exercise no strategy: %+v", i, cell)
+		}
+		byKey[cell.Strategy+"/"+cell.Band] = cell
+	}
+	for _, band := range c.Bands {
+		match := byKey["match/"+band.Name]
+		for _, grouped := range []string{"compare", "select"} {
+			g := byKey[grouped+"/"+band.Name]
+			if g.Calls >= match.Calls {
+				t.Errorf("%s band %s: %d calls, not fewer than match's %d — grouping saves nothing",
+					grouped, band.Name, g.Calls, match.Calls)
+			}
+			if g.CallsPerEscalated >= match.CallsPerEscalated {
+				t.Errorf("%s band %s: %.2f calls/escalated, not below match's %.2f",
+					grouped, band.Name, g.CallsPerEscalated, match.CallsPerEscalated)
+			}
+		}
+		// The reason tier re-asks conflicted pairs, so it can only add
+		// calls on top of match.
+		if r := byKey["match+reason/"+band.Name]; r.Calls < match.Calls {
+			t.Errorf("reason band %s: %d calls below match's %d", band.Name, r.Calls, match.Calls)
+		}
+	}
+	// Fallbacks only exist for grouped strategies.
+	for _, cell := range cells {
+		if (cell.Strategy == "match" || cell.Strategy == "match+reason") && cell.GroupFallbacks != 0 {
+			t.Errorf("%s/%s reports %d group fallbacks without grouping", cell.Strategy, cell.Band, cell.GroupFallbacks)
+		}
+	}
+}
+
+// TestStrategiesDeterministic pins that the sweep is a pure function
+// of its configuration — the property the golden report relies on.
+func TestStrategiesDeterministic(t *testing.T) {
+	cfg := strategySmokeConfig()
+	a, err := Strategies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Strategies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("reruns disagree on cell count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cell %d differs across reruns:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestStrategiesTableRenders pins the report table shape.
+func TestStrategiesTableRenders(t *testing.T) {
+	cells := []StrategyCell{{
+		Strategy: "compare", Band: "wide", Groups: 40, EscalatedGroups: 31,
+		Pairs: 160, F1: 91.25, LLMPairs: 38, Calls: 32, CallsPerEscalated: 1.03,
+		GroupFallbacks: 2, Cents: 0.074,
+	}}
+	md := StrategiesTable(cells).Markdown()
+	for _, want := range []string{"S1", "| compare |", "91.25", "1.03", "0.074"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("strategies table markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestStrategiesGoldenReport pins the full CI smoke report byte for
+// byte. Regenerate with:
+//
+//	go test ./internal/experiments -run TestStrategiesGoldenReport -update
+func TestStrategiesGoldenReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStrategiesReport(&buf, StrategiesSmoke()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	path := filepath.Join("testdata", "strategies_golden.md")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden report missing (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("strategy report drifted from golden %s (regenerate with -update):\n--- got ---\n%s",
+			path, got)
+	}
+	for _, strat := range []string{"match", "compare", "select", "match+reason"} {
+		if !bytes.Contains(got, []byte("| "+strat+" |")) {
+			t.Errorf("report missing strategy row %q", strat)
+		}
+	}
+}

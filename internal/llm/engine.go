@@ -109,6 +109,12 @@ func (m *Model) Chat(messages []Message) (Response, error) {
 		content = m.answerRuleLearn(last)
 	case KindBatchMatch:
 		content = m.answerBatch(last)
+	case KindCompare:
+		content = m.answerCompare(last)
+	case KindSelect:
+		content = m.answerSelect(last)
+	case KindReason:
+		content = m.answerReason(parseMatchPrompt(last))
 	default:
 		pp := parseMatchPrompt(last)
 		d := m.decide(pp)

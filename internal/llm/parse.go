@@ -13,6 +13,9 @@ const (
 	KindErrorAssign
 	KindRuleLearn
 	KindBatchMatch
+	KindCompare
+	KindSelect
+	KindReason
 	KindUnknown
 )
 
@@ -55,6 +58,12 @@ func classifyPrompt(content string) PromptKind {
 		return KindRuleLearn
 	case strings.HasPrefix(content, "For each of the following pairs"):
 		return KindBatchMatch
+	case strings.HasPrefix(content, "Compare each candidate"):
+		return KindCompare
+	case strings.HasPrefix(content, "Select the candidate"):
+		return KindSelect
+	case strings.HasPrefix(content, "Decide step by step"):
+		return KindReason
 	default:
 		return KindMatch
 	}

@@ -1,0 +1,186 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+
+	"llm4em/internal/detrand"
+	"llm4em/internal/features"
+)
+
+// Handlers for the grouped strategy prompts of "Match, Compare, or
+// Select?" (Wang et al.) and the structured multi-step reasoning
+// prompt of Bopardikar et al. Seeing the candidates side by side (or
+// being forced through explicit reasoning steps) grounds the model,
+// which is simulated as reduced decision noise relative to the
+// independent pairwise match path — compare additionally sharpens the
+// margin between the best candidate and the rest, select turns the
+// task into an argmax, and reason drops the prompt-sensitivity shift
+// entirely.
+
+// groupPrompt is the model's reading of a compare/select prompt: the
+// query serialization and its numbered candidate serializations.
+type groupPrompt struct {
+	query      string
+	candidates []string
+}
+
+// parseGroupPrompt reads the "Query: '…'" and "Candidate N: '…'"
+// lines of a grouped prompt.
+func parseGroupPrompt(content string) groupPrompt {
+	var gp groupPrompt
+	for _, line := range strings.Split(content, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "Query: '"):
+			gp.query = strings.TrimSuffix(strings.TrimPrefix(trimmed, "Query: '"), "'")
+		case strings.HasPrefix(trimmed, "Candidate "):
+			if i := strings.Index(trimmed, ": '"); i >= 0 && strings.HasSuffix(trimmed, "'") {
+				gp.candidates = append(gp.candidates, trimmed[i+3:len(trimmed)-1])
+			}
+		}
+	}
+	return gp
+}
+
+// groupLogits scores every candidate against the query. Grouped
+// prompts ground the model in the candidate set, so the per-pair
+// noise is tighter than the pairwise path's (noiseScale < 1).
+func (m *Model) groupLogits(gp groupPrompt, seed string, noiseScale float64) []float64 {
+	eq := extractCached(gp.query)
+	w := m.baseWeights()
+	logits := make([]float64, len(gp.candidates))
+	for i, c := range gp.candidates {
+		v, pres := features.PairFeatures(eq, extractCached(c))
+		noise := noiseScale * m.profile.NoiseSigma * detrand.Gauss(m.profile.Name, seed, gp.query, c)
+		logits[i] = w.Score(v, pres) + noise
+	}
+	return logits
+}
+
+// groupComply is the probability of answering a grouped or reasoning
+// prompt in its requested structured format. The numbered answer
+// scaffold ("1. Yes", "Answer: 2", "Final Answer:") anchors the reply
+// the way demonstration formats do, so non-compliance shrinks to a
+// quarter of the model's free force-format rate while the ranking
+// between models is preserved.
+func (m *Model) groupComply() float64 {
+	return 1 - (1-m.profile.ForceCompliance)/4
+}
+
+// groupHedge is the non-compliant reply to a grouped prompt: prose
+// with no numbered verdict lines and no Answer line, so the strict
+// parser rejects it and the caller falls back to pairwise prompts. It
+// avoids the word "yes" entirely.
+func (m *Model) groupHedge(gp groupPrompt) string {
+	return "Each of the listed candidates shares some attributes with the query record, " +
+		"but several attribute values are missing or ambiguous, and a definitive per-candidate " +
+		"determination is not possible from the given information alone. Additional identifiers " +
+		"or specifications would be required to distinguish the candidates reliably."
+}
+
+// answerCompare handles compare prompts: one Yes/No verdict per
+// candidate, decided with the whole candidate set in view. The
+// side-by-side comparison sharpens the contrast between the strongest
+// candidate and the rest in proportion to its margin.
+func (m *Model) answerCompare(content string) string {
+	gp := parseGroupPrompt(content)
+	if len(gp.candidates) == 0 {
+		return "No candidates found."
+	}
+	if detrand.Unit(m.profile.Name, "compare-comply", gp.query) >= m.groupComply() {
+		return m.groupHedge(gp)
+	}
+	logits := m.groupLogits(gp, "compare-noise", 0.7)
+	best, second := 0, -1
+	for i := 1; i < len(logits); i++ {
+		if logits[i] > logits[best] {
+			second = best
+			best = i
+		} else if second < 0 || logits[i] > logits[second] {
+			second = i
+		}
+	}
+	contrast := 0.0
+	if second >= 0 {
+		contrast = 0.3 * clamp(logits[best]-logits[second], 0, 1)
+	}
+	var b strings.Builder
+	for i, logit := range logits {
+		if i == best {
+			logit += contrast
+		} else {
+			logit -= contrast
+		}
+		if logit > 0 {
+			fmt.Fprintf(&b, "%d. Yes\n", i+1)
+		} else {
+			fmt.Fprintf(&b, "%d. No\n", i+1)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// answerSelect handles select prompts: the model names the single
+// best-scoring candidate if its evidence clears the matching
+// threshold, and "none" otherwise. The argmax framing removes the
+// per-candidate threshold wobble, simulated as the tightest noise of
+// the three strategies.
+func (m *Model) answerSelect(content string) string {
+	gp := parseGroupPrompt(content)
+	if len(gp.candidates) == 0 {
+		return "No candidates found."
+	}
+	if detrand.Unit(m.profile.Name, "select-comply", gp.query) >= m.groupComply() {
+		return m.groupHedge(gp)
+	}
+	logits := m.groupLogits(gp, "select-noise", 0.6)
+	best := 0
+	for i := 1; i < len(logits); i++ {
+		if logits[i] > logits[best] {
+			best = i
+		}
+	}
+	if logits[best] > 0 {
+		return fmt.Sprintf("Answer: %d", best+1)
+	}
+	return "Answer: none"
+}
+
+// answerReason handles structured multi-step reasoning prompts. The
+// explicit attribute-by-attribute derivation grounds the model: the
+// prompt-sensitivity shift of the pairwise path disappears and the
+// decision noise halves, modelling the reasoning gains reported for
+// hard pairs. Non-compliant replies fall back to the free-form answer,
+// whose leading Yes/No the word-level fallback parse still recovers.
+func (m *Model) answerReason(pp ParsedPrompt) string {
+	extA, extB := extractCached(pp.QueryA), extractCached(pp.QueryB)
+	v, pres := features.PairFeatures(extA, extB)
+	w := m.baseWeights()
+	noise := 0.5 * m.profile.NoiseSigma * detrand.Gauss(m.profile.Name, "reason-noise", pp.QueryA, pp.QueryB)
+	logit := w.Score(v, pres) + noise
+	d := decision{yes: logit > 0, logit: logit, vector: v, present: pres, weights: w, extA: extA, extB: extB}
+
+	if detrand.Unit(m.profile.Name, "reason-comply", pp.QueryA, pp.QueryB) >= m.groupComply() {
+		return m.verboseAnswer(pp, d)
+	}
+
+	var b strings.Builder
+	b.WriteString("Step 1: The key attributes of both entity descriptions were extracted and aligned.\n")
+	evidence := m.evidenceSentences(d)
+	if len(evidence) == 0 {
+		b.WriteString("Step 2: The descriptions expose no directly comparable attributes beyond their overall wording.\n")
+	} else {
+		b.WriteString("Step 2: ")
+		b.WriteString(strings.Join(evidence, " "))
+		b.WriteString("\n")
+	}
+	if d.yes {
+		b.WriteString("Step 3: Weighing the evidence, the matching attributes outweigh the conflicting ones.\n")
+		b.WriteString("Final Answer: Yes")
+	} else {
+		b.WriteString("Step 3: Weighing the evidence, the conflicting attributes outweigh the matching ones.\n")
+		b.WriteString("Final Answer: No")
+	}
+	return b.String()
+}

@@ -44,6 +44,25 @@ type ReportEntry struct {
 	// and the zero default keep old and new builds interchangeable.
 	BatchedPairs   int `json:"batched_pairs,omitempty"`
 	BatchFallbacks int `json:"batch_fallbacks,omitempty"`
+	// Strategy accounting of the tiered prompt strategies. Like the
+	// batch fields, absent in older logs and zero-defaulted, so old
+	// and new builds stay interchangeable. The per-decision strategy
+	// provenance itself lives in DecisionEntry.Method ("llm-compare",
+	// "llm-select", "llm-reason"), which replay reuses LLM-free.
+	GroupFallbacks  int           `json:"group_fallbacks,omitempty"`
+	MatchStrategy   StrategyEntry `json:"strategy_match"`
+	CompareStrategy StrategyEntry `json:"strategy_compare"`
+	SelectStrategy  StrategyEntry `json:"strategy_select"`
+	ReasonStrategy  StrategyEntry `json:"strategy_reason"`
+}
+
+// StrategyEntry is one prompt strategy's share of a resolve call's
+// LLM activity inside a ReportEntry.
+type StrategyEntry struct {
+	Calls            int `json:"calls,omitempty"`
+	Pairs            int `json:"pairs,omitempty"`
+	PromptTokens     int `json:"prompt_tokens,omitempty"`
+	CompletionTokens int `json:"completion_tokens,omitempty"`
 }
 
 // ResolveEntry is the payload of an EntryResolve: the query record,

@@ -138,6 +138,8 @@ func (d Design) EntityLabels(domain entity.Domain) (a, b string) {
 
 // Spec bundles everything needed to build one matching prompt.
 type Spec struct {
+	// Design and Domain select the prompt design and the topical
+	// domain its task description speaks about.
 	Design Design
 	Domain entity.Domain
 	// Demonstrations are optional labelled pairs shown before the

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"llm4em/internal/features"
+	"llm4em/internal/prompt"
 )
 
 // Cascade threshold defaults: candidate pairs whose locally computed
@@ -50,6 +51,20 @@ type CascadeOptions struct {
 	// Disable routes every candidate pair to the LLM, bypassing the
 	// local scorer — the no-cascade baseline.
 	Disable bool
+	// Strategy selects the prompt formulation for the uncertain band
+	// ("Match, Compare, or Select?", Wang et al.): StrategyMatch (the
+	// zero value) sends one independent pairwise prompt per uncertain
+	// pair; StrategyCompare and StrategySelect answer all of a query's
+	// uncertain pairs with a single grouped prompt — one LLM call per
+	// escalated query instead of one per pair — with strict parsing
+	// and per-pair pairwise fallback when a reply is malformed.
+	Strategy prompt.Strategy
+	// ReasonTier escalates pairs whose first-pass LLM verdict
+	// conflicts with the local scorer's probability — the pairs the
+	// first pass left least settled — into a structured multi-step
+	// reasoning prompt (Bopardikar et al.) whose verdict replaces the
+	// first-pass decision. Works under every Strategy.
+	ReasonTier bool
 }
 
 func (o CascadeOptions) acceptAbove() float64 {
@@ -70,6 +85,13 @@ func (o CascadeOptions) rejectBelow() float64 {
 		return DefaultRejectBelow
 	}
 	return o.RejectBelow
+}
+
+func (o CascadeOptions) strategy() prompt.Strategy {
+	if o.Strategy == "" {
+		return prompt.StrategyMatch
+	}
+	return o.Strategy
 }
 
 func (o CascadeOptions) weights() features.Weights {
@@ -93,6 +115,15 @@ const (
 	// MethodBudget: the pair was uncertain but the LLM budget was
 	// exhausted, so the local probability decided at 0.5.
 	MethodBudget Method = "budget-local"
+	// MethodCompare and MethodSelect: a grouped compare/select prompt
+	// over the query's whole uncertain candidate set decided the pair.
+	// A grouped reply that failed strict parsing degrades its pairs to
+	// individual pairwise prompts, recorded as MethodLLM.
+	MethodCompare Method = "llm-compare"
+	MethodSelect  Method = "llm-select"
+	// MethodReason: the reason tier's structured multi-step reasoning
+	// prompt re-decided the pair after the first LLM pass.
+	MethodReason Method = "llm-reason"
 )
 
 // Journaled decisions keep the Method of the stage that originally
@@ -163,10 +194,40 @@ type CostReport struct {
 	// decisions carry the accounting of the original request).
 	PromptTokens     int
 	CompletionTokens int
+	// GroupFallbacks counts pairs answered by an individual pairwise
+	// prompt after their grouped compare/select reply failed strict
+	// parsing.
+	GroupFallbacks int
+	// MatchUsage, CompareUsage, SelectUsage and ReasonUsage split the
+	// call's LLM activity by the prompt strategy that produced it:
+	// pairwise match prompts (including batch-dispatcher traffic and
+	// grouped-reply fallbacks), grouped compare prompts, grouped
+	// select prompts, and reason-tier prompts. Reading Calls against
+	// Pairs shows the grouped strategies' saving — one call deciding
+	// several pairs.
+	MatchUsage   StrategyUsage
+	CompareUsage StrategyUsage
+	SelectUsage  StrategyUsage
+	ReasonUsage  StrategyUsage
 	// Cents is the estimated spend under the client's hosted pricing;
 	// Priced reports whether a price entry exists for the model.
 	Cents  float64
 	Priced bool
+}
+
+// StrategyUsage accounts one prompt strategy's share of a Resolve
+// call (or, in Stats, of the store's lifetime).
+type StrategyUsage struct {
+	// Calls is the number of fresh client round-trips the strategy
+	// issued; cache-served answers cost none, and a grouped or batched
+	// prompt counts once however many pairs rode it.
+	Calls int
+	// Pairs is the number of pair decisions the strategy produced.
+	Pairs int
+	// PromptTokens and CompletionTokens sum the strategy's share of
+	// the LLM usage.
+	PromptTokens     int
+	CompletionTokens int
 }
 
 // LocalFraction returns the fraction of candidate pairs decided

@@ -115,11 +115,16 @@ func (s *Store) installSnapshot(snap *persist.Snapshot) error {
 		llmPairs:         uint64(snap.Totals.LLMPairs),
 		batchedPairs:     uint64(snap.Totals.BatchedPairs),
 		batchFallbacks:   uint64(snap.Totals.BatchFallbacks),
+		groupFallbacks:   uint64(snap.Totals.GroupFallbacks),
 		budgetDecided:    uint64(snap.Totals.BudgetDecided),
 		journalHits:      uint64(snap.Totals.JournalHits),
 		promptTokens:     uint64(snap.Totals.PromptTokens),
 		completionTokens: uint64(snap.Totals.CompletionTokens),
 		cents:            snap.Totals.Cents,
+		match:            strategyTotalsOf(snap.Totals.MatchStrategy),
+		compare:          strategyTotalsOf(snap.Totals.CompareStrategy),
+		sel:              strategyTotalsOf(snap.Totals.SelectStrategy),
+		reason:           strategyTotalsOf(snap.Totals.ReasonStrategy),
 	}
 	s.pstate.recoveredRecords += len(snap.Records)
 	s.pstate.recoveredDecisions += len(snap.Journal)
@@ -183,11 +188,55 @@ func (s *Store) applyReport(r persist.ReportEntry) {
 	s.totals.llmPairs += uint64(r.LLMPairs)
 	s.totals.batchedPairs += uint64(r.BatchedPairs)
 	s.totals.batchFallbacks += uint64(r.BatchFallbacks)
+	s.totals.groupFallbacks += uint64(r.GroupFallbacks)
 	s.totals.budgetDecided += uint64(r.BudgetDecided)
 	s.totals.journalHits += uint64(r.JournalHits)
 	s.totals.promptTokens += uint64(r.PromptTokens)
 	s.totals.completionTokens += uint64(r.CompletionTokens)
 	s.totals.cents += r.Cents
+	s.totals.match.add(strategyUsageOf(r.MatchStrategy))
+	s.totals.compare.add(strategyUsageOf(r.CompareStrategy))
+	s.totals.sel.add(strategyUsageOf(r.SelectStrategy))
+	s.totals.reason.add(strategyUsageOf(r.ReasonStrategy))
+}
+
+// strategyEntryOf, strategyUsageOf and strategyTotalsOf convert
+// between the journal's StrategyEntry and the in-memory per-call and
+// lifetime strategy accounting.
+func strategyEntryOf(u StrategyUsage) persist.StrategyEntry {
+	return persist.StrategyEntry{
+		Calls:            u.Calls,
+		Pairs:            u.Pairs,
+		PromptTokens:     u.PromptTokens,
+		CompletionTokens: u.CompletionTokens,
+	}
+}
+
+func strategyUsageOf(e persist.StrategyEntry) StrategyUsage {
+	return StrategyUsage{
+		Calls:            e.Calls,
+		Pairs:            e.Pairs,
+		PromptTokens:     e.PromptTokens,
+		CompletionTokens: e.CompletionTokens,
+	}
+}
+
+func strategyTotalsOf(e persist.StrategyEntry) StrategyTotals {
+	return StrategyTotals{
+		Calls:            uint64(e.Calls),
+		Pairs:            uint64(e.Pairs),
+		PromptTokens:     uint64(e.PromptTokens),
+		CompletionTokens: uint64(e.CompletionTokens),
+	}
+}
+
+func strategyEntryOfTotals(t StrategyTotals) persist.StrategyEntry {
+	return persist.StrategyEntry{
+		Calls:            int(t.Calls),
+		Pairs:            int(t.Pairs),
+		PromptTokens:     int(t.PromptTokens),
+		CompletionTokens: int(t.CompletionTokens),
+	}
 }
 
 // appendRecordLocked journals one ingested record. Caller holds
@@ -223,6 +272,11 @@ func (s *Store) appendResolveLocked(q entity.Record, decisions []persist.Decisio
 			Cents:            report.Cents,
 			BatchedPairs:     report.BatchedPairs,
 			BatchFallbacks:   report.BatchFallbacks,
+			GroupFallbacks:   report.GroupFallbacks,
+			MatchStrategy:    strategyEntryOf(report.MatchUsage),
+			CompareStrategy:  strategyEntryOf(report.CompareUsage),
+			SelectStrategy:   strategyEntryOf(report.SelectUsage),
+			ReasonStrategy:   strategyEntryOf(report.ReasonUsage),
 		},
 	})
 	if err != nil {
@@ -291,6 +345,11 @@ func (s *Store) checkpointLocked() error {
 		Cents:            t.cents,
 		BatchedPairs:     int(t.batchedPairs),
 		BatchFallbacks:   int(t.batchFallbacks),
+		GroupFallbacks:   int(t.groupFallbacks),
+		MatchStrategy:    strategyEntryOfTotals(t.match),
+		CompareStrategy:  strategyEntryOfTotals(t.compare),
+		SelectStrategy:   strategyEntryOfTotals(t.sel),
+		ReasonStrategy:   strategyEntryOfTotals(t.reason),
 	}
 	var t0 time.Time
 	if tel := s.opts.Telemetry; tel != nil && tel.Persist.SnapshotSeconds != nil {

@@ -34,7 +34,6 @@ import (
 	"time"
 
 	"llm4em/internal/blocking"
-	"llm4em/internal/core"
 	"llm4em/internal/cost"
 	"llm4em/internal/dispatch"
 	"llm4em/internal/entity"
@@ -359,11 +358,34 @@ type totals struct {
 	llmPairs         uint64
 	batchedPairs     uint64
 	batchFallbacks   uint64
+	groupFallbacks   uint64
 	budgetDecided    uint64
 	journalHits      uint64
 	promptTokens     uint64
 	completionTokens uint64
 	cents            float64
+	match            StrategyTotals
+	compare          StrategyTotals
+	sel              StrategyTotals
+	reason           StrategyTotals
+}
+
+// StrategyTotals accumulates one prompt strategy's lifetime share of
+// the store's LLM activity — the uint64 counterpart of the per-call
+// StrategyUsage.
+type StrategyTotals struct {
+	Calls            uint64
+	Pairs            uint64
+	PromptTokens     uint64
+	CompletionTokens uint64
+}
+
+// add folds one call's strategy usage into the lifetime totals.
+func (t *StrategyTotals) add(u StrategyUsage) {
+	t.Calls += uint64(u.Calls)
+	t.Pairs += uint64(u.Pairs)
+	t.PromptTokens += uint64(u.PromptTokens)
+	t.CompletionTokens += uint64(u.CompletionTokens)
 }
 
 // New returns an empty store resolving against the client.
@@ -771,80 +793,31 @@ func (s *Store) ResolveContext(ctx context.Context, q entity.Record) (Result, er
 }
 
 // escalate sends the planned uncertain pairs to the LLM and fills
-// their decisions and the report's LLM accounting. With the
-// micro-batching dispatcher enabled the pairs ride shared batched
-// prompts (possibly alongside other concurrent Resolve calls);
-// otherwise each pair is one engine request on the worker pool. The
-// cascade plan has already applied LLMBudget and MaxCentsPerResolve,
-// so the dispatcher only changes how many round-trips the escalated
-// pairs cost, never which pairs are escalated.
+// their decisions and the report's LLM accounting, honoring the
+// configured Cascade.Strategy and reason tier (see escalator). With
+// the micro-batching dispatcher enabled, pairwise prompts ride shared
+// batched prompts (possibly alongside other concurrent Resolve
+// calls); otherwise each request runs on the engine's worker pool.
+// The cascade plan has already applied LLMBudget and
+// MaxCentsPerResolve, so the strategy only changes how many
+// round-trips the escalated pairs cost, never which pairs are
+// escalated.
 //
 // The returned duration sums the model-side latency the answers
-// report (a batched answer reports its share of the batch request),
-// letting the stage observer split the escalation wall-clock into
-// model time and dispatch wait.
+// report (a batched or grouped answer reports its share of the shared
+// request), letting the stage observer split the escalation
+// wall-clock into model time and dispatch wait.
 func (s *Store) escalate(pairs []entity.Pair, spec prompt.Spec, plan *cascadePlan) (time.Duration, error) {
-	accountUsage := func(promptTokens, completionTokens int) {
-		plan.report.PromptTokens += promptTokens
-		plan.report.CompletionTokens += completionTokens
-		if s.priced {
-			plan.report.Cents += cost.PerPromptCents(s.pricing,
-				float64(promptTokens), float64(completionTokens))
-		}
+	esc := &escalator{
+		eng:     s.eng,
+		disp:    s.disp,
+		opts:    s.opts.Cascade,
+		spec:    spec,
+		domain:  s.opts.Domain,
+		pricing: s.pricing,
+		priced:  s.priced,
 	}
-
-	var modelLat time.Duration
-	if s.disp != nil {
-		results, err := s.disp.DoAll(pairs)
-		if err != nil {
-			return 0, err
-		}
-		batchesSeen := map[uint64]bool{}
-		for i, r := range results {
-			d := &plan.decisions[plan.llm[i]]
-			d.Match = r.Match
-			d.Method = MethodLLM
-			d.Answer = r.Answer
-			d.Cached = r.Cached
-			d.Batched = r.Batched
-			plan.report.LLMPairs++
-			if r.Cached {
-				plan.report.CacheHits++
-			}
-			if r.Batched {
-				plan.report.BatchedPairs++
-				if !batchesSeen[r.BatchID] {
-					batchesSeen[r.BatchID] = true
-					plan.report.Batches++
-				}
-			}
-			if r.FellBack {
-				plan.report.BatchFallbacks++
-			}
-			modelLat += r.Usage.Latency
-			accountUsage(r.Usage.PromptTokens, r.Usage.CompletionTokens)
-		}
-		return modelLat, nil
-	}
-
-	decided, err := s.eng.Match(pairs, spec.Build, core.ParseAnswer)
-	if err != nil {
-		return 0, err
-	}
-	for i, pd := range decided {
-		d := &plan.decisions[plan.llm[i]]
-		d.Match = pd.Match
-		d.Method = MethodLLM
-		d.Answer = pd.Answer
-		d.Cached = pd.Cached
-		plan.report.LLMPairs++
-		if pd.Cached {
-			plan.report.CacheHits++
-		}
-		modelLat += pd.Usage.Latency
-		accountUsage(pd.Usage.PromptTokens, pd.Usage.CompletionTokens)
-	}
-	return modelLat, nil
+	return esc.run(pairs, plan)
 }
 
 // recordTotals folds one call's report into the lifetime counters.
@@ -858,11 +831,16 @@ func (s *Store) recordTotals(r CostReport) {
 	s.totals.llmPairs += uint64(r.LLMPairs)
 	s.totals.batchedPairs += uint64(r.BatchedPairs)
 	s.totals.batchFallbacks += uint64(r.BatchFallbacks)
+	s.totals.groupFallbacks += uint64(r.GroupFallbacks)
 	s.totals.budgetDecided += uint64(r.BudgetDecided)
 	s.totals.journalHits += uint64(r.JournalHits)
 	s.totals.promptTokens += uint64(r.PromptTokens)
 	s.totals.completionTokens += uint64(r.CompletionTokens)
 	s.totals.cents += r.Cents
+	s.totals.match.add(r.MatchUsage)
+	s.totals.compare.add(r.CompareUsage)
+	s.totals.sel.add(r.SelectUsage)
+	s.totals.reason.add(r.ReasonUsage)
 }
 
 // Entity returns the sorted member IDs of the entity containing the
@@ -905,6 +883,17 @@ type Stats struct {
 	// batched reply failed to parse.
 	BatchedPairs   uint64
 	BatchFallbacks uint64
+	// GroupFallbacks counts pairs re-answered by individual pairwise
+	// prompts after a grouped compare/select reply failed strict
+	// parsing.
+	GroupFallbacks uint64
+	// MatchStrategy, CompareStrategy, SelectStrategy and
+	// ReasonStrategy split the lifetime LLM activity by the prompt
+	// strategy that produced it (see StrategyUsage).
+	MatchStrategy   StrategyTotals
+	CompareStrategy StrategyTotals
+	SelectStrategy  StrategyTotals
+	ReasonStrategy  StrategyTotals
 	// JournalHits counts pairs decided from the durable decision
 	// journal of a persistent store.
 	JournalHits uint64
@@ -961,6 +950,11 @@ func (s *Store) Stats() Stats {
 		BudgetDecided:    t.budgetDecided,
 		BatchedPairs:     t.batchedPairs,
 		BatchFallbacks:   t.batchFallbacks,
+		GroupFallbacks:   t.groupFallbacks,
+		MatchStrategy:    t.match,
+		CompareStrategy:  t.compare,
+		SelectStrategy:   t.sel,
+		ReasonStrategy:   t.reason,
 		JournalHits:      t.journalHits,
 		PromptTokens:     t.promptTokens,
 		CompletionTokens: t.completionTokens,

@@ -93,6 +93,10 @@ func (o *stageObserver) finish(queryID string, report CostReport, err error) {
 	t.OutcomeLLM.Add(uint64(report.LLMPairs))
 	t.OutcomeBudget.Add(uint64(report.BudgetDecided))
 	t.OutcomeJournal.Add(uint64(report.JournalHits))
+	t.StrategyMatch.Add(uint64(report.MatchUsage.Calls))
+	t.StrategyCompare.Add(uint64(report.CompareUsage.Calls))
+	t.StrategySelect.Add(uint64(report.SelectUsage.Calls))
+	t.StrategyReason.Add(uint64(report.ReasonUsage.Calls))
 	t.MaybeLogSlow(o.tr.ID(), queryID, total, o.durs)
 }
 

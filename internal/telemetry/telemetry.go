@@ -119,6 +119,15 @@ type Telemetry struct {
 	OutcomeBudget  *Counter
 	OutcomeJournal *Counter
 	SlowResolves   *Counter
+	// Per-strategy LLM call counters
+	// (em_llm_calls_total{strategy=…}), labeled children of the same
+	// family as Pipeline.Calls: the unlabeled series counts every
+	// client request, the labeled ones split the resolve path's calls
+	// by the prompt strategy that issued them.
+	StrategyMatch   *Counter
+	StrategyCompare *Counter
+	StrategySelect  *Counter
+	StrategyReason  *Counter
 
 	// Per-subsystem instrument sets, handed by value into the
 	// instrumented packages.
@@ -165,6 +174,14 @@ func New(opts Options) *Telemetry {
 	t.OutcomeJournal = outcome("journal")
 	t.SlowResolves = reg.Counter("em_slow_resolves_total",
 		"Resolves exceeding the slow-resolve threshold")
+	strategy := func(name string) *Counter {
+		return reg.Counter("em_llm_calls_total",
+			"Requests that reached the LLM client", "strategy", name)
+	}
+	t.StrategyMatch = strategy("match")
+	t.StrategyCompare = strategy("compare")
+	t.StrategySelect = strategy("select")
+	t.StrategyReason = strategy("reason")
 
 	t.Blocking = BlockingMetrics{
 		Queries:           reg.Counter("em_blocking_queries_total", "Blocking index queries"),

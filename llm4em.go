@@ -133,16 +133,23 @@ type (
 	// prompt design, cascade, pipeline knobs).
 	StoreOptions = resolve.Options
 	// CascadeOptions tunes the cascade matcher's accept/reject
-	// thresholds and LLM/cost budgets.
+	// thresholds, LLM/cost budgets, and the prompt strategy for the
+	// uncertain band (Strategy, ReasonTier).
 	CascadeOptions = resolve.CascadeOptions
 	// ResolveResult is the outcome of resolving one query record.
 	ResolveResult = resolve.Result
 	// ResolveDecision is the outcome of one candidate pair within a
 	// Resolve call.
 	ResolveDecision = resolve.PairDecision
-	// CostReport accounts one Resolve call: cascade split and LLM
-	// spend.
+	// CostReport accounts one Resolve call: cascade split, LLM spend
+	// and per-strategy usage.
 	CostReport = resolve.CostReport
+	// StrategyUsage is one prompt strategy's share of a Resolve call's
+	// LLM activity inside a CostReport (calls, pairs, tokens).
+	StrategyUsage = resolve.StrategyUsage
+	// StrategyTotals is the lifetime counterpart of StrategyUsage
+	// inside StoreStats.
+	StrategyTotals = resolve.StrategyTotals
 	// StoreStats snapshots a store's lifetime counters.
 	StoreStats = resolve.Stats
 	// StoreDispatchStats snapshots the cross-request micro-batching
@@ -254,7 +261,26 @@ type (
 	Design = prompt.Design
 	// Spec fully describes a prompt to build.
 	Spec = prompt.Spec
+	// Strategy selects the prompt formulation for a query's uncertain
+	// candidate band: StrategyMatch (independent pairwise prompts),
+	// StrategyCompare or StrategySelect (one grouped prompt per
+	// escalated query). Set it via CascadeOptions.Strategy.
+	Strategy = prompt.Strategy
 )
+
+// Uncertain-band prompt strategies.
+const (
+	StrategyMatch   = prompt.StrategyMatch
+	StrategyCompare = prompt.StrategyCompare
+	StrategySelect  = prompt.StrategySelect
+)
+
+// Strategies returns the uncertain-band strategies in ablation order.
+func Strategies() []Strategy { return prompt.Strategies() }
+
+// ParseStrategy maps a flag value ("match", "compare", "select"; ""
+// selects StrategyMatch) to a Strategy.
+func ParseStrategy(name string) (Strategy, error) { return prompt.ParseStrategy(name) }
 
 // Designs returns the ten prompt designs of the study.
 func Designs() []Design { return prompt.Designs() }

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# docs_check.sh — CI documentation gate.
+#
+# 1. Every relative link in tracked *.md files must resolve to an
+#    existing file or directory.
+# 2. The emserve flag documentation must match the binary: every flag
+#    `emserve -help` prints is documented in docs/OPERATIONS.md, every
+#    flag the OPERATIONS table documents exists, and every
+#    parenthesized `(-flag)` reference in README.md names a real flag.
+# 3. The testable Example functions of the facade keep compiling and
+#    producing their pinned output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. relative markdown links -------------------------------------
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  while IFS= read -r link; do
+    [ -n "$link" ] || continue
+    case "$link" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    target=${link%%#*}   # drop the anchor
+    target=${target%% *} # drop a link title
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "docs_check: broken relative link in $md: ($link)" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done < <(git ls-files '*.md')
+
+# --- 2. emserve flag drift ------------------------------------------
+help=$(go run ./cmd/emserve -help 2>&1) || {
+  echo "docs_check: emserve -help failed:" >&2
+  printf '%s\n' "$help" >&2
+  exit 1
+}
+actual=$(printf '%s\n' "$help" | grep -oE '^  -[a-z-]+' | tr -d ' ' | sort)
+if [ -z "$actual" ]; then
+  echo "docs_check: could not parse any flags out of emserve -help" >&2
+  exit 1
+fi
+
+# Every real flag appears in the OPERATIONS reference table.
+while IFS= read -r f; do
+  if ! grep -qF -- "\`$f\`" docs/OPERATIONS.md; then
+    echo "docs_check: emserve flag $f is missing from docs/OPERATIONS.md" >&2
+    fail=1
+  fi
+done <<<"$actual"
+
+# Every flag the OPERATIONS table documents still exists.
+while IFS= read -r f; do
+  [ -n "$f" ] || continue
+  if ! grep -qxF -- "$f" <<<"$actual"; then
+    echo "docs_check: docs/OPERATIONS.md documents unknown emserve flag $f" >&2
+    fail=1
+  fi
+done < <(grep -oE '^\| `-[a-z-]+`' docs/OPERATIONS.md | grep -oE -- '-[a-z-]+' | sort -u)
+
+# Every parenthesized (`-flag`) reference in the README knob tables
+# names a real flag.
+while IFS= read -r f; do
+  [ -n "$f" ] || continue
+  if ! grep -qxF -- "$f" <<<"$actual"; then
+    echo "docs_check: README.md references unknown emserve flag $f" >&2
+    fail=1
+  fi
+done < <(grep -oE '\(`-[a-z-]+`\)' README.md | grep -oE -- '-[a-z-]+' | sort -u)
+
+# --- 3. the documented examples still run ---------------------------
+if ! go test . -run Example -count=1 >/dev/null; then
+  echo "docs_check: facade Example tests failed (go test . -run Example)" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs_check: FAILED" >&2
+  exit 1
+fi
+echo "docs_check: OK (links, emserve flag tables, examples)"
