@@ -29,6 +29,20 @@
 // json|text), and resolves slower than -slow-resolve emit one
 // structured exemplar line with the trace ID and per-stage durations.
 //
+// LLM escalations are fault-tolerant by default (-resilience): a
+// circuit breaker trips after repeated backend failures
+// (-breaker-failures, -breaker-cooldown) and a load shedder bounds
+// concurrent and queued escalations (-llm-concurrency, -llm-queue;
+// shed resolves answer 503 with Retry-After). While the breaker is
+// open — or a -resolve-timeout deadline expires mid-escalation — the
+// uncertain band is answered by the local scorer with decisions
+// marked "deferred", and a background re-escalator replays them
+// against the LLM once it recovers (-deferred-retry). GET /readyz
+// stays 200 but annotates the degraded mode; GET /stats reports
+// breaker state, shed counts and deferred queue depth under
+// "resilience". The -chaos-outage flag fails every LLM call for a
+// window after boot, for fault drills (scripts/chaos_smoke.sh).
+//
 // With -persist, the store is durable: records and match decisions
 // are journaled to a write-ahead log in the directory and compacted
 // into snapshots; restarting the server recovers the full state —
@@ -82,6 +96,7 @@ import (
 	"time"
 
 	"llm4em"
+	"llm4em/internal/chaos"
 	"llm4em/internal/datasets"
 	"llm4em/internal/entity"
 )
@@ -113,6 +128,14 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	slowResolve := flag.Duration("slow-resolve", time.Second, "resolve latency above which one structured exemplar line is logged (0 = disabled)")
+	resilienceOn := flag.Bool("resilience", true, "enable the fault-tolerance layer: circuit breaker, load shedding and deferred-decision degradation for LLM escalations")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive LLM failures that trip the circuit breaker (0 = default)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before the backend is probed again (0 = default)")
+	llmConcurrency := flag.Int("llm-concurrency", 0, "max concurrent LLM escalations before callers queue (0 = default)")
+	llmQueue := flag.Int("llm-queue", 0, "max queued LLM escalations before resolves are shed with 503 (0 = default)")
+	deferredRetry := flag.Duration("deferred-retry", 0, "poll interval for re-escalating deferred pairs once the breaker closes (0 = default)")
+	resolveTimeout := flag.Duration("resolve-timeout", 0, "per-request deadline for POST /resolve; expired escalations degrade to deferred local verdicts (0 = none)")
+	chaosOutage := flag.Duration("chaos-outage", 0, "chaos harness: fail every LLM call for this long after boot (0 = disabled)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -120,8 +143,17 @@ func main() {
 	slog.SetDefault(logger)
 	srvLog := logger.With("component", "emserve")
 
-	client, err := llm4em.NewModel(*model)
+	var client llm4em.Client
+	client, err = llm4em.NewModel(*model)
 	fail(err)
+	if *chaosOutage > 0 {
+		// The chaos wrapper sits between the store and the model, so an
+		// outage window exercises the real breaker/degradation path the
+		// way a hosted-API incident would.
+		wrapped := chaos.Wrap(client, chaos.ClientOptions{})
+		wrapped.OutageFor(*chaosOutage)
+		client = wrapped
+	}
 	strategy, err := llm4em.ParseStrategy(*strategyName)
 	fail(err)
 	design, err := llm4em.DesignByName(*designName)
@@ -156,6 +188,18 @@ func main() {
 		SnapshotEvery: *snapshotEvery,
 		SyncEvery:     *syncEvery,
 		Telemetry:     tel,
+		Resilience: llm4em.ResilienceOptions{
+			Enabled: *resilienceOn,
+			Breaker: llm4em.BreakerOptions{
+				ConsecutiveFailures: *breakerFailures,
+				Cooldown:            *breakerCooldown,
+			},
+			Shed: llm4em.ShedOptions{
+				MaxConcurrent: *llmConcurrency,
+				MaxQueue:      *llmQueue,
+			},
+			RetryInterval: *deferredRetry,
+		},
 		Cascade: llm4em.CascadeOptions{
 			AcceptAbove:        *accept,
 			RejectBelow:        *reject,
@@ -215,12 +259,26 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(handlerConfig{
-		store: store,
-		tel:   tel,
-		log:   logger.With("component", "http"),
-		ready: ready,
-	})}
+	if *chaosOutage > 0 {
+		srvLog.Warn("chaos outage window active: every LLM call fails", "duration", *chaosOutage)
+	}
+
+	// Slowloris-resistant server limits: a stalled client cannot pin a
+	// connection open indefinitely. Handlers that stream (none today)
+	// would need per-route overrides before raising these.
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: newHandler(handlerConfig{
+			store:          store,
+			tel:            tel,
+			log:            logger.With("component", "http"),
+			ready:          ready,
+			resolveTimeout: *resolveTimeout,
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +32,8 @@ type server struct {
 	tel   *llm4em.Telemetry
 	log   *slog.Logger
 	ready *atomic.Bool
+	// resolveTimeout bounds each POST /resolve; zero means unbounded.
+	resolveTimeout time.Duration
 
 	// statsMu/statsIn single-flight concurrent GET /stats calls: the
 	// snapshot walks every shard and several locks, so simultaneous
@@ -52,6 +55,12 @@ type handlerConfig struct {
 	log *slog.Logger
 	// ready gates GET /readyz; nil means always ready.
 	ready *atomic.Bool
+	// resolveTimeout caps each POST /resolve's wall clock (the
+	// -resolve-timeout flag); zero leaves requests unbounded. The
+	// deadline propagates through the store into in-flight LLM calls;
+	// with the resilience layer enabled an expired escalation degrades
+	// to a deferred local verdict instead of failing the request.
+	resolveTimeout time.Duration
 }
 
 // newHandler wires the endpoints onto a mux.
@@ -63,7 +72,8 @@ func newHandler(cfg handlerConfig) http.Handler {
 		cfg.ready = &atomic.Bool{}
 		cfg.ready.Store(true)
 	}
-	s := &server{store: cfg.store, tel: cfg.tel, log: cfg.log, ready: cfg.ready}
+	s := &server{store: cfg.store, tel: cfg.tel, log: cfg.log, ready: cfg.ready,
+		resolveTimeout: cfg.resolveTimeout}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /records", s.instrument("records", s.addRecords))
 	mux.HandleFunc("POST /resolve", s.instrument("resolve", s.resolve))
@@ -172,6 +182,7 @@ type decisionJSON struct {
 	Cached      bool    `json:"cached,omitempty"`
 	Batched     bool    `json:"batched,omitempty"`
 	Journaled   bool    `json:"journaled,omitempty"`
+	Deferred    bool    `json:"deferred,omitempty"`
 }
 
 type costJSON struct {
@@ -185,6 +196,7 @@ type costJSON struct {
 	BatchFallbacks   int          `json:"batch_fallbacks,omitempty"`
 	GroupFallbacks   int          `json:"group_fallbacks,omitempty"`
 	BudgetDecided    int          `json:"budget_decided"`
+	DeferredPairs    int          `json:"deferred_pairs,omitempty"`
 	JournalHits      int          `json:"journal_hits"`
 	PromptTokens     int          `json:"prompt_tokens"`
 	CompletionTokens int          `json:"completion_tokens"`
@@ -240,6 +252,7 @@ func fromCost(c llm4em.CostReport) costJSON {
 		BatchFallbacks:   c.BatchFallbacks,
 		GroupFallbacks:   c.GroupFallbacks,
 		BudgetDecided:    c.BudgetDecided,
+		DeferredPairs:    c.DeferredPairs,
 		JournalHits:      c.JournalHits,
 		PromptTokens:     c.PromptTokens,
 		CompletionTokens: c.CompletionTokens,
@@ -353,13 +366,26 @@ func (s *server) resolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
 		return
 	}
-	res, err := s.store.ResolveContext(r.Context(), body.toRecord())
+	ctx := r.Context()
+	if s.resolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.resolveTimeout)
+		defer cancel()
+	}
+	res, err := s.store.ResolveContext(ctx, body.toRecord())
 	if err != nil {
-		// Malformed queries are the caller's fault; anything else is a
-		// matching-backend failure.
+		// Malformed queries are the caller's fault, shed load asks the
+		// client to back off, an expired deadline is a gateway timeout;
+		// anything else is a matching-backend failure.
 		status := http.StatusBadGateway
-		if errors.Is(err, llm4em.ErrNoRecordID) {
+		switch {
+		case errors.Is(err, llm4em.ErrNoRecordID):
 			status = http.StatusBadRequest
+		case errors.Is(err, llm4em.ErrOverloaded):
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
 		}
 		writeError(w, status, err)
 		return
@@ -376,6 +402,7 @@ func (s *server) resolve(w http.ResponseWriter, r *http.Request) {
 			Cached:      d.Cached,
 			Batched:     d.Batched,
 			Journaled:   d.Journaled,
+			Deferred:    d.Deferred,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -491,6 +518,17 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 			"deadline_flushes":   st.Dispatch.DeadlineFlushes,
 			"drain_flushes":      st.Dispatch.DrainFlushes,
 		},
+		"resilience": map[string]any{
+			"enabled":        st.Resilience.Enabled,
+			"breaker_state":  st.Resilience.BreakerState,
+			"breaker_trips":  st.Resilience.BreakerTrips,
+			"shed":           st.Resilience.Shed,
+			"in_flight":      st.Resilience.InFlight,
+			"waiting":        st.Resilience.Waiting,
+			"deferred_queue": st.Resilience.DeferredQueue,
+			"deferred_pairs": st.Resilience.DeferredPairs,
+			"redecided":      st.Resilience.Redecided,
+		},
 		"persist": map[string]any{
 			"enabled":             st.Persist.Enabled,
 			"dir":                 st.Persist.Dir,
@@ -547,12 +585,20 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 
 // readyz handles GET /readyz: 200 once recovery/preload finished and
 // the store is live — the gate for load balancers and rollout probes.
+// A store serving degraded (LLM breaker open, uncertain pairs
+// answered locally and deferred) stays ready — pulling the replica
+// would turn a partial outage into a total one — but the response is
+// annotated so operators and rollout tooling can see the mode.
 func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() || !s.store.Live() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	body := map[string]string{"status": "ready"}
+	if mode := s.store.Degraded(); mode != "" {
+		body["degraded"] = mode
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,405 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"llm4em/internal/chaos"
+	"llm4em/internal/entity"
+	"llm4em/internal/llm"
+	"llm4em/internal/persist"
+	"llm4em/internal/pipeline"
+	"llm4em/internal/resilience"
+	"llm4em/internal/resolve"
+)
+
+func rec(id, title string) entity.Record {
+	return entity.Record{ID: id, Attrs: []entity.Attr{{Name: "title", Value: title}}}
+}
+
+// matchClient is the healthy deterministic backend under the chaos
+// wrapper: it answers Yes when the pairwise prompt shows the shared
+// "sameent" marker on both sides, No otherwise.
+type matchClient struct {
+	calls atomic.Int64
+}
+
+func (c *matchClient) Name() string { return "match-sim" }
+
+func (c *matchClient) Chat(messages []llm.Message) (llm.Response, error) {
+	c.calls.Add(1)
+	prompt := messages[len(messages)-1].Content
+	answer := "No."
+	if strings.Count(prompt, "sameent") >= 2 {
+		answer = "Yes."
+	}
+	return llm.Response{Content: answer, PromptTokens: len(prompt) / 4, CompletionTokens: 2}, nil
+}
+
+// --- chaos client ---
+
+// TestClientDeterminism pins the seeded fault schedule: two wrappers
+// with the same seed and rates inject the identical fault sequence,
+// which is what lets a chaos run be replayed and compared against a
+// reference.
+func TestClientDeterminism(t *testing.T) {
+	opts := chaos.ClientOptions{Seed: 7, FailRate: 0.3, MalformedRate: 0.2}
+	trace := func() []string {
+		c := chaos.Wrap(&matchClient{}, opts)
+		msgs := []llm.Message{{Role: llm.User, Content: "sameent sameent"}}
+		var out []string
+		for i := 0; i < 50; i++ {
+			resp, err := c.Chat(msgs)
+			switch {
+			case err != nil:
+				out = append(out, "fail")
+			case resp.Content == "Yes.":
+				out = append(out, "ok")
+			default:
+				out = append(out, "malformed")
+			}
+		}
+		return out
+	}
+	a, b := trace(), trace()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault schedule not deterministic:\n%v\n%v", a, b)
+	}
+	joined := strings.Join(a, ",")
+	for _, want := range []string{"fail", "ok", "malformed"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("50 calls at 30/20 rates injected no %q", want)
+		}
+	}
+}
+
+// TestClientOutageAndRetryAfter checks the outage lever and the
+// retry hint on injected transient errors.
+func TestClientOutageAndRetryAfter(t *testing.T) {
+	inner := &matchClient{}
+	c := chaos.Wrap(inner, chaos.ClientOptions{RetryAfter: 250 * time.Millisecond})
+	msgs := []llm.Message{{Role: llm.User, Content: "x"}}
+
+	c.SetOutage(true)
+	_, err := c.Chat(msgs)
+	if !errors.Is(err, pipeline.ErrTransient) {
+		t.Fatalf("outage error not transient: %v", err)
+	}
+	if d, ok := pipeline.RetryAfter(err); !ok || d != 250*time.Millisecond {
+		t.Fatalf("RetryAfter hint = %v,%v; want 250ms,true", d, ok)
+	}
+	if inner.calls.Load() != 0 {
+		t.Fatalf("outage call reached the inner client")
+	}
+	if got := c.Injected().Outaged; got != 1 {
+		t.Fatalf("Outaged = %d, want 1", got)
+	}
+
+	c.SetOutage(false)
+	if _, err := c.Chat(msgs); err != nil {
+		t.Fatalf("call after outage cleared: %v", err)
+	}
+}
+
+// TestClientHangHonoursContext checks that an injected hang unblocks
+// as soon as the caller's deadline expires — the property deadline
+// propagation relies on.
+func TestClientHangHonoursContext(t *testing.T) {
+	c := chaos.Wrap(&matchClient{}, chaos.ClientOptions{HangRate: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.ChatContext(ctx, []llm.Message{{Role: llm.User, Content: "x"}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang returned %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hang outlived the deadline by %v", elapsed)
+	}
+}
+
+// --- chaos filesystem: WAL write-path failures (satellite 4) ---
+
+// seedStore opens a persistent store over fsys with two records
+// added one at a time, so the WAL write ordinals are fixed: writes 1
+// and 2 are the record entries, write 3 is the first resolve's
+// decision entry.
+func seedStore(t *testing.T, dir string, fsys persist.FS, opts resolve.Options) *resolve.Store {
+	t.Helper()
+	opts.PersistDir = dir
+	opts.WALFS = fsys
+	s, err := resolve.Open(&matchClient{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(rec("r1", "alpha beta sameent0001")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(rec("r2", "gamma delta other0001")); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// reopenJournal reopens dir over the real filesystem and returns the
+// final journal keyed query|candidate — the durable prefix a restart
+// would see.
+func reopenJournal(t *testing.T, dir string) map[string]persist.DecisionEntry {
+	t.Helper()
+	s, err := resolve.Open(&matchClient{}, resolve.Options{PersistDir: dir})
+	if err != nil {
+		t.Fatalf("store not reopenable: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok, err := persist.ReadSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("ReadSnapshot: ok=%v err=%v", ok, err)
+	}
+	m := map[string]persist.DecisionEntry{}
+	for _, j := range snap.Journal {
+		m[j.QueryID+"|"+j.CandidateID] = j
+	}
+	return m
+}
+
+// TestWALFsyncError injects an fsync failure and checks it surfaces
+// as the typed durability error while the store itself stays usable
+// and reopenable.
+func TestWALFsyncError(t *testing.T) {
+	dir := t.TempDir()
+	fsys := chaos.NewFS(chaos.FSOptions{FailSyncAt: 1})
+	s := seedStore(t, dir, fsys, resolve.Options{})
+
+	if _, err := s.Resolve(rec("q1", "alpha beta sameent0001")); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	err := s.Flush()
+	if !errors.Is(err, persist.ErrWALWrite) {
+		t.Fatalf("Flush after injected fsync failure = %v, want ErrWALWrite", err)
+	}
+	// The failure was transient: the next fsync lands everything.
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush retry: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j := reopenJournal(t, dir)
+	if d, ok := j["q1|r1"]; !ok || !d.Match {
+		t.Fatalf("decision q1|r1 not durable after fsync recovery: %+v ok=%v", d, ok)
+	}
+}
+
+// TestWALShortWrite injects a short write on the resolve append: the
+// call must fail with the typed error, the log must roll back to the
+// previous entry boundary, and the store must keep journaling and
+// stay reopenable from the durable prefix.
+func TestWALShortWrite(t *testing.T) {
+	testWALAppendFault(t, chaos.FSOptions{ShortWriteAt: 3})
+}
+
+// TestWALENOSPC is the same contract when the append fails up front
+// with a full disk.
+func TestWALENOSPC(t *testing.T) {
+	testWALAppendFault(t, chaos.FSOptions{ENOSPCAt: 3})
+}
+
+func testWALAppendFault(t *testing.T, faults chaos.FSOptions) {
+	dir := t.TempDir()
+	fsys := chaos.NewFS(faults)
+	s := seedStore(t, dir, fsys, resolve.Options{})
+
+	// Write 3: the decision entry hits the injected fault.
+	_, err := s.Resolve(rec("q1", "alpha beta sameent0001"))
+	if !errors.Is(err, persist.ErrWALWrite) {
+		t.Fatalf("resolve over faulted append = %v, want ErrWALWrite", err)
+	}
+	// The log rolled back cleanly, so the store keeps accepting work.
+	if _, err := s.Resolve(rec("q2", "gamma delta other0001")); err != nil {
+		t.Fatalf("resolve after rollback: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j := reopenJournal(t, dir)
+	if _, ok := j["q1|r1"]; ok {
+		t.Errorf("failed append q1|r1 reappeared after reopen")
+	}
+	if d, ok := j["q2|r2"]; !ok || !d.Match {
+		t.Errorf("post-rollback decision q2|r2 not durable: %+v ok=%v", d, ok)
+	}
+}
+
+// --- differential chaos run (tentpole part d) ---
+
+// chaosResilience trips the breaker on the first failure and retries
+// deferred pairs every couple of milliseconds, so outage tests
+// converge fast.
+func chaosResilience() resolve.ResilienceOptions {
+	return resolve.ResilienceOptions{
+		Enabled: true,
+		Breaker: resilience.BreakerOptions{
+			ConsecutiveFailures: 1,
+			Cooldown:            time.Millisecond,
+		},
+		RetryInterval: 2 * time.Millisecond,
+	}
+}
+
+// TestOutageDifferential is the acceptance check for graceful
+// degradation: under a full injected LLM outage every resolve
+// returns a local verdict marked Deferred with no surfaced error;
+// after the outage clears, the re-escalator drains the queue and the
+// final durable journal and entity groups are byte-identical to an
+// uninterrupted run over the same inputs.
+func TestOutageDifferential(t *testing.T) {
+	var seed []entity.Record
+	var queries []entity.Record
+	for i := 0; i < 8; i++ {
+		marker := "sameent"
+		if i%2 == 1 {
+			marker = "other"
+		}
+		seed = append(seed, rec(fmt.Sprintf("r%02d", i),
+			fmt.Sprintf("alpha beta %s%04d", marker, i)))
+		queries = append(queries, rec(fmt.Sprintf("q%02d", i),
+			fmt.Sprintf("alpha beta sameent%04d", i)))
+	}
+
+	run := func(dir string, outage bool) *persist.Snapshot {
+		wrapped := chaos.Wrap(&matchClient{}, chaos.ClientOptions{Seed: 42})
+		s, err := resolve.Open(wrapped, resolve.Options{
+			Cascade:    resolve.CascadeOptions{Disable: true},
+			PersistDir: dir,
+			Resilience: chaosResilience(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddBatch(seed); err != nil {
+			t.Fatal(err)
+		}
+		wrapped.SetOutage(outage)
+		for _, q := range queries {
+			res, err := s.Resolve(q)
+			if err != nil {
+				t.Fatalf("resolve %s: %v", q.ID, err)
+			}
+			if !outage {
+				continue
+			}
+			// 100% of escalations degrade: every decision is a local
+			// verdict explicitly marked deferred.
+			for _, d := range res.Decisions {
+				if !d.Deferred || d.Method != resolve.MethodDeferred {
+					t.Fatalf("resolve %s under outage: decision %s method=%s deferred=%v",
+						q.ID, d.CandidateID, d.Method, d.Deferred)
+				}
+			}
+		}
+		if outage {
+			st := s.Stats().Resilience
+			if st.BreakerState != "open" {
+				t.Fatalf("breaker %s during outage, want open", st.BreakerState)
+			}
+			if st.DeferredQueue == 0 || st.DeferredPairs == 0 {
+				t.Fatalf("no deferred pairs queued during outage: %+v", st)
+			}
+			if wrapped.Injected().Outaged == 0 {
+				t.Fatalf("chaos client injected no outage failures")
+			}
+			wrapped.SetOutage(false)
+			deadline := time.Now().Add(5 * time.Second)
+			for s.Stats().Resilience.DeferredQueue != 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("deferred queue never drained: %+v", s.Stats().Resilience)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if got := s.Stats().Resilience.Redecided; got == 0 {
+				t.Fatalf("queue drained but nothing re-decided")
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		snap, ok, err := persist.ReadSnapshot(dir)
+		if err != nil || !ok {
+			t.Fatalf("ReadSnapshot: ok=%v err=%v", ok, err)
+		}
+		return snap
+	}
+
+	healthy := run(t.TempDir(), false)
+	recovered := run(t.TempDir(), true)
+
+	if !reflect.DeepEqual(healthy.Groups, recovered.Groups) {
+		t.Errorf("groups diverged:\nhealthy:   %v\nrecovered: %v",
+			healthy.Groups, recovered.Groups)
+	}
+	toMap := func(js []persist.DecisionEntry) map[string]persist.DecisionEntry {
+		m := map[string]persist.DecisionEntry{}
+		for _, j := range js {
+			m[j.QueryID+"|"+j.CandidateID] = j
+		}
+		return m
+	}
+	hj, rj := toMap(healthy.Journal), toMap(recovered.Journal)
+	if !reflect.DeepEqual(hj, rj) {
+		t.Errorf("journals diverged:\nhealthy:   %v\nrecovered: %v", hj, rj)
+	}
+	if len(recovered.Deferred) != 0 {
+		t.Errorf("recovered snapshot still carries %d deferred pairs", len(recovered.Deferred))
+	}
+}
+
+// TestFaultMixStillConverges runs the richer fault mix — transient
+// errors, malformed replies, latency spikes — on top of the
+// resilience layer and checks that every resolve still completes
+// without a surfaced error and the store drains to a steady state.
+func TestFaultMixStillConverges(t *testing.T) {
+	wrapped := chaos.Wrap(&matchClient{}, chaos.ClientOptions{
+		Seed:          11,
+		FailRate:      0.2,
+		MalformedRate: 0.1,
+		LatencyRate:   0.2,
+		LatencySpike:  time.Millisecond,
+	})
+	s := resolve.New(wrapped, resolve.Options{
+		Cascade:    resolve.CascadeOptions{Disable: true},
+		Resilience: chaosResilience(),
+	})
+	defer s.Close()
+	for i := 0; i < 6; i++ {
+		if err := s.Add(rec(fmt.Sprintf("r%02d", i),
+			fmt.Sprintf("alpha beta sameent%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		res, err := s.Resolve(rec(fmt.Sprintf("q%02d", i),
+			fmt.Sprintf("alpha beta sameent%04d", i)))
+		if err != nil {
+			t.Fatalf("resolve under fault mix: %v", err)
+		}
+		if len(res.Decisions) == 0 {
+			t.Fatalf("resolve q%02d produced no decisions", i)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Resilience.DeferredQueue != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("deferred queue never drained: %+v", s.Stats().Resilience)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -31,6 +31,7 @@
 package dispatch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -254,6 +255,14 @@ func (d *Dispatcher) Do(pair entity.Pair) (Result, error) {
 // (shared with other concurrent callers), by the prompt cache, or by
 // per-pair fallbacks; the first error of any of them is returned.
 func (d *Dispatcher) DoAll(pairs []entity.Pair) ([]Result, error) {
+	return d.DoAllContext(context.Background(), pairs)
+}
+
+// DoAllContext is DoAll with cancellation. A batch is shared with
+// other callers, so an expired context abandons this caller's wait —
+// the batch itself keeps executing in the background and its answers
+// still seed the prompt cache — and the context error is returned.
+func (d *Dispatcher) DoAllContext(ctx context.Context, pairs []entity.Pair) ([]Result, error) {
 	if len(pairs) == 0 {
 		return nil, nil
 	}
@@ -318,7 +327,18 @@ func (d *Dispatcher) DoAll(pairs []entity.Pair) ([]Result, error) {
 			continue
 		}
 		c := calls[i]
-		<-c.ready
+		if done := ctx.Done(); done != nil {
+			select {
+			case <-c.ready:
+			case <-done:
+				if firstErr == nil {
+					firstErr = ctx.Err()
+				}
+				continue
+			}
+		} else {
+			<-c.ready
+		}
 		if c.err != nil {
 			if firstErr == nil {
 				firstErr = c.err

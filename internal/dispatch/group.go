@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"context"
 	"fmt"
 
 	"llm4em/internal/core"
@@ -40,6 +41,12 @@ type GroupSpec struct {
 // strict parser rejects falls back to individual per-pair prompts for
 // the whole group. Returns ErrClosed after Close.
 func (d *Dispatcher) DoGroup(pairs []entity.Pair, spec GroupSpec) ([]Result, error) {
+	return d.DoGroupContext(context.Background(), pairs, spec)
+}
+
+// DoGroupContext is DoGroup with cancellation: the context bounds the
+// grouped round-trip and any per-pair fallback calls it degrades to.
+func (d *Dispatcher) DoGroupContext(ctx context.Context, pairs []entity.Pair, spec GroupSpec) ([]Result, error) {
 	if len(pairs) == 0 {
 		return nil, nil
 	}
@@ -53,7 +60,7 @@ func (d *Dispatcher) DoGroup(pairs []entity.Pair, spec GroupSpec) ([]Result, err
 	d.mu.Unlock()
 	defer d.wg.Done()
 
-	out, err := RunGroup(d.eng, d.buildPair, pairs, spec)
+	out, err := RunGroupContext(ctx, d.eng, d.buildPair, pairs, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -89,6 +96,11 @@ func (d *Dispatcher) DoGroup(pairs []entity.Pair, spec GroupSpec) ([]Result, err
 // order; the first error of the group request or any fallback request
 // fails the whole group.
 func RunGroup(eng *pipeline.Engine, buildPair func(entity.Pair) string, pairs []entity.Pair, spec GroupSpec) ([]Result, error) {
+	return RunGroupContext(context.Background(), eng, buildPair, pairs, spec)
+}
+
+// RunGroupContext is RunGroup with cancellation.
+func RunGroupContext(ctx context.Context, eng *pipeline.Engine, buildPair func(entity.Pair) string, pairs []entity.Pair, spec GroupSpec) ([]Result, error) {
 	out := make([]Result, len(pairs))
 	keys := make([]string, len(pairs))
 	var remaining []int
@@ -113,7 +125,7 @@ func RunGroup(eng *pipeline.Engine, buildPair func(entity.Pair) string, pairs []
 	for j, i := range remaining {
 		group[j] = pairs[i]
 	}
-	resp, groupCached, err := eng.Complete(spec.Build(group))
+	resp, groupCached, err := eng.CompleteContext(ctx, spec.Build(group))
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: group of %d: %w", len(group), err)
 	}
@@ -126,7 +138,7 @@ func RunGroup(eng *pipeline.Engine, buildPair func(entity.Pair) string, pairs []
 		errs := make([]error, len(remaining))
 		_ = pipeline.ForEach(len(remaining), eng.Workers(), func(j int) error {
 			i := remaining[j]
-			presp, pcached, perr := eng.Complete(keys[i])
+			presp, pcached, perr := eng.CompleteContext(ctx, keys[i])
 			if perr != nil {
 				errs[j] = fmt.Errorf("dispatch: pair %s: %w", pairs[i].ID, perr)
 				return nil

@@ -23,6 +23,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -69,6 +70,31 @@ type Client interface {
 	// to 0 throughout the study (Section 2), so generation is
 	// deterministic.
 	Chat(messages []Message) (Response, error)
+}
+
+// ContextClient is the optional context-aware extension of Client.
+// Implementations honour cancellation and deadlines on ctx, returning
+// ctx.Err() for work abandoned in flight. Hosted HTTP clients should
+// implement it so per-resolve deadlines actually cancel requests; the
+// local simulations are instant, so they don't need to.
+type ContextClient interface {
+	Client
+	// ChatContext is Chat with cancellation.
+	ChatContext(ctx context.Context, messages []Message) (Response, error)
+}
+
+// ChatContext issues one chat request through c, using ChatContext
+// when c implements it and otherwise checking ctx before falling back
+// to the uncancellable Chat. It is the single seam every caller that
+// holds a context goes through.
+func ChatContext(ctx context.Context, c Client, messages []Message) (Response, error) {
+	if cc, ok := c.(ContextClient); ok {
+		return cc.ChatContext(ctx, messages)
+	}
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	return c.Chat(messages)
 }
 
 // ErrEmptyConversation is returned by Chat when no user message is

@@ -24,6 +24,10 @@ type DecisionEntry struct {
 	Match       bool    `json:"match"`
 	Method      string  `json:"method"`
 	Answer      string  `json:"answer,omitempty"`
+	// Deferred marks a tentative local verdict recorded while the LLM
+	// backend was unavailable; a later EntryRedecide replaces it with
+	// the healthy-path decision. Absent in older logs.
+	Deferred bool `json:"deferred,omitempty"`
 }
 
 // ReportEntry carries one resolve call's cost accounting so replay
@@ -44,6 +48,10 @@ type ReportEntry struct {
 	// and the zero default keep old and new builds interchangeable.
 	BatchedPairs   int `json:"batched_pairs,omitempty"`
 	BatchFallbacks int `json:"batch_fallbacks,omitempty"`
+	// DeferredPairs counts pairs this resolve degraded to their local
+	// verdict because the LLM backend was unavailable. Absent in older
+	// logs.
+	DeferredPairs int `json:"deferred_pairs,omitempty"`
 	// Strategy accounting of the tiered prompt strategies. Like the
 	// batch fields, absent in older logs and zero-defaulted, so old
 	// and new builds stay interchangeable. The per-decision strategy
@@ -74,6 +82,29 @@ type ResolveEntry struct {
 	Report    ReportEntry     `json:"report"`
 }
 
+// RedecideEntry is the payload of an EntryRedecide: the background
+// re-escalator's healthy-path decision for a pair deferred by an
+// earlier resolve, plus the usage it cost. Replay overwrites the
+// pair's journal entry, folds the match into the entity graph, and
+// removes the pair from the rebuilt deferred queue.
+type RedecideEntry struct {
+	QueryID          string        `json:"query_id"`
+	Decision         DecisionEntry `json:"decision"`
+	PromptTokens     int           `json:"prompt_tokens,omitempty"`
+	CompletionTokens int           `json:"completion_tokens,omitempty"`
+	Cents            float64       `json:"cents,omitempty"`
+}
+
+// DeferredEntry is one pair awaiting re-escalation inside a snapshot.
+// The journal keeps only the decision; re-escalation needs the full
+// query record to rebuild the pair's prompt, so snapshots carry it.
+type DeferredEntry struct {
+	Query       entity.Record `json:"query"`
+	CandidateID string        `json:"candidate_id"`
+	BlockScore  float64       `json:"block_score"`
+	Probability float64       `json:"probability"`
+}
+
 // EncodeRecord frames a record for Append.
 func EncodeRecord(r entity.Record) ([]byte, error) {
 	return json.Marshal(RecordEntry{Record: r})
@@ -98,6 +129,20 @@ func DecodeResolve(payload []byte) (ResolveEntry, error) {
 	var e ResolveEntry
 	if err := json.Unmarshal(payload, &e); err != nil {
 		return ResolveEntry{}, fmt.Errorf("persist: decode resolve entry: %w", err)
+	}
+	return e, nil
+}
+
+// EncodeRedecide frames a re-escalated decision for Append.
+func EncodeRedecide(e RedecideEntry) ([]byte, error) {
+	return json.Marshal(e)
+}
+
+// DecodeRedecide parses an EntryRedecide payload.
+func DecodeRedecide(payload []byte) (RedecideEntry, error) {
+	var e RedecideEntry
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return RedecideEntry{}, fmt.Errorf("persist: decode redecide entry: %w", err)
 	}
 	return e, nil
 }

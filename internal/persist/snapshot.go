@@ -39,6 +39,14 @@ type Snapshot struct {
 	Totals ReportEntry `json:"totals"`
 	// Resolves is the lifetime resolve-call count.
 	Resolves uint64 `json:"resolves"`
+	// Redecided is the lifetime count of deferred pairs the background
+	// re-escalator has settled. Absent in older snapshots.
+	Redecided uint64 `json:"redecided,omitempty"`
+	// Deferred are the pairs still awaiting re-escalation when the
+	// snapshot was cut — the journal keeps only their tentative
+	// decisions, so the queue carries the query records needed to
+	// rebuild their prompts. Absent in older snapshots.
+	Deferred []DeferredEntry `json:"deferred,omitempty"`
 }
 
 // WriteSnapshot atomically replaces the snapshot in dir: the state is

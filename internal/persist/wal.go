@@ -44,6 +44,12 @@ const (
 	// EntryResolve is one resolve call's fresh decisions and cost
 	// accounting (ResolveEntry).
 	EntryResolve EntryType = 2
+	// EntryRedecide is the background re-escalator's final decision for
+	// a pair that an earlier EntryResolve deferred during degraded mode
+	// (RedecideEntry). Replay overwrites the deferred journal entry with
+	// it; builds predating the resilience layer skip it as an unknown
+	// type.
+	EntryRedecide EntryType = 3
 )
 
 // Entry is one typed WAL payload.
@@ -67,12 +73,53 @@ const (
 // ErrClosed marks operations on a closed WAL.
 var ErrClosed = errors.New("persist: WAL is closed")
 
+// ErrWALWrite marks a failed WAL write path: a short write, an fsync
+// error, or a full disk (ENOSPC). Callers match it with errors.Is to
+// distinguish durability failures from logic errors; the store stays
+// reopenable from the last durable prefix — a failed append rolls the
+// file back to the previous entry boundary, and recovery's torn-tail
+// truncation covers the case where even the rollback failed.
+var ErrWALWrite = errors.New("persist: WAL write failed")
+
+// File is the handle the WAL writes through. *os.File satisfies it;
+// the chaos harness (internal/chaos) substitutes a fault-injecting
+// implementation to test the write path's failure behaviour.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS opens WAL files. The OS implementation is the default; tests
+// inject fault-wrapping ones.
+type FS interface {
+	// OpenFile opens path read-write, creating it if absent.
+	OpenFile(path string) (File, error)
+}
+
+type osFS struct{}
+
+func (osFS) OpenFile(path string) (File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+}
+
+// OS is the real-filesystem FS.
+var OS FS = osFS{}
+
 // WAL is an append-only log file. It is not safe for concurrent use;
 // callers serialize access (internal/resolve does).
 type WAL struct {
-	f       *os.File
+	f       File
 	entries uint64 // appended through this handle
 	bytes   int64  // current file size
+	// failed is set when a failed append could not be rolled back to
+	// the previous entry boundary: the in-memory offset no longer
+	// matches the file, so further appends would write after a torn
+	// frame and be silently dropped by the next recovery scan.
+	failed bool
 	// met instruments append and fsync latency; the zero value is
 	// disabled (SetMetrics wires it).
 	met telemetry.PersistMetrics
@@ -99,7 +146,12 @@ type Recovery struct {
 // valid entries and truncates any torn tail so subsequent Appends
 // extend a clean log.
 func OpenWAL(path string) (*WAL, Recovery, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWALFS(OS, path)
+}
+
+// OpenWALFS is OpenWAL over an injected filesystem.
+func OpenWALFS(fsys FS, path string) (*WAL, Recovery, error) {
+	f, err := fsys.OpenFile(path)
 	if err != nil {
 		return nil, Recovery{}, fmt.Errorf("persist: open WAL: %w", err)
 	}
@@ -123,7 +175,7 @@ func OpenWAL(path string) (*WAL, Recovery, error) {
 
 // scan reads frames from the start of f, returning the valid entries
 // and the byte offset where validity ends.
-func scan(f *os.File) (Recovery, int64, error) {
+func scan(f File) (Recovery, int64, error) {
 	size, err := f.Seek(0, io.SeekEnd)
 	if err != nil {
 		return Recovery{}, 0, fmt.Errorf("persist: size WAL: %w", err)
@@ -175,6 +227,9 @@ func (w *WAL) Append(t EntryType, payload []byte) error {
 	if w.f == nil {
 		return ErrClosed
 	}
+	if w.failed {
+		return fmt.Errorf("%w: log poisoned by an earlier unrecovered write failure", ErrWALWrite)
+	}
 	if int64(len(payload)) > maxPayload {
 		return fmt.Errorf("persist: entry payload %d bytes exceeds limit", len(payload))
 	}
@@ -189,8 +244,17 @@ func (w *WAL) Append(t EntryType, payload []byte) error {
 	sum := crc32.NewIEEE()
 	sum.Write(frame[:headerSize+len(payload)])
 	binary.LittleEndian.PutUint32(frame[headerSize+len(payload):], sum.Sum32())
-	if _, err := w.f.Write(frame); err != nil {
-		return fmt.Errorf("persist: append WAL entry: %w", err)
+	if n, err := w.f.Write(frame); err != nil {
+		// Roll the partial frame back to the previous entry boundary so
+		// the log stays append-clean; if even that fails, poison the
+		// handle — appending after a torn frame would be silently
+		// dropped by the next recovery scan.
+		if _, serr := w.f.Seek(w.bytes, io.SeekStart); serr != nil {
+			w.failed = true
+		} else if terr := w.f.Truncate(w.bytes); terr != nil {
+			w.failed = true
+		}
+		return fmt.Errorf("%w: append entry (%d of %d bytes): %v", ErrWALWrite, n, len(frame), err)
 	}
 	w.entries++
 	w.bytes += int64(len(frame))
@@ -205,13 +269,18 @@ func (w *WAL) Sync() error {
 	if w.f == nil {
 		return ErrClosed
 	}
-	if w.met.FsyncSeconds == nil {
-		return w.f.Sync()
+	var t0 time.Time
+	if w.met.FsyncSeconds != nil {
+		t0 = time.Now()
 	}
-	t0 := time.Now()
 	err := w.f.Sync()
-	w.met.FsyncSeconds.ObserveSince(t0)
-	return err
+	if !t0.IsZero() {
+		w.met.FsyncSeconds.ObserveSince(t0)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: fsync: %v", ErrWALWrite, err)
+	}
+	return nil
 }
 
 // Reset empties the log — called right after a snapshot has captured

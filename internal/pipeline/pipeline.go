@@ -17,7 +17,9 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -52,9 +54,18 @@ type Options struct {
 	// before it is reported (default DefaultMaxRetries; negative
 	// disables retrying).
 	MaxRetries int
-	// Backoff is the sleep before the first retry; it doubles with
-	// every further attempt (default DefaultBackoff).
+	// Backoff is the cap of the full-jitter sleep before the first
+	// retry; the cap doubles with every further attempt (default
+	// DefaultBackoff). The actual sleep is drawn uniformly from
+	// [0, cap) so batched retries don't stampede the backend in
+	// lockstep; a RetryAfter hint on the error overrides the draw.
 	Backoff time.Duration
+	// Hedge, when positive, launches a second identical client request
+	// if the first has not answered within this duration; the first
+	// response to arrive wins. It trims tail latency at the cost of
+	// duplicate backend work, so it only makes sense against remote
+	// clients with real latency variance (default 0: disabled).
+	Hedge time.Duration
 	// Metrics are the telemetry instruments the engine records into
 	// (call counts, per-attempt latency, retries, cache hits). The
 	// zero value disables them at the cost of nil checks.
@@ -93,6 +104,8 @@ type Stats struct {
 	CacheHits uint64
 	// Retries is the number of extra attempts after transient errors.
 	Retries uint64
+	// Hedged is the number of hedged second requests launched.
+	Hedged uint64
 }
 
 // Engine executes prompts against one client with bounded
@@ -106,15 +119,18 @@ type Engine struct {
 
 	clientCalls atomic.Uint64
 	retries     atomic.Uint64
+	hedged      atomic.Uint64
 
-	// sleep is swapped in tests to avoid real backoff waits.
+	// sleep is swapped in tests to avoid real backoff waits; rand is
+	// swapped to pin the jitter draw.
 	sleep func(time.Duration)
+	rand  func() float64
 }
 
 // New returns an engine over the client with the given options.
 func New(client llm.Client, opts Options) *Engine {
 	o := opts.withDefaults()
-	e := &Engine{client: client, opts: o, sleep: time.Sleep}
+	e := &Engine{client: client, opts: o, sleep: time.Sleep, rand: rand.Float64}
 	if o.CacheSize > 0 {
 		e.cache = newPromptCache(o.CacheSize)
 	}
@@ -132,6 +148,7 @@ func (e *Engine) Stats() Stats {
 	s := Stats{
 		ClientCalls: e.clientCalls.Load(),
 		Retries:     e.retries.Load(),
+		Hedged:      e.hedged.Load(),
 	}
 	if e.cache != nil {
 		s.CacheHits = e.cache.hits.Load()
@@ -144,13 +161,22 @@ func (e *Engine) Stats() Stats {
 // (or coalesced onto an identical in-flight request) rather than by
 // a fresh client call.
 func (e *Engine) Complete(prompt string) (llm.Response, bool, error) {
+	return e.CompleteContext(context.Background(), prompt)
+}
+
+// CompleteContext is Complete with cancellation: the context bounds
+// the client call, its retries and their backoff sleeps, and passes
+// through to context-aware clients so a deadline cancels in-flight
+// work. Identical concurrent prompts still coalesce onto one call;
+// that call runs under the context of whichever caller started it.
+func (e *Engine) CompleteContext(ctx context.Context, prompt string) (llm.Response, bool, error) {
 	if e.cache == nil {
-		resp, err := e.chat(prompt)
+		resp, err := e.chat(ctx, prompt)
 		return resp, false, err
 	}
 	key := e.client.Name() + "\x00" + prompt
 	resp, cached, err := e.cache.do(key, func() (llm.Response, error) {
-		return e.chat(prompt)
+		return e.chat(ctx, prompt)
 	})
 	if cached {
 		e.opts.Metrics.CacheHits.Inc()
@@ -184,19 +210,25 @@ func (e *Engine) Seed(prompt string, resp llm.Response) {
 	e.cache.seed(e.client.Name()+"\x00"+prompt, resp)
 }
 
-// chat performs one client call with transient-error retry.
-func (e *Engine) chat(prompt string) (llm.Response, error) {
+// chat performs one client call with transient-error retry. Retries
+// sleep a full-jitter draw from [0, cap) where the cap doubles per
+// attempt, unless the error carries a RetryAfter hint, which is
+// honoured exactly. The context bounds attempts and sleeps alike.
+func (e *Engine) chat(ctx context.Context, prompt string) (llm.Response, error) {
 	e.clientCalls.Add(1)
 	e.opts.Metrics.Calls.Inc()
 	timed := e.opts.Metrics.CallSeconds != nil
 	backoff := e.opts.Backoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return llm.Response{}, err
+		}
 		var t0 time.Time
 		if timed {
 			t0 = time.Now()
 		}
-		resp, err := e.client.Chat([]llm.Message{{Role: llm.User, Content: prompt}})
+		resp, err := e.attempt(ctx, prompt)
 		if timed {
 			e.opts.Metrics.CallSeconds.ObserveSince(t0)
 		}
@@ -209,10 +241,75 @@ func (e *Engine) chat(prompt string) (llm.Response, error) {
 		}
 		e.retries.Add(1)
 		e.opts.Metrics.Retries.Inc()
-		e.sleep(backoff)
+		wait, hinted := RetryAfter(err)
+		if !hinted {
+			wait = time.Duration(e.rand() * float64(backoff))
+		}
+		if !e.sleepCtx(ctx, wait) {
+			return llm.Response{}, ctx.Err()
+		}
 		backoff *= 2
 	}
 	return llm.Response{}, lastErr
+}
+
+// attempt issues one request, hedging a second identical one when the
+// first is slower than Options.Hedge; the first response wins and the
+// loser is left to finish (or be cancelled by ctx) in the background.
+func (e *Engine) attempt(ctx context.Context, prompt string) (llm.Response, error) {
+	msgs := []llm.Message{{Role: llm.User, Content: prompt}}
+	if e.opts.Hedge <= 0 {
+		return llm.ChatContext(ctx, e.client, msgs)
+	}
+	type result struct {
+		resp llm.Response
+		err  error
+	}
+	ch := make(chan result, 2)
+	issue := func() {
+		resp, err := llm.ChatContext(ctx, e.client, msgs)
+		ch <- result{resp, err}
+	}
+	go issue()
+	hedge := time.NewTimer(e.opts.Hedge)
+	defer hedge.Stop()
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return llm.Response{}, ctx.Err()
+	case <-hedge.C:
+	}
+	e.hedged.Add(1)
+	e.opts.Metrics.Hedged.Inc()
+	go issue()
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return llm.Response{}, ctx.Err()
+	}
+}
+
+// sleepCtx waits d, returning false if the context expired first. A
+// context without a deadline or cancel function takes the plain sleep
+// path, which tests stub out.
+func (e *Engine) sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	if ctx.Done() == nil {
+		e.sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Decision is the outcome of matching one pair through the engine.
@@ -240,9 +337,16 @@ type Decision struct {
 // a model reply into a binary decision; both must be safe for
 // concurrent use. The first error cancels outstanding work.
 func (e *Engine) Match(pairs []entity.Pair, build func(entity.Pair) string, parse func(string) bool) ([]Decision, error) {
+	return e.MatchContext(context.Background(), pairs, build, parse)
+}
+
+// MatchContext is Match with cancellation: the context bounds every
+// client call issued for the pair set, so a deadline cancels the whole
+// evaluation.
+func (e *Engine) MatchContext(ctx context.Context, pairs []entity.Pair, build func(entity.Pair) string, parse func(string) bool) ([]Decision, error) {
 	out := make([]Decision, len(pairs))
 	err := ForEach(len(pairs), e.opts.Workers, func(i int) error {
-		d, err := e.matchOne(i, pairs[i], build, parse)
+		d, err := e.matchOne(ctx, i, pairs[i], build, parse)
 		if err != nil {
 			return err
 		}
@@ -267,7 +371,7 @@ func (e *Engine) Stream(pairs []entity.Pair, build func(entity.Pair) string, par
 	errc := make(chan error, 1)
 	go func() {
 		errc <- ForEach(len(pairs), e.opts.Workers, func(i int) error {
-			d, err := e.matchOne(i, pairs[i], build, parse)
+			d, err := e.matchOne(context.Background(), i, pairs[i], build, parse)
 			if err != nil {
 				return err
 			}
@@ -284,9 +388,9 @@ func (e *Engine) Stream(pairs []entity.Pair, build func(entity.Pair) string, par
 	}
 }
 
-func (e *Engine) matchOne(i int, pair entity.Pair, build func(entity.Pair) string, parse func(string) bool) (Decision, error) {
+func (e *Engine) matchOne(ctx context.Context, i int, pair entity.Pair, build func(entity.Pair) string, parse func(string) bool) (Decision, error) {
 	p := build(pair)
-	resp, cached, err := e.Complete(p)
+	resp, cached, err := e.CompleteContext(ctx, p)
 	if err != nil {
 		return Decision{}, fmt.Errorf("pipeline: pair %s: %w", pair.ID, err)
 	}

@@ -1,6 +1,9 @@
 package pipeline
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // ErrTransient marks an error as retryable. Client implementations
 // wrap rate limits, timeouts and 5xx-style failures with Transient so
@@ -16,7 +19,22 @@ func Transient(err error) error {
 	return &transientError{err: err}
 }
 
-type transientError struct{ err error }
+// TransientAfter wraps err as transient and carries a retry-after
+// hint, the way a 429 response carries a Retry-After header: the
+// engine sleeps exactly the hinted duration before the next attempt
+// instead of its jittered exponential backoff. A nil err returns nil;
+// a non-positive hint is equivalent to Transient.
+func TransientAfter(err error, retryAfter time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err, retryAfter: retryAfter}
+}
+
+type transientError struct {
+	err        error
+	retryAfter time.Duration
+}
 
 func (t *transientError) Error() string { return "transient: " + t.err.Error() }
 
@@ -26,6 +44,16 @@ func (t *transientError) Is(target error) bool { return target == ErrTransient }
 
 // Temporary implements the convention shared with net.Error.
 func (t *transientError) Temporary() bool { return true }
+
+// RetryAfter extracts the retry-after hint attached by TransientAfter,
+// reporting false when err carries none.
+func RetryAfter(err error) (time.Duration, bool) {
+	var t *transientError
+	if errors.As(err, &t) && t.retryAfter > 0 {
+		return t.retryAfter, true
+	}
+	return 0, false
+}
 
 // IsTransient reports whether an error should be retried: it wraps
 // ErrTransient, or implements the net.Error-style

@@ -1,0 +1,255 @@
+// Package resilience provides the fault-tolerance primitives wrapped
+// around the LLM escalation path: a circuit breaker that fails fast
+// during backend outages and a load-shedder that bounds concurrent
+// escalations and their wait queue. Both are stdlib-only, allocation-
+// free on the happy path, and deterministic under an injected clock so
+// the chaos harness (internal/chaos) can drive them reproducibly.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"llm4em/internal/telemetry"
+)
+
+// ErrOpen is returned (wrapped) when the circuit breaker rejects a
+// request without attempting it. It is deliberately NOT transient in
+// the pipeline sense: retrying immediately would defeat the point of
+// failing fast, so the retry loop gives up on first sight of it.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// State is a circuit breaker state.
+type State int32
+
+// Breaker states. The numeric values are exported on the
+// em_llm_breaker_state gauge, so they are part of the observable
+// contract: 0=closed, 1=half-open, 2=open.
+const (
+	Closed State = iota
+	HalfOpen
+	Open
+)
+
+// String returns the state's dashboard name.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerOptions configures a Breaker. The zero value of every field
+// selects a sensible default (see withDefaults).
+type BreakerOptions struct {
+	// ConsecutiveFailures trips the breaker after this many back-to-back
+	// failures regardless of the windowed error rate (default 5).
+	ConsecutiveFailures int
+	// ErrorRate trips the breaker when the failure fraction over the
+	// rolling window reaches this value (default 0.5), provided at
+	// least MinSamples results landed in the window (default 20).
+	ErrorRate  float64
+	MinSamples int
+	// Window is the rolling error-rate window (default 10s), realised
+	// as two rotating half-window buckets.
+	Window time.Duration
+	// Cooldown is how long an open breaker waits before letting
+	// half-open probes through (default 2s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many trial requests one half-open period
+	// admits (default 1). The first probe failure re-opens; a probe
+	// success closes.
+	HalfOpenProbes int
+	// Clock supplies the current time (default time.Now); tests and the
+	// chaos harness inject a fake for determinism.
+	Clock func() time.Time
+	// Metrics receives breaker state and trip counts; zero value
+	// disabled.
+	Metrics telemetry.ResilienceMetrics
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.ConsecutiveFailures <= 0 {
+		o.ConsecutiveFailures = 5
+	}
+	if o.ErrorRate <= 0 {
+		o.ErrorRate = 0.5
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 20
+	}
+	if o.Window <= 0 {
+		o.Window = 10 * time.Second
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 2 * time.Second
+	}
+	if o.HalfOpenProbes <= 0 {
+		o.HalfOpenProbes = 1
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// bucket is one half-window of request outcomes.
+type bucket struct {
+	start    time.Time
+	total    int
+	failures int
+}
+
+// Breaker is a closed/open/half-open circuit breaker. Callers ask
+// Allow before a request and Report the outcome after; both are
+// cheap (one mutex) and allocation-free. Context cancellation errors
+// reported to it are ignored — a caller giving up says nothing about
+// backend health.
+type Breaker struct {
+	opts BreakerOptions
+
+	mu       sync.Mutex
+	state    State
+	consec   int    // consecutive failures while closed
+	cur      bucket // rotating half-window buckets
+	prev     bucket
+	openedAt time.Time
+	probes   int // probes admitted this half-open period
+
+	trips atomic.Uint64
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	b := &Breaker{opts: opts.withDefaults()}
+	b.cur.start = b.opts.Clock()
+	b.opts.Metrics.BreakerState.Set(int64(Closed))
+	return b
+}
+
+// Allow reports whether a request may proceed right now. An open
+// breaker whose cooldown has elapsed transitions to half-open and
+// admits up to HalfOpenProbes trial requests; everything else is
+// rejected until a probe closes it again.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.opts.Clock().Sub(b.openedAt) < b.opts.Cooldown {
+			return false
+		}
+		b.setStateLocked(HalfOpen)
+		b.probes = 0
+		fallthrough
+	case HalfOpen:
+		if b.probes >= b.opts.HalfOpenProbes {
+			return false
+		}
+		b.probes++
+		return true
+	}
+	return true
+}
+
+// Report records the outcome of a request previously admitted by
+// Allow. A nil err is a success; context cancellation and deadline
+// errors are ignored entirely.
+func (b *Breaker) Report(err error) {
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		if err != nil {
+			b.tripLocked()
+			return
+		}
+		b.setStateLocked(Closed)
+		b.consec = 0
+		now := b.opts.Clock()
+		b.cur = bucket{start: now}
+		b.prev = bucket{}
+	case Closed:
+		b.rotateLocked()
+		b.cur.total++
+		if err == nil {
+			b.consec = 0
+			return
+		}
+		b.cur.failures++
+		b.consec++
+		if b.consec >= b.opts.ConsecutiveFailures {
+			b.tripLocked()
+			return
+		}
+		total := b.cur.total + b.prev.total
+		failures := b.cur.failures + b.prev.failures
+		if total >= b.opts.MinSamples && float64(failures) >= b.opts.ErrorRate*float64(total) {
+			b.tripLocked()
+		}
+	case Open:
+		// A late result from a request admitted before the trip; the
+		// window restarts when the breaker closes, so drop it.
+	}
+}
+
+// rotateLocked advances the two half-window buckets past stale time.
+func (b *Breaker) rotateLocked() {
+	half := b.opts.Window / 2
+	now := b.opts.Clock()
+	for now.Sub(b.cur.start) >= half {
+		b.prev = b.cur
+		b.cur = bucket{start: b.cur.start.Add(half)}
+		// If the breaker sat idle for more than a full window, fast-
+		// forward instead of looping per half-window.
+		if now.Sub(b.cur.start) >= b.opts.Window {
+			b.prev = bucket{}
+			b.cur = bucket{start: now}
+		}
+	}
+}
+
+func (b *Breaker) tripLocked() {
+	b.setStateLocked(Open)
+	b.openedAt = b.opts.Clock()
+	b.consec = 0
+	b.trips.Add(1)
+	b.opts.Metrics.BreakerTrips.Inc()
+}
+
+func (b *Breaker) setStateLocked(s State) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	b.opts.Metrics.BreakerState.Set(int64(s))
+}
+
+// State returns the breaker's current state, promoting an open breaker
+// whose cooldown has elapsed to half-open (so observers and fast-path
+// checks see the same state a concurrent Allow would).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.opts.Clock().Sub(b.openedAt) >= b.opts.Cooldown {
+		b.setStateLocked(HalfOpen)
+		b.probes = 0
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 { return b.trips.Load() }

@@ -1,0 +1,348 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"llm4em/internal/llm"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker
+// tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+var errBoom = errors.New("boom")
+
+func TestBreakerConsecutiveFailuresTrip(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerOptions{ConsecutiveFailures: 3, Clock: clk.Now})
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("attempt %d: breaker rejected while closed", i)
+		}
+		b.Report(errBoom)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	b.Allow()
+	b.Report(errBoom)
+	if got := b.State(); got != Open {
+		t.Fatalf("state after 3rd consecutive failure = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsConsecutive(t *testing.T) {
+	clk := newFakeClock()
+	// MinSamples is raised so only the consecutive-failure rule is in
+	// play (the 2/3 failure mix would trip the rate rule otherwise).
+	b := NewBreaker(BreakerOptions{ConsecutiveFailures: 3, MinSamples: 1000, Clock: clk.Now})
+	for i := 0; i < 10; i++ {
+		b.Allow()
+		b.Report(errBoom)
+		b.Allow()
+		b.Report(errBoom)
+		b.Allow()
+		b.Report(nil) // breaks the streak
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed (streak never reached 3)", got)
+	}
+}
+
+func TestBreakerErrorRateTrip(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerOptions{
+		ConsecutiveFailures: 1000, // only the rate can trip
+		ErrorRate:           0.5,
+		MinSamples:          10,
+		Window:              10 * time.Second,
+		Clock:               clk.Now,
+	})
+	// Alternate success/failure: 50% error rate, trips once MinSamples
+	// results are in the window. The rate is only evaluated on failure
+	// reports, so the sequence ends on one.
+	for i := 0; i < 10; i++ {
+		b.Allow()
+		if i%2 == 1 {
+			b.Report(errBoom)
+		} else {
+			b.Report(nil)
+		}
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state after 10 samples at 50%% failure = %v, want open", got)
+	}
+}
+
+func TestBreakerErrorRateNeedsMinSamples(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerOptions{
+		ConsecutiveFailures: 1000,
+		ErrorRate:           0.5,
+		MinSamples:          10,
+		Clock:               clk.Now,
+	})
+	// 100% failure rate but below MinSamples, with successes breaking
+	// no streak rule: interleave to stay under both thresholds.
+	for i := 0; i < 9; i++ {
+		b.Allow()
+		b.Report(errBoom)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state with 9 < MinSamples failures = %v, want closed", got)
+	}
+}
+
+func TestBreakerWindowExpiresOldFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerOptions{
+		ConsecutiveFailures: 1000,
+		ErrorRate:           0.5,
+		MinSamples:          4,
+		Window:              10 * time.Second,
+		Clock:               clk.Now,
+	})
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Report(errBoom)
+	}
+	// Let the failures age out of the rolling window entirely.
+	clk.Advance(11 * time.Second)
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Report(nil)
+	}
+	b.Allow()
+	b.Report(errBoom)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed: aged-out failures still counted", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerOptions{
+		ConsecutiveFailures: 2,
+		Cooldown:            time.Second,
+		HalfOpenProbes:      1,
+		Clock:               clk.Now,
+	})
+	b.Allow()
+	b.Report(errBoom)
+	b.Allow()
+	b.Report(errBoom)
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want open", got)
+	}
+
+	// Cooldown not yet elapsed: rejected.
+	clk.Advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted before cooldown elapsed")
+	}
+
+	// Cooldown elapsed: exactly one probe is admitted.
+	clk.Advance(600 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker rejected the half-open probe")
+	}
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a second request during the probe")
+	}
+
+	// Probe fails: re-open, wait another cooldown.
+	b.Report(errBoom)
+	if got := b.State(); got != Open {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+
+	// Second probe succeeds: closed, traffic flows again.
+	clk.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker rejected the second probe")
+	}
+	b.Report(nil)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a request")
+	}
+}
+
+func TestBreakerIgnoresContextErrors(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerOptions{ConsecutiveFailures: 2, Clock: clk.Now})
+	for i := 0; i < 20; i++ {
+		b.Allow()
+		b.Report(context.Canceled)
+		b.Allow()
+		b.Report(fmt.Errorf("wrap: %w", context.DeadlineExceeded))
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed: context errors must not trip", got)
+	}
+}
+
+func TestShedderConcurrencyAndQueue(t *testing.T) {
+	s := NewShedder(ShedOptions{MaxConcurrent: 2, MaxQueue: 1})
+	ctx := context.Background()
+	if err := s.Acquire(ctx); err != nil {
+		t.Fatalf("acquire 1: %v", err)
+	}
+	if err := s.Acquire(ctx); err != nil {
+		t.Fatalf("acquire 2: %v", err)
+	}
+	if got := s.InFlight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+
+	// Third caller queues; fourth is shed.
+	queued := make(chan error, 1)
+	go func() { queued <- s.Acquire(ctx) }()
+	waitFor(t, func() bool { return s.Waiting() == 1 })
+	if err := s.Acquire(ctx); !errors.Is(err, ErrShed) {
+		t.Fatalf("4th acquire err = %v, want ErrShed", err)
+	}
+	if s.Shed() != 1 {
+		t.Fatalf("shed = %d, want 1", s.Shed())
+	}
+
+	// A release lets the queued caller in.
+	s.Release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	s.Release()
+	s.Release()
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("inflight after releases = %d, want 0", got)
+	}
+}
+
+func TestShedderContextCancelWhileQueued(t *testing.T) {
+	s := NewShedder(ShedOptions{MaxConcurrent: 1, MaxQueue: 4})
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() { queued <- s.Acquire(ctx) }()
+	waitFor(t, func() bool { return s.Waiting() == 1 })
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire err = %v, want context.Canceled", err)
+	}
+	s.Release()
+	// The cancelled waiter must not have consumed the freed slot.
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after cancel: %v", err)
+	}
+}
+
+// stubClient counts calls and returns a scripted error.
+type stubClient struct {
+	mu    sync.Mutex
+	calls int
+	err   error
+}
+
+func (c *stubClient) Name() string { return "stub" }
+
+func (c *stubClient) Chat([]llm.Message) (llm.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.err != nil {
+		return llm.Response{}, c.err
+	}
+	return llm.Response{Content: "Yes."}, nil
+}
+
+func (c *stubClient) setErr(err error) {
+	c.mu.Lock()
+	c.err = err
+	c.mu.Unlock()
+}
+
+func (c *stubClient) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+func TestGuardedClientFailsFastWhenOpen(t *testing.T) {
+	clk := newFakeClock()
+	stub := &stubClient{err: errBoom}
+	g := Guard(stub, NewBreaker(BreakerOptions{ConsecutiveFailures: 2, Cooldown: time.Second, Clock: clk.Now}))
+
+	for i := 0; i < 2; i++ {
+		if _, err := g.Chat(nil); !errors.Is(err, errBoom) {
+			t.Fatalf("call %d err = %v, want errBoom", i, err)
+		}
+	}
+	before := stub.count()
+	if _, err := g.Chat(nil); !errors.Is(err, ErrOpen) {
+		t.Fatalf("err after trip = %v, want ErrOpen", err)
+	}
+	if stub.count() != before {
+		t.Fatal("open breaker still reached the inner client")
+	}
+
+	// Recovery: probe succeeds, traffic resumes.
+	stub.setErr(nil)
+	clk.Advance(2 * time.Second)
+	if resp, err := g.Chat(nil); err != nil || resp.Content != "Yes." {
+		t.Fatalf("probe call = %q, %v; want Yes., nil", resp.Content, err)
+	}
+	if g.Breaker().State() != Closed {
+		t.Fatalf("state = %v, want closed after successful probe", g.Breaker().State())
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"llm4em/internal/telemetry"
+)
+
+// ErrShed is returned (wrapped) when the load-shedder rejects work
+// because both the concurrency limit and the wait queue are full.
+// Servers map it to 503 with a Retry-After hint.
+var ErrShed = errors.New("resilience: overloaded, escalation shed")
+
+// ShedOptions configures a Shedder.
+type ShedOptions struct {
+	// MaxConcurrent bounds escalations running at once (default 64).
+	MaxConcurrent int
+	// MaxQueue bounds callers waiting for a slot (default 256); the
+	// MaxQueue+1'th waiter is shed immediately rather than queued.
+	MaxQueue int
+	// Metrics receives the shed counter; zero value disabled.
+	Metrics telemetry.ResilienceMetrics
+}
+
+func (o ShedOptions) withDefaults() ShedOptions {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 64
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 256
+	}
+	return o
+}
+
+// Shedder is a concurrency limiter with a bounded wait queue: up to
+// MaxConcurrent acquisitions proceed, up to MaxQueue more wait (still
+// honouring their context), and everyone beyond that is rejected with
+// ErrShed. Acquire/Release are allocation-free.
+type Shedder struct {
+	opts    ShedOptions
+	slots   chan struct{} // buffered; a held token = a running escalation
+	waiting atomic.Int64
+	shed    atomic.Uint64
+}
+
+// NewShedder builds a Shedder.
+func NewShedder(opts ShedOptions) *Shedder {
+	opts = opts.withDefaults()
+	return &Shedder{
+		opts:  opts,
+		slots: make(chan struct{}, opts.MaxConcurrent),
+	}
+}
+
+// Acquire takes a concurrency slot, waiting in the bounded queue if
+// none is free. It returns ErrShed (wrapped) when the queue is full
+// and ctx.Err() when the caller's context expires while waiting.
+// Every nil return must be paired with exactly one Release.
+func (s *Shedder) Acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.opts.MaxQueue) {
+		s.waiting.Add(-1)
+		s.shed.Add(1)
+		s.opts.Metrics.Shed.Inc()
+		return ErrShed
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by a successful Acquire.
+func (s *Shedder) Release() { <-s.slots }
+
+// InFlight returns the number of currently held slots.
+func (s *Shedder) InFlight() int { return len(s.slots) }
+
+// Waiting returns the number of callers queued for a slot.
+func (s *Shedder) Waiting() int { return int(s.waiting.Load()) }
+
+// Shed returns how many acquisitions have been rejected.
+func (s *Shedder) Shed() uint64 { return s.shed.Load() }

@@ -124,6 +124,12 @@ const (
 	// MethodReason: the reason tier's structured multi-step reasoning
 	// prompt re-decided the pair after the first LLM pass.
 	MethodReason Method = "llm-reason"
+	// MethodDeferred: the pair was in the uncertain band but the LLM
+	// backend was unavailable (breaker open, deadline spent, or retries
+	// exhausted), so the local probability decided at 0.5 tentatively.
+	// The pair is queued for background re-escalation; its decision
+	// carries Deferred=true until an EntryRedecide replaces it.
+	MethodDeferred Method = "deferred-local"
 )
 
 // Journaled decisions keep the Method of the stage that originally
@@ -158,6 +164,12 @@ type PairDecision struct {
 	// no LLM call happened in this Resolve; Method and Answer are
 	// those of the original decision.
 	Journaled bool
+	// Deferred reports a tentative verdict issued while the LLM
+	// backend was unavailable: the local scorer decided at probability
+	// 0.5 and the pair was queued for background re-escalation. A
+	// deferred match is NOT folded into the entity graph until the
+	// re-escalator confirms it — union-find merges cannot be undone.
+	Deferred bool
 }
 
 // CostReport accounts one Resolve call: how the cascade split the
@@ -190,6 +202,10 @@ type CostReport struct {
 	// JournalHits is the number of pairs replayed from the durable
 	// decision journal of a persistent store.
 	JournalHits int
+	// DeferredPairs is the number of uncertain pairs this call degraded
+	// to their tentative local verdict because the LLM backend was
+	// unavailable (see PairDecision.Deferred).
+	DeferredPairs int
 	// PromptTokens and CompletionTokens sum the LLM usage (cached
 	// decisions carry the accounting of the original request).
 	PromptTokens     int

@@ -26,9 +26,13 @@ import (
 // Resolve calls: the durable decision is reused instead of re-running
 // the cascade or re-paying the LLM.
 func Open(client llm.Client, opts Options) (*Store, error) {
-	s := New(client, opts)
+	// The re-escalator starts only after recovery has rebuilt the
+	// deferred queue, so the drain never races replay's lock-free
+	// state building.
+	s := newStore(client, opts)
 	dir := s.opts.PersistDir
 	if dir == "" {
+		s.startResilience()
 		return s, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -43,7 +47,11 @@ func Open(client llm.Client, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
-	wal, rec, err := persist.OpenWAL(filepath.Join(dir, persist.WALFile))
+	fsys := s.opts.WALFS
+	if fsys == nil {
+		fsys = persist.OS
+	}
+	wal, rec, err := persist.OpenWALFS(fsys, filepath.Join(dir, persist.WALFile))
 	if err != nil {
 		return nil, err
 	}
@@ -56,6 +64,7 @@ func Open(client llm.Client, opts Options) (*Store, error) {
 	}
 	s.wal = wal
 	s.pstate.truncatedTail = rec.TruncatedTail
+	s.startResilience()
 	return s, nil
 }
 
@@ -107,6 +116,24 @@ func (s *Store) installSnapshot(snap *persist.Snapshot) error {
 		je.QueryID = ""
 		s.journal[key] = je
 	}
+	// Rebuild the deferred queue from the snapshot's carried query
+	// records. A snapshot cut mid-redecide can hold a queue entry whose
+	// journal decision is already final (removal happens after commit);
+	// the journal check filters those.
+	if s.res != nil {
+		for _, de := range snap.Deferred {
+			je, ok := s.journal[pairID{query: de.Query.ID, candidate: de.CandidateID}]
+			if !ok || !je.Deferred {
+				continue
+			}
+			s.res.enqueue(deferredPair{
+				query:       de.Query,
+				candidateID: de.CandidateID,
+				blockScore:  de.BlockScore,
+				probability: de.Probability,
+			})
+		}
+	}
 	s.totals = totals{
 		resolves:         snap.Resolves,
 		candidates:       uint64(snap.Totals.Candidates),
@@ -118,6 +145,8 @@ func (s *Store) installSnapshot(snap *persist.Snapshot) error {
 		groupFallbacks:   uint64(snap.Totals.GroupFallbacks),
 		budgetDecided:    uint64(snap.Totals.BudgetDecided),
 		journalHits:      uint64(snap.Totals.JournalHits),
+		deferredPairs:    uint64(snap.Totals.DeferredPairs),
+		redecided:        snap.Redecided,
 		promptTokens:     uint64(snap.Totals.PromptTokens),
 		completionTokens: uint64(snap.Totals.CompletionTokens),
 		cents:            snap.Totals.Cents,
@@ -164,13 +193,42 @@ func (s *Store) replay(entries []persist.Entry) error {
 			s.graph.Add(rv.Query.ID)
 			for _, d := range rv.Decisions {
 				s.journal[pairID{query: rv.Query.ID, candidate: d.CandidateID}] = d
-				if d.Match {
+				// Deferred matches are tentative — the union waits for the
+				// EntryRedecide, exactly as on the live path.
+				if d.Match && !d.Deferred {
 					s.graph.Union(rv.Query.ID, d.CandidateID)
+				}
+				if d.Deferred && s.res != nil {
+					s.res.enqueue(deferredPair{
+						query:       rv.Query,
+						candidateID: d.CandidateID,
+						blockScore:  d.BlockScore,
+						probability: d.Probability,
+					})
 				}
 				s.pstate.recoveredDecisions++
 			}
 			s.applyReport(rv.Report)
 			s.pstate.recoveredResolves++
+		case persist.EntryRedecide:
+			rd, err := persist.DecodeRedecide(e.Payload)
+			if err != nil {
+				return err
+			}
+			key := pairID{query: rd.QueryID, candidate: rd.Decision.CandidateID}
+			s.journal[key] = rd.Decision
+			if rd.Decision.Match {
+				s.graph.Add(rd.QueryID)
+				s.graph.Add(rd.Decision.CandidateID)
+				s.graph.Union(rd.QueryID, rd.Decision.CandidateID)
+			}
+			if s.res != nil {
+				s.res.remove(key)
+			}
+			s.totals.redecided++
+			s.totals.promptTokens += uint64(rd.PromptTokens)
+			s.totals.completionTokens += uint64(rd.CompletionTokens)
+			s.totals.cents += rd.Cents
 		default:
 			// Unknown entry types are skipped so older builds can read
 			// logs written by newer ones.
@@ -191,6 +249,7 @@ func (s *Store) applyReport(r persist.ReportEntry) {
 	s.totals.groupFallbacks += uint64(r.GroupFallbacks)
 	s.totals.budgetDecided += uint64(r.BudgetDecided)
 	s.totals.journalHits += uint64(r.JournalHits)
+	s.totals.deferredPairs += uint64(r.DeferredPairs)
 	s.totals.promptTokens += uint64(r.PromptTokens)
 	s.totals.completionTokens += uint64(r.CompletionTokens)
 	s.totals.cents += r.Cents
@@ -272,6 +331,7 @@ func (s *Store) appendResolveLocked(q entity.Record, decisions []persist.Decisio
 			Cents:            report.Cents,
 			BatchedPairs:     report.BatchedPairs,
 			BatchFallbacks:   report.BatchFallbacks,
+			DeferredPairs:    report.DeferredPairs,
 			GroupFallbacks:   report.GroupFallbacks,
 			MatchStrategy:    strategyEntryOf(report.MatchUsage),
 			CompareStrategy:  strategyEntryOf(report.CompareUsage),
@@ -288,6 +348,21 @@ func (s *Store) appendResolveLocked(q entity.Record, decisions []persist.Decisio
 	for _, d := range decisions {
 		s.journal[pairID{query: q.ID, candidate: d.CandidateID}] = d
 	}
+	return s.afterAppendLocked()
+}
+
+// appendRedecideLocked journals one background re-decision and
+// installs it into the in-memory journal — after the WAL append
+// succeeded, like appendResolveLocked. Caller holds persistMu.
+func (s *Store) appendRedecideLocked(e persist.RedecideEntry) error {
+	payload, err := persist.EncodeRedecide(e)
+	if err != nil {
+		return err
+	}
+	if err := s.wal.Append(persist.EntryRedecide, payload); err != nil {
+		return err
+	}
+	s.journal[pairID{query: e.QueryID, candidate: e.Decision.CandidateID}] = e.Decision
 	return s.afterAppendLocked()
 }
 
@@ -329,10 +404,23 @@ func (s *Store) checkpointLocked() error {
 		je.QueryID = key.query
 		snap.Journal = append(snap.Journal, je)
 	}
+	if s.res != nil {
+		s.res.mu.Lock()
+		for _, dp := range s.res.queue {
+			snap.Deferred = append(snap.Deferred, persist.DeferredEntry{
+				Query:       dp.query,
+				CandidateID: dp.candidateID,
+				BlockScore:  dp.blockScore,
+				Probability: dp.probability,
+			})
+		}
+		s.res.mu.Unlock()
+	}
 	s.statsMu.Lock()
 	t := s.totals
 	s.statsMu.Unlock()
 	snap.Resolves = t.resolves
+	snap.Redecided = t.redecided
 	snap.Totals = persist.ReportEntry{
 		Candidates:       int(t.candidates),
 		LocalAccepts:     int(t.localAccepts),
@@ -345,6 +433,7 @@ func (s *Store) checkpointLocked() error {
 		Cents:            t.cents,
 		BatchedPairs:     int(t.batchedPairs),
 		BatchFallbacks:   int(t.batchFallbacks),
+		DeferredPairs:    int(t.deferredPairs),
 		GroupFallbacks:   int(t.groupFallbacks),
 		MatchStrategy:    strategyEntryOfTotals(t.match),
 		CompareStrategy:  strategyEntryOfTotals(t.compare),
@@ -412,6 +501,11 @@ func (s *Store) Flush() error {
 // mutations would fail with a closed-WAL or closed-dispatcher error.
 // Idempotent; an in-memory store only drains the dispatcher.
 func (s *Store) Close() error {
+	// The re-escalator goes first: it issues LLM calls and WAL appends
+	// of its own, which must not race the final snapshot. Pairs still
+	// queued land in the snapshot's Deferred set and resume after the
+	// next Open.
+	s.stopResilience()
 	if s.disp != nil {
 		// Drained first so no batch is abandoned mid-flight. Callers
 		// wanting the drained decisions in the final snapshot must wait

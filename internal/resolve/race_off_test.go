@@ -1,0 +1,7 @@
+//go:build !race
+
+package resolve
+
+// raceEnabled reports that the race detector is active; see
+// race_on_test.go.
+const raceEnabled = false

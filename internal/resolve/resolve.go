@@ -42,6 +42,7 @@ import (
 	"llm4em/internal/persist"
 	"llm4em/internal/pipeline"
 	"llm4em/internal/prompt"
+	"llm4em/internal/resilience"
 	"llm4em/internal/telemetry"
 	"llm4em/internal/tokenize"
 )
@@ -132,6 +133,15 @@ type Options struct {
 	// only on snapshot, Flush and Close; 1 makes every append durable
 	// against OS crashes at a heavy throughput cost).
 	SyncEvery int
+	// WALFS is the filesystem the WAL writes through (default the real
+	// one). The chaos harness injects fault-wrapping implementations;
+	// serving code leaves it nil.
+	WALFS persist.FS
+	// Resilience enables the fault-tolerance layer: circuit breaker
+	// around the LLM client, escalation load shedding, request
+	// hedging, and deferred-decision graceful degradation (see
+	// ResilienceOptions).
+	Resilience ResilienceOptions
 	// Telemetry wires the store (and the pipeline, dispatcher, index
 	// shards and WAL underneath it) into a telemetry handle: per-stage
 	// resolve latency histograms, cascade outcome counters, and the
@@ -200,6 +210,10 @@ type Store struct {
 	// cascade's uncertain band; nil when Options.DispatchPairs is 0.
 	// Shared by every Resolve call, drained by Close.
 	disp *dispatch.Dispatcher
+	// res is the fault-tolerance layer — breaker, shedder, deferred
+	// queue, re-escalator; nil when Options.Resilience.Enabled is
+	// false, which keeps the hot path at a single nil check.
+	res *resilienceState
 
 	shards []*shard
 	// count tracks the stored-record total without touching shard
@@ -361,6 +375,8 @@ type totals struct {
 	groupFallbacks   uint64
 	budgetDecided    uint64
 	journalHits      uint64
+	deferredPairs    uint64
+	redecided        uint64
 	promptTokens     uint64
 	completionTokens uint64
 	cents            float64
@@ -390,21 +406,47 @@ func (t *StrategyTotals) add(u StrategyUsage) {
 
 // New returns an empty store resolving against the client.
 func New(client llm.Client, opts Options) *Store {
+	s := newStore(client, opts)
+	// Open starts the re-escalator itself, after WAL replay has rebuilt
+	// the deferred queue.
+	s.startResilience()
+	return s
+}
+
+// newStore builds the store without starting background goroutines.
+func newStore(client llm.Client, opts Options) *Store {
 	o := opts.withDefaults()
 	// Sub-package instruments are handed down by value; without a
 	// telemetry handle they stay zero (all-nil, nil-safe no-ops).
 	var pm telemetry.PipelineMetrics
 	var dm telemetry.DispatchMetrics
 	var bm telemetry.BlockingMetrics
+	var rm telemetry.ResilienceMetrics
 	if o.Telemetry != nil {
 		pm, dm, bm = o.Telemetry.Pipeline, o.Telemetry.Dispatch, o.Telemetry.Blocking
+		rm = o.Telemetry.Resilience
+	}
+	spec := prompt.Spec{Design: o.Design, Domain: o.Domain}
+	var res *resilienceState
+	var hedge time.Duration
+	if o.Resilience.Enabled {
+		res = newResilienceState(o.Resilience, spec, rm)
+		// The breaker wraps the client BEFORE the pipeline engine, so
+		// every retry attempt — not just whole chat calls — consults
+		// and reports it, and an open breaker fails attempts fast
+		// (resilience.ErrOpen is not transient, so the retry loop stops
+		// immediately).
+		client = resilience.Guard(client, res.breaker)
+		hedge = o.Resilience.Hedge
 	}
 	s := &Store{
 		opts: o,
+		res:  res,
 		eng: pipeline.New(client, pipeline.Options{
 			Workers:    o.Workers,
 			CacheSize:  o.CacheSize,
 			MaxRetries: o.MaxRetries,
+			Hedge:      hedge,
 			Metrics:    pm,
 		}),
 		shards:  make([]*shard, o.Shards),
@@ -416,7 +458,6 @@ func New(client llm.Client, opts Options) *Store {
 		// The per-pair builder is the same prompt Resolve's unbatched
 		// path sends, so the dispatcher's dedupe and cache layering key
 		// on exactly the prompts the rest of the system uses.
-		spec := prompt.Spec{Design: o.Design, Domain: o.Domain}
 		s.disp = dispatch.New(s.eng, spec.Build,
 			func(ps []entity.Pair) string { return prompt.BuildBatch(o.Domain, ps) },
 			dispatch.Options{MaxBatchPairs: o.DispatchPairs, FlushInterval: o.DispatchFlush, Metrics: dm})
@@ -634,11 +675,17 @@ func (s *Store) Resolve(q entity.Record) (Result, error) {
 	return s.ResolveContext(context.Background(), q)
 }
 
-// ResolveContext is Resolve carrying a request context: when the
-// context holds a telemetry.Trace (the HTTP layer attaches one per
-// request), per-stage durations are recorded into it under the
-// request's trace ID, alongside the store-level telemetry handle.
-// The context is not used for cancellation.
+// ResolveContext is Resolve carrying a request context, which serves
+// two roles. When the context holds a telemetry.Trace (the HTTP layer
+// attaches one per request), per-stage durations are recorded into it
+// under the request's trace ID, alongside the store-level telemetry
+// handle. And the context's deadline/cancellation bounds the LLM
+// escalation: in-flight model work is abandoned when it fires (the
+// local stages always run to completion — they are microseconds).
+// Without the resilience layer an expired context fails the call with
+// ctx.Err(); with it (Options.Resilience.Enabled) a spent deadline
+// degrades the undecided pairs to deferred local verdicts instead —
+// see deferred.go.
 func (s *Store) ResolveContext(ctx context.Context, q entity.Record) (Result, error) {
 	if q.ID == "" {
 		return Result{}, fmt.Errorf("query: %w", ErrNoID)
@@ -675,6 +722,7 @@ func (s *Store) ResolveContext(ctx context.Context, q entity.Record) (Result, er
 					Method:      Method(je.Method),
 					Answer:      je.Answer,
 					Journaled:   true,
+					Deferred:    je.Deferred,
 				}
 				journalHits++
 			} else {
@@ -728,7 +776,13 @@ func (s *Store) ResolveContext(ctx context.Context, q entity.Record) (Result, er
 				B:  cands[fresh[di]].rec,
 			}
 		}
-		modelLat, err := s.escalate(pairs, spec, &plan)
+		var modelLat time.Duration
+		var err error
+		if s.res != nil {
+			modelLat, err = s.escalateResilient(ctx, q, pairs, spec, &plan)
+		} else {
+			modelLat, err = s.escalate(ctx, pairs, spec, &plan)
+		}
 		if err != nil {
 			err = fmt.Errorf("resolve: %w", err)
 			obs.finish(q.ID, plan.report, err)
@@ -750,7 +804,10 @@ func (s *Store) ResolveContext(ctx context.Context, q entity.Record) (Result, er
 	s.graphMu.Lock()
 	s.graph.Add(q.ID)
 	for _, d := range decisions {
-		if d.Match {
+		// A deferred match is tentative and stays out of the graph:
+		// union-find merges cannot be undone, so the union waits for the
+		// re-escalator's real verdict (deferred.go).
+		if d.Match && !d.Deferred {
 			s.graph.Union(q.ID, d.CandidateID)
 		}
 	}
@@ -771,6 +828,7 @@ func (s *Store) ResolveContext(ctx context.Context, q entity.Record) (Result, er
 				Match:       d.Match,
 				Method:      string(d.Method),
 				Answer:      d.Answer,
+				Deferred:    d.Deferred,
 			}
 		}
 		err := s.appendResolveLocked(q, freshEntries, plan.report)
@@ -807,7 +865,7 @@ func (s *Store) ResolveContext(ctx context.Context, q entity.Record) (Result, er
 // report (a batched or grouped answer reports its share of the shared
 // request), letting the stage observer split the escalation
 // wall-clock into model time and dispatch wait.
-func (s *Store) escalate(pairs []entity.Pair, spec prompt.Spec, plan *cascadePlan) (time.Duration, error) {
+func (s *Store) escalate(ctx context.Context, pairs []entity.Pair, spec prompt.Spec, plan *cascadePlan) (time.Duration, error) {
 	esc := &escalator{
 		eng:     s.eng,
 		disp:    s.disp,
@@ -817,7 +875,47 @@ func (s *Store) escalate(pairs []entity.Pair, spec prompt.Spec, plan *cascadePla
 		pricing: s.pricing,
 		priced:  s.priced,
 	}
-	return esc.run(pairs, plan)
+	return esc.run(ctx, pairs, plan)
+}
+
+// escalateResilient is escalate behind the fault-tolerance layer:
+// escalations pass through the load shedder, and an unavailable
+// backend — breaker open, deadline spent, retries exhausted —
+// degrades the undecided pairs to deferred local verdicts instead of
+// failing the Resolve. Only two errors can surface: resilience.ErrShed
+// (the server is full — the backend is fine, so degrading would
+// silently shed load as fake answers) and context.Canceled (the
+// caller gave up; there is no one to serve a degraded answer to —
+// though pairs already deferred by then stay queued).
+func (s *Store) escalateResilient(ctx context.Context, q entity.Record, pairs []entity.Pair, spec prompt.Spec, plan *cascadePlan) (time.Duration, error) {
+	// Fast-path degrade: a known-open breaker or an already-expired
+	// deadline makes the LLM attempt pointless — skip the shedder
+	// queue entirely and answer locally.
+	if s.res.breaker.State() == resilience.Open || ctx.Err() != nil {
+		s.degrade(q, plan)
+		return 0, nil
+	}
+	if err := s.res.shed.Acquire(ctx); err != nil {
+		if errors.Is(err, resilience.ErrShed) {
+			return 0, err
+		}
+		if errors.Is(err, context.Canceled) {
+			return 0, err
+		}
+		// Deadline expired while queued for a slot.
+		s.degrade(q, plan)
+		return 0, nil
+	}
+	defer s.res.shed.Release()
+	modelLat, err := s.escalate(ctx, pairs, spec, plan)
+	if err == nil {
+		return modelLat, nil
+	}
+	if errors.Is(err, context.Canceled) {
+		return 0, err
+	}
+	s.degrade(q, plan)
+	return 0, nil
 }
 
 // recordTotals folds one call's report into the lifetime counters.
@@ -834,6 +932,7 @@ func (s *Store) recordTotals(r CostReport) {
 	s.totals.groupFallbacks += uint64(r.GroupFallbacks)
 	s.totals.budgetDecided += uint64(r.BudgetDecided)
 	s.totals.journalHits += uint64(r.JournalHits)
+	s.totals.deferredPairs += uint64(r.DeferredPairs)
 	s.totals.promptTokens += uint64(r.PromptTokens)
 	s.totals.completionTokens += uint64(r.CompletionTokens)
 	s.totals.cents += r.Cents
@@ -894,6 +993,12 @@ type Stats struct {
 	CompareStrategy StrategyTotals
 	SelectStrategy  StrategyTotals
 	ReasonStrategy  StrategyTotals
+	// DeferredPairs counts pairs degraded to tentative local verdicts
+	// while the LLM backend was unavailable; Redecided counts those the
+	// background re-escalator has since settled with a real LLM
+	// verdict (both lifetime, surviving restarts).
+	DeferredPairs uint64
+	Redecided     uint64
 	// JournalHits counts pairs decided from the durable decision
 	// journal of a persistent store.
 	JournalHits uint64
@@ -914,6 +1019,10 @@ type Stats struct {
 	// snapshot activity. Persist.Enabled is false for in-memory
 	// stores.
 	Persist PersistStats
+	// Resilience reports the fault-tolerance layer: breaker state,
+	// shed count, deferred queue depth. Resilience.Enabled is false
+	// when Options.Resilience.Enabled is.
+	Resilience ResilienceStats
 }
 
 // LocalFraction returns the lifetime fraction of candidate pairs
@@ -951,6 +1060,8 @@ func (s *Store) Stats() Stats {
 		BatchedPairs:     t.batchedPairs,
 		BatchFallbacks:   t.batchFallbacks,
 		GroupFallbacks:   t.groupFallbacks,
+		DeferredPairs:    t.deferredPairs,
+		Redecided:        t.redecided,
 		MatchStrategy:    t.match,
 		CompareStrategy:  t.compare,
 		SelectStrategy:   t.sel,
@@ -965,6 +1076,19 @@ func (s *Store) Stats() Stats {
 	}
 	if s.disp != nil {
 		st.Dispatch = DispatchStats{Enabled: true, Stats: s.disp.Stats()}
+	}
+	if s.res != nil {
+		st.Resilience = ResilienceStats{
+			Enabled:       true,
+			BreakerState:  s.res.breaker.State().String(),
+			BreakerTrips:  s.res.breaker.Trips(),
+			Shed:          s.res.shed.Shed(),
+			InFlight:      s.res.shed.InFlight(),
+			Waiting:       s.res.shed.Waiting(),
+			DeferredQueue: s.res.depth(),
+			DeferredPairs: t.deferredPairs,
+			Redecided:     t.redecided,
+		}
 	}
 	return st
 }

@@ -1,6 +1,7 @@
 package resolve
 
 import (
+	"context"
 	"time"
 
 	"llm4em/internal/core"
@@ -32,21 +33,23 @@ type escalator struct {
 // pairs shares the same query record (pair.A) — Resolve escalates one
 // query's band at a time — which is what lets compare/select answer
 // the whole slice with a single grouped prompt. The returned duration
-// sums the model-side latency of the answers.
-func (e *escalator) run(pairs []entity.Pair, plan *cascadePlan) (time.Duration, error) {
+// sums the model-side latency of the answers. The context bounds every
+// LLM round-trip of the pass (including fallbacks and the reason
+// tier); callers without a deadline pass context.Background().
+func (e *escalator) run(ctx context.Context, pairs []entity.Pair, plan *cascadePlan) (time.Duration, error) {
 	var modelLat time.Duration
 	var err error
 	switch e.opts.strategy() {
 	case prompt.StrategyCompare, prompt.StrategySelect:
-		modelLat, err = e.runGrouped(pairs, plan)
+		modelLat, err = e.runGrouped(ctx, pairs, plan)
 	default:
-		modelLat, err = e.runMatch(pairs, plan)
+		modelLat, err = e.runMatch(ctx, pairs, plan)
 	}
 	if err != nil {
 		return 0, err
 	}
 	if e.opts.ReasonTier {
-		reasonLat, err := e.runReason(pairs, plan)
+		reasonLat, err := e.runReason(ctx, pairs, plan)
 		if err != nil {
 			return 0, err
 		}
@@ -72,10 +75,10 @@ func (e *escalator) accountUsage(plan *cascadePlan, u *StrategyUsage, promptToke
 // runMatch is the pairwise first pass: each uncertain pair is its own
 // prompt, coalesced into cross-request batches when the dispatcher is
 // enabled.
-func (e *escalator) runMatch(pairs []entity.Pair, plan *cascadePlan) (time.Duration, error) {
+func (e *escalator) runMatch(ctx context.Context, pairs []entity.Pair, plan *cascadePlan) (time.Duration, error) {
 	var modelLat time.Duration
 	if e.disp != nil {
-		results, err := e.disp.DoAll(pairs)
+		results, err := e.disp.DoAllContext(ctx, pairs)
 		if err != nil {
 			return 0, err
 		}
@@ -118,7 +121,7 @@ func (e *escalator) runMatch(pairs []entity.Pair, plan *cascadePlan) (time.Durat
 		return modelLat, nil
 	}
 
-	decided, err := e.eng.Match(pairs, e.spec.Build, core.ParseAnswer)
+	decided, err := e.eng.MatchContext(ctx, pairs, e.spec.Build, core.ParseAnswer)
 	if err != nil {
 		return 0, err
 	}
@@ -180,7 +183,7 @@ func (e *escalator) groupSpec() (dispatch.GroupSpec, Method) {
 // answers the query's whole uncertain band, degrading to per-pair
 // pairwise prompts (MethodLLM, MatchUsage) when the grouped reply
 // fails strict parsing.
-func (e *escalator) runGrouped(pairs []entity.Pair, plan *cascadePlan) (time.Duration, error) {
+func (e *escalator) runGrouped(ctx context.Context, pairs []entity.Pair, plan *cascadePlan) (time.Duration, error) {
 	gspec, method := e.groupSpec()
 	usage := &plan.report.CompareUsage
 	if method == MethodSelect {
@@ -190,9 +193,9 @@ func (e *escalator) runGrouped(pairs []entity.Pair, plan *cascadePlan) (time.Dur
 	var results []dispatch.Result
 	var err error
 	if e.disp != nil {
-		results, err = e.disp.DoGroup(pairs, gspec)
+		results, err = e.disp.DoGroupContext(ctx, pairs, gspec)
 	} else {
-		results, err = dispatch.RunGroup(e.eng, e.spec.Build, pairs, gspec)
+		results, err = dispatch.RunGroupContext(ctx, e.eng, e.spec.Build, pairs, gspec)
 	}
 	if err != nil {
 		return 0, err
@@ -238,7 +241,7 @@ func (e *escalator) runGrouped(pairs []entity.Pair, plan *cascadePlan) (time.Dur
 // disagrees with the local scorer's probability — the least settled
 // outcomes of the pass — are re-decided by a structured multi-step
 // reasoning prompt whose verdict replaces the first-pass decision.
-func (e *escalator) runReason(pairs []entity.Pair, plan *cascadePlan) (time.Duration, error) {
+func (e *escalator) runReason(ctx context.Context, pairs []entity.Pair, plan *cascadePlan) (time.Duration, error) {
 	var conflicted []int
 	for i := range pairs {
 		d := plan.decisions[plan.llm[i]]
@@ -262,7 +265,7 @@ func (e *escalator) runReason(pairs []entity.Pair, plan *cascadePlan) (time.Dura
 		// over the free-form reply.
 		return core.ParseAnswer(answer)
 	}
-	decided, err := e.eng.Match(rpairs, func(p entity.Pair) string {
+	decided, err := e.eng.MatchContext(ctx, rpairs, func(p entity.Pair) string {
 		return prompt.BuildReason(e.domain, p)
 	}, parse)
 	if err != nil {

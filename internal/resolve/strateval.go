@@ -1,6 +1,7 @@
 package resolve
 
 import (
+	"context"
 	"fmt"
 
 	"llm4em/internal/cost"
@@ -111,7 +112,7 @@ func EvaluateGroups(client llm.Client, opts EvalOptions, groups []CandidateGroup
 					Match: g.Gold[di],
 				}
 			}
-			if _, err := esc.run(pairs, &plan); err != nil {
+			if _, err := esc.run(context.Background(), pairs, &plan); err != nil {
 				return GroupEvalResult{}, fmt.Errorf("resolve: evaluate groups: group %d: %w", gi, err)
 			}
 			res.EscalatedGroups++

@@ -73,6 +73,28 @@ type PipelineMetrics struct {
 	CallSeconds *Histogram
 	Retries     *Counter
 	CacheHits   *Counter
+	// Hedged counts second (hedged) requests launched for tail latency.
+	Hedged *Counter
+}
+
+// ResilienceMetrics instruments the fault-tolerance layer
+// (internal/resilience and the resolve store's deferred queue).
+// Passed by value; zero value disabled.
+type ResilienceMetrics struct {
+	// BreakerState is the LLM circuit breaker's current state encoded
+	// as 0=closed, 1=half-open, 2=open.
+	BreakerState *Gauge
+	// BreakerTrips counts closed→open (and half-open→open) transitions.
+	BreakerTrips *Counter
+	// Shed counts escalations rejected by the load-shedder.
+	Shed *Counter
+	// DeferredPairs counts pair decisions degraded to the local verdict
+	// and parked on the deferred queue; DeferredDepth is the queue's
+	// current length; Redecided counts deferred pairs the background
+	// re-escalator has re-decided through the healthy path.
+	DeferredPairs *Counter
+	DeferredDepth *Gauge
+	Redecided     *Counter
 }
 
 // PersistMetrics instruments the durability layer (internal/persist
@@ -131,10 +153,11 @@ type Telemetry struct {
 
 	// Per-subsystem instrument sets, handed by value into the
 	// instrumented packages.
-	Blocking BlockingMetrics
-	Dispatch DispatchMetrics
-	Pipeline PipelineMetrics
-	Persist  PersistMetrics
+	Blocking   BlockingMetrics
+	Dispatch   DispatchMetrics
+	Pipeline   PipelineMetrics
+	Persist    PersistMetrics
+	Resilience ResilienceMetrics
 }
 
 // New builds a Telemetry handle with every metric family registered.
@@ -202,6 +225,15 @@ func New(opts Options) *Telemetry {
 		CallSeconds: reg.Histogram("em_llm_call_seconds", "Wall-clock latency of LLM client attempts", DurationBuckets()),
 		Retries:     reg.Counter("em_llm_retries_total", "LLM client retries after transient errors"),
 		CacheHits:   reg.Counter("em_llm_cache_hits_total", "Requests answered by the prompt cache"),
+		Hedged:      reg.Counter("em_llm_hedged_total", "Hedged second LLM requests launched for tail latency"),
+	}
+	t.Resilience = ResilienceMetrics{
+		BreakerState:  reg.Gauge("em_llm_breaker_state", "LLM circuit breaker state (0=closed, 1=half-open, 2=open)"),
+		BreakerTrips:  reg.Counter("em_breaker_trips_total", "Circuit breaker transitions to open"),
+		Shed:          reg.Counter("em_shed_total", "Escalations rejected by the load-shedder"),
+		DeferredPairs: reg.Counter("em_deferred_pairs_total", "Pair decisions degraded to the deferred local verdict"),
+		DeferredDepth: reg.Gauge("em_deferred_queue_depth", "Deferred pairs awaiting re-escalation"),
+		Redecided:     reg.Counter("em_redecided_pairs_total", "Deferred pairs re-decided through the healthy path"),
 	}
 	t.Persist = PersistMetrics{
 		AppendSeconds:   reg.Histogram("em_wal_append_seconds", "WAL append latency", DurationBuckets()),

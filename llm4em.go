@@ -38,6 +38,7 @@ package llm4em
 
 import (
 	"context"
+	"time"
 
 	"llm4em/internal/core"
 	"llm4em/internal/datasets"
@@ -48,6 +49,7 @@ import (
 	"llm4em/internal/llm"
 	"llm4em/internal/pipeline"
 	"llm4em/internal/prompt"
+	"llm4em/internal/resilience"
 	"llm4em/internal/resolve"
 	"llm4em/internal/rules"
 	"llm4em/internal/telemetry"
@@ -190,6 +192,60 @@ var (
 	// ErrDuplicateRecordID marks an Add of an already-stored ID.
 	ErrDuplicateRecordID = resolve.ErrDuplicateID
 )
+
+// Fault tolerance. With StoreOptions.Resilience enabled, a store
+// wraps its LLM escalations in a circuit breaker and a concurrency
+// shedder, and degrades gracefully when the backend is down: the
+// uncertain band is answered by the local scorer, the decisions are
+// marked Deferred, and a background re-escalator replays them against
+// the LLM once the breaker closes — converging to the decisions a
+// healthy run would have made. Store.ResolveContext propagates a
+// per-request deadline into in-flight LLM work; Store.Degraded
+// reports the active degraded mode for readiness probes.
+type (
+	// ResilienceOptions enables and tunes the store's fault-tolerance
+	// layer (breaker, shedder, deferred re-escalation, hedging).
+	ResilienceOptions = resolve.ResilienceOptions
+	// BreakerOptions tunes the circuit breaker's trip and recovery
+	// behaviour.
+	BreakerOptions = resilience.BreakerOptions
+	// ShedOptions bounds concurrent and queued LLM escalations.
+	ShedOptions = resilience.ShedOptions
+	// ResilienceStats snapshots the fault-tolerance layer inside
+	// StoreStats: breaker state, shed counts, deferred queue depth.
+	ResilienceStats = resolve.ResilienceStats
+	// ContextClient is the optional context-aware extension of Client:
+	// implement it so per-request deadlines cancel in-flight calls.
+	ContextClient = llm.ContextClient
+)
+
+// MethodDeferred marks a decision answered by the local scorer while
+// the LLM was unavailable; the re-escalator later replaces it with
+// the model's verdict.
+const MethodDeferred = resolve.MethodDeferred
+
+// Typed fault-tolerance errors, matched with errors.Is.
+var (
+	// ErrOverloaded marks an escalation rejected by the load shedder;
+	// callers should retry later (emserve answers 503).
+	ErrOverloaded = resilience.ErrShed
+	// ErrBreakerOpen marks a call rejected by an open circuit breaker.
+	// Stores degrade instead of surfacing it; direct users of the
+	// resilience guard see it.
+	ErrBreakerOpen = resilience.ErrOpen
+)
+
+// TransientErrorAfter is TransientError carrying a retry-after hint,
+// the way a 429 response carries a Retry-After header: the pipeline
+// sleeps exactly the hinted duration before the next attempt instead
+// of its jittered exponential backoff.
+func TransientErrorAfter(err error, retryAfter time.Duration) error {
+	return pipeline.TransientAfter(err, retryAfter)
+}
+
+// RetryAfterHint extracts the retry-after hint attached by
+// TransientErrorAfter, reporting false when err carries none.
+func RetryAfterHint(err error) (time.Duration, bool) { return pipeline.RetryAfter(err) }
 
 // Telemetry and request tracing.
 type (

@@ -61,6 +61,11 @@ curl -fsS "http://$ADDR/healthz" | jq -e '.status == "ok"' >/dev/null \
     || fail "/healthz is not ok"
 curl -fsS "http://$ADDR/readyz" | jq -e '.status == "ready"' >/dev/null \
     || fail "/readyz is not ready after startup"
+# Healthy backend: the degraded annotation must be absent (it appears
+# with degraded=llm_breaker_open when the LLM breaker is open; see
+# scripts/chaos_smoke.sh for the outage side of this contract).
+curl -fsS "http://$ADDR/readyz" | jq -e 'has("degraded") | not' >/dev/null \
+    || fail "/readyz carries a degraded annotation on a healthy backend"
 curl -fsSi "http://$ADDR/healthz" | grep -qi '^x-request-id:' \
     || fail "response lacks an X-Request-ID header"
 
@@ -93,6 +98,12 @@ curl -fsS "http://$ADDR/stats" \
 curl -fsS "http://$ADDR/stats" \
     | jq -e '.telemetry.enabled == true and .telemetry.resolve_total == 2' >/dev/null \
     || fail "stats lack the telemetry block"
+# The fault-tolerance layer is on by default and idle on a healthy
+# backend: breaker closed, nothing shed, deferred queue empty.
+curl -fsS "http://$ADDR/stats" \
+    | jq -e '.resilience.enabled == true and .resilience.breaker_state == "closed"
+             and .resilience.shed == 0 and .resilience.deferred_queue == 0' >/dev/null \
+    || fail "stats lack the resilience block"
 curl -fsSi "http://$ADDR/stats" | grep -qi '^cache-control: no-store' \
     || fail "/stats is missing Cache-Control: no-store"
 
