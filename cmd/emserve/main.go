@@ -115,6 +115,7 @@ func main() {
 	reasonTier := flag.Bool("reason-tier", false, "re-decide pairs whose LLM verdict conflicts with the local scorer via a structured reasoning prompt")
 	shards := flag.Int("shards", 0, "index shards (0 = default)")
 	candidates := flag.Int("candidates", 0, "max blocking candidates per resolve (0 = default)")
+	deferExtraction := flag.Bool("defer-extraction", false, "skip feature extraction at ingest; extract lazily (and cache) when a record first surfaces as a candidate — faster bulk loads")
 	workers := flag.Int("workers", 0, "LLM pipeline workers (0 = default)")
 	dispatchPairs := flag.Int("dispatch-pairs", 16, "coalesce uncertain pairs from concurrent resolves into batched prompts of up to N pairs (0 = one round-trip per pair)")
 	dispatchFlush := flag.Duration("dispatch-flush", 0, "max wait for batch-mates before a partial batch is flushed (0 = default)")
@@ -177,17 +178,18 @@ func main() {
 	ready := &atomic.Bool{}
 
 	store, err := llm4em.OpenStore(client, llm4em.StoreOptions{
-		Shards:        *shards,
-		MaxCandidates: *candidates,
-		Design:        design,
-		Domain:        domain,
-		Workers:       *workers,
-		DispatchPairs: *dispatchPairs,
-		DispatchFlush: *dispatchFlush,
-		PersistDir:    *persistDir,
-		SnapshotEvery: *snapshotEvery,
-		SyncEvery:     *syncEvery,
-		Telemetry:     tel,
+		Shards:          *shards,
+		MaxCandidates:   *candidates,
+		DeferExtraction: *deferExtraction,
+		Design:          design,
+		Domain:          domain,
+		Workers:         *workers,
+		DispatchPairs:   *dispatchPairs,
+		DispatchFlush:   *dispatchFlush,
+		PersistDir:      *persistDir,
+		SnapshotEvery:   *snapshotEvery,
+		SyncEvery:       *syncEvery,
+		Telemetry:       tel,
 		Resilience: llm4em.ResilienceOptions{
 			Enabled: *resilienceOn,
 			Breaker: llm4em.BreakerOptions{

@@ -18,15 +18,21 @@ import (
 	"llm4em/internal/telemetry"
 )
 
-// server exposes a resolution store over HTTP JSON. Endpoints:
+// server exposes a resolution store over HTTP JSON. The canonical API
+// lives under the /v1 prefix:
 //
-//	POST /records       {"records":[{"id","attrs":[{"name","value"}]}]} — ingest
-//	POST /resolve       {"id","attrs":[...]} — resolve one query record
-//	GET  /entities/{id} — entity group containing the ID
-//	GET  /stats         — store and engine counters (JSON)
-//	GET  /metrics       — Prometheus text exposition
-//	GET  /healthz       — liveness: store can still serve mutations
-//	GET  /readyz        — readiness: recovery/preload done and store live
+//	POST /v1/records       {"records":[{"id","attrs":[{"name","value"}]}]} — ingest
+//	POST /v1/resolve       {"id","attrs":[...]} — resolve one query record
+//	GET  /v1/entities/{id} — entity group containing the ID
+//	GET  /v1/stats         — store and engine counters (JSON)
+//	GET  /v1/metrics       — Prometheus text exposition
+//	GET  /v1/healthz       — liveness: store can still serve mutations
+//	GET  /v1/readyz        — readiness: recovery/preload done and store live
+//
+// Every route is also served unprefixed (POST /records, …) with the
+// same shapes for pre-v1 clients; those aliases answer with a
+// "Deprecation: true" header and a Link to the /v1 successor so
+// callers can migrate without a flag day.
 type server struct {
 	store *llm4em.Store
 	tel   *llm4em.Telemetry
@@ -75,14 +81,35 @@ func newHandler(cfg handlerConfig) http.Handler {
 	s := &server{store: cfg.store, tel: cfg.tel, log: cfg.log, ready: cfg.ready,
 		resolveTimeout: cfg.resolveTimeout}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /records", s.instrument("records", s.addRecords))
-	mux.HandleFunc("POST /resolve", s.instrument("resolve", s.resolve))
-	mux.HandleFunc("GET /entities/{id}", s.instrument("entities", s.entity))
-	mux.HandleFunc("GET /stats", s.instrument("stats", s.stats))
-	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics))
-	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.healthz))
-	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.readyz))
+	routes := []struct {
+		method, path, name string
+		h                  http.HandlerFunc
+	}{
+		{"POST", "/records", "records", s.addRecords},
+		{"POST", "/resolve", "resolve", s.resolve},
+		{"GET", "/entities/{id}", "entities", s.entity},
+		{"GET", "/stats", "stats", s.stats},
+		{"GET", "/metrics", "metrics", s.metrics},
+		{"GET", "/healthz", "healthz", s.healthz},
+		{"GET", "/readyz", "readyz", s.readyz},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" /v1"+rt.path, s.instrument(rt.name, rt.h))
+		mux.HandleFunc(rt.method+" "+rt.path, s.instrument(rt.name, deprecatedAlias(rt.h)))
+	}
 	return mux
+}
+
+// deprecatedAlias wraps a handler serving a legacy unprefixed route:
+// the response carries a Deprecation header (RFC 9745) and a Link to
+// the /v1 successor of the exact request path, so clients still on
+// the pre-v1 surface learn where to move without breaking.
+func deprecatedAlias(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
 }
 
 // probeRoutes are scraped/polled constantly; their access lines log at

@@ -71,19 +71,19 @@ func TestServerEndToEnd(t *testing.T) {
 	srv := newTestServer(t)
 
 	// Ingest.
-	resp, body := postJSON(t, srv.URL+"/records", seedBody)
+	resp, body := postJSON(t, srv.URL+"/v1/records", seedBody)
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("POST /records = %d: %v", resp.StatusCode, body)
+		t.Fatalf("POST /v1/records = %d: %v", resp.StatusCode, body)
 	}
 	if body["added"].(float64) != 3 || body["records"].(float64) != 3 {
 		t.Fatalf("ingest response %v", body)
 	}
 
 	// Resolve a near-duplicate of r1.
-	resp, body = postJSON(t, srv.URL+"/resolve",
+	resp, body = postJSON(t, srv.URL+"/v1/resolve",
 		`{"id":"q1","attrs":[{"name":"title","value":"Sony DSC-120B Cybershot camera (black)"},{"name":"price","value":"351.00"}]}`)
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("POST /resolve = %d: %v", resp.StatusCode, body)
+		t.Fatalf("POST /v1/resolve = %d: %v", resp.StatusCode, body)
 	}
 	if body["query_id"] != "q1" {
 		t.Errorf("query_id = %v", body["query_id"])
@@ -117,9 +117,9 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// Entity lookup for a member that was only a stored record.
-	resp, body = getJSON(t, srv.URL+"/entities/r1")
+	resp, body = getJSON(t, srv.URL+"/v1/entities/r1")
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /entities/r1 = %d: %v", resp.StatusCode, body)
+		t.Fatalf("GET /v1/entities/r1 = %d: %v", resp.StatusCode, body)
 	}
 	if body["entity_id"] != "q1" {
 		t.Errorf("entity_id = %v", body["entity_id"])
@@ -130,9 +130,9 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// Stats reflect the flow.
-	resp, body = getJSON(t, srv.URL+"/stats")
+	resp, body = getJSON(t, srv.URL+"/v1/stats")
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /stats = %d", resp.StatusCode)
+		t.Fatalf("GET /v1/stats = %d", resp.StatusCode)
 	}
 	if body["records"].(float64) != 3 || body["resolves"].(float64) != 1 {
 		t.Errorf("stats = %v", body)
@@ -142,6 +142,58 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 	if _, ok := body["engine"].(map[string]any); !ok {
 		t.Errorf("stats missing engine block: %v", body)
+	}
+}
+
+// TestAPIVersioning pins the /v1 surface: canonical routes answer
+// without deprecation metadata, while the legacy unprefixed aliases
+// serve the same shapes and flag themselves with a Deprecation header
+// plus a Link to the /v1 successor.
+func TestAPIVersioning(t *testing.T) {
+	srv := newTestServer(t)
+	if resp, body := postJSON(t, srv.URL+"/v1/records", seedBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/records = %d: %v", resp.StatusCode, body)
+	}
+
+	// Canonical routes carry no deprecation metadata.
+	resp, _ := getJSON(t, srv.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats = %d", resp.StatusCode)
+	}
+	if d := resp.Header.Get("Deprecation"); d != "" {
+		t.Errorf("/v1/stats carries Deprecation %q", d)
+	}
+
+	// Legacy aliases serve the same shapes, flagged as deprecated.
+	for _, path := range []string{"/stats", "/entities/r1", "/healthz", "/readyz"} {
+		resp, body := getJSON(t, srv.URL+path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %v", path, resp.StatusCode, body)
+		}
+		if d := resp.Header.Get("Deprecation"); d != "true" {
+			t.Errorf("GET %s: Deprecation = %q, want \"true\"", path, d)
+		}
+		want := fmt.Sprintf("</v1%s>; rel=\"successor-version\"", path)
+		if l := resp.Header.Get("Link"); l != want {
+			t.Errorf("GET %s: Link = %q, want %q", path, l, want)
+		}
+	}
+
+	// Legacy and /v1 answer from the same store.
+	_, legacy := getJSON(t, srv.URL+"/stats")
+	_, v1 := getJSON(t, srv.URL+"/v1/stats")
+	if legacy["records"] != v1["records"] || legacy["records"].(float64) != 3 {
+		t.Errorf("alias and /v1 disagree: legacy %v, v1 %v", legacy["records"], v1["records"])
+	}
+
+	// A versioned POST alias too: resolve through the legacy route.
+	resp, body := postJSON(t, srv.URL+"/resolve",
+		`{"id":"q-alias","attrs":[{"name":"title","value":"epson workforce 845 printer"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy POST /resolve = %d: %v", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("legacy POST /resolve missing Deprecation header")
 	}
 }
 

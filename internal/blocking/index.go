@@ -19,11 +19,21 @@ import (
 //
 // Internally the index is built for the serving hot path: token
 // strings are interned into dense uint32 IDs (tokenize.Vocab), the
-// postings are a slice of position lists over those IDs, per-token IDF
-// weights are cached between queries, query scoring runs over a
-// pooled flat scratch (epoch-marked, so it is never cleared), and
-// bounded results come from top-K heap selection instead of a full
-// sort. Query and QueryTokens allocate only the returned slice.
+// postings are delta+varint compressed streams over those IDs
+// (postings.go) with sealed-block skip metadata, per-token IDF weights
+// are cached between queries, and bounded results come from top-K heap
+// selection. Bounded queries on a pruned index run document-at-a-time
+// with WAND pruning (wand.go), skipping posting blocks that cannot
+// reach the heap floor; the exhaustive term-at-a-time scan over a
+// pooled flat scratch remains as the unbounded/reference path. Query
+// and QueryTokens allocate only the returned slice.
+//
+// An Index comes in two storage modes. A fresh index (BuildIndex)
+// holds everything on the heap. A mapped index (OpenMapped) serves
+// postings, token table and records straight out of an mmap'ed
+// snapshot file (snapshot.go) and overlays post-open Adds as heap
+// extensions chained onto the mapped streams — reopening at 10M
+// records costs milliseconds, not an ingest replay.
 //
 // Token weights are derived from document frequencies at query time
 // (IDF = log(1 + n/df)), so an Index stays correct as records are
@@ -37,23 +47,39 @@ import (
 // concurrent Query with a lock (internal/resolve shards do).
 // Concurrent Queries are safe with each other.
 type Index struct {
-	stopFrac float64
-	vocab    *tokenize.Vocab
-	records  []entity.Record
-	// postings[id] lists the positions containing token id, ascending;
-	// its length is the token's document frequency.
-	postings [][]int32
+	stopFrac   float64
+	compressed bool
+	pruned     bool
+	vocab      *tokenize.Vocab
+	// snap is the mmap'ed base of an OpenMapped index; nil for a fresh
+	// one. When set, vocab holds only tokens first seen after the open,
+	// their IDs offset by snap.nTokens, and records holds only records
+	// added after it, their positions offset by snap.nRecords.
+	snap    *mappedIndex
+	records []entity.Record
+	// Exactly one postings representation is active. posts (fresh,
+	// compressed) is dense by token ID; overlay (mapped, compressed) is
+	// sparse because post-restart Adds touch few of the snapshot's
+	// tokens; postsRaw is the CompressionNone reference: raw ascending
+	// positions, length = document frequency.
+	posts    []postingList
+	overlay  map[uint32]*postingList
+	postsRaw [][]int32
 	// idfBits/idfAtN cache math.Float64bits of each token's IDF weight
 	// and the record count n it was computed at. Queries fill the
 	// cache through atomics: concurrent fillers write identical values
 	// (n and df are fixed while queries run), so the worst case is a
 	// redundant Log, never a torn or stale read — a reader only trusts
-	// idfBits after observing the matching idfAtN.
+	// idfBits after observing the matching idfAtN. On a mapped index
+	// the slices are allocated zeroed at open (zeroed pages, not a
+	// replayed computation): IDF materializes lazily per token on first
+	// use, as the snapshot stores none.
 	idfBits []uint64
 	idfAtN  []uint64
-	// addIDs is the tokenization scratch of Add (mutation path, so a
-	// single shared buffer is safe).
+	// addIDs/addBuf are the tokenization scratch of Add (mutation path,
+	// so single shared buffers are safe).
 	addIDs []uint32
+	addBuf []byte
 	// scratch pools per-query state so concurrent queries do not
 	// contend and repeated ones do not allocate.
 	scratch sync.Pool
@@ -74,33 +100,78 @@ func (ix *Index) SetMetrics(m telemetry.BlockingMetrics) { ix.met = m }
 const stopMinDocs = 5
 
 // queryScratch is the reusable per-query state: token IDs, the flat
-// score accumulator with its epoch marks, the touched-position list
-// and the top-K heap.
+// score accumulator with its epoch marks (term-at-a-time path), the
+// touched-position list, the top-K heap, and the cursor set of the
+// document-at-a-time path.
 type queryScratch struct {
 	ids     []uint32
 	buf     []byte
+	scan    tokenize.Scanner
+	terms   []scoreTerm
 	scores  []float64
 	epoch   []uint32
 	cur     uint32
 	touched []int32
 	heap    []Candidate
+	cursor  plCursor
+	cursors []plCursor
+	weights []float64
+	order   []int32
 }
 
-// NewIndex builds an index over the records. stopFrac is the stop-token
-// document-frequency fraction; values below zero disable no tokens
-// explicitly (a literal zero), values of one or more disable stop-token
-// filtering entirely.
-func NewIndex(records []entity.Record, stopFrac float64) *Index {
+// scoreTerm is one deduplicated, stop-filtered query token with its
+// document frequency — the shared input of both scoring paths.
+type scoreTerm struct {
+	id uint32
+	df int32
+}
+
+// BuildIndex builds an index over the records with the given options
+// (the zero IndexOptions selects all defaults). To serve an index out
+// of an mmap'ed snapshot instead of rebuilding, see OpenMapped.
+func BuildIndex(records []entity.Record, opts IndexOptions) *Index {
 	ix := &Index{
-		stopFrac: math.Max(stopFrac, 0),
-		vocab:    tokenize.NewVocab(),
-		records:  make([]entity.Record, 0, len(records)),
+		stopFrac:   opts.stopDocFrac(),
+		compressed: opts.compressed(),
+		pruned:     opts.pruned(),
+		vocab:      tokenize.NewVocab(),
+		records:    make([]entity.Record, 0, len(records)),
 	}
 	ix.scratch.New = func() any { return &queryScratch{} }
 	for _, r := range records {
 		ix.Add(r)
 	}
 	return ix
+}
+
+// NewIndex builds an index over the records. stopFrac is the stop-token
+// document-frequency fraction; values below zero disable no tokens
+// explicitly (a literal zero), values of one or more disable stop-token
+// filtering entirely.
+//
+// Deprecated: use BuildIndex with IndexOptions — the explicit
+// StopDocFrac field replaces both the positional parameter and its
+// negative sentinel. This shim selects the v1 defaults (varint
+// compression, block-max pruning).
+func NewIndex(records []entity.Record, stopFrac float64) *Index {
+	return BuildIndex(records, IndexOptions{StopDocFrac: Float(stopFrac)})
+}
+
+// snapTokens returns the number of token IDs owned by the mapped base.
+func (ix *Index) snapTokens() uint32 {
+	if ix.snap == nil {
+		return 0
+	}
+	return ix.snap.nTokens
+}
+
+// snapRecords returns the number of record positions owned by the
+// mapped base.
+func (ix *Index) snapRecords() int {
+	if ix.snap == nil {
+		return 0
+	}
+	return int(ix.snap.nRecords)
 }
 
 // Add appends one record to the index and returns its position.
@@ -113,14 +184,15 @@ func (ix *Index) Add(r entity.Record) int {
 // re-serialization — the resolve store serializes once per record for
 // its feature-extraction cache and hands the same text here.
 func (ix *Index) AddSerialized(r entity.Record, text string) int {
-	pos := len(ix.records)
+	pos := ix.Len()
 	ix.records = append(ix.records, r)
-	ids := ix.vocab.AppendIDs(ix.addIDs[:0], text)
-	for n := ix.vocab.Len(); len(ix.postings) < n; {
-		ix.postings = append(ix.postings, nil)
-		ix.idfBits = append(ix.idfBits, 0)
-		ix.idfAtN = append(ix.idfAtN, 0)
+	var ids []uint32
+	if ix.snap == nil {
+		ids = ix.vocab.AppendIDs(ix.addIDs[:0], text)
+	} else {
+		ids = ix.appendInternIDs(ix.addIDs[:0], text)
 	}
+	ix.growTokens()
 	// First occurrence per record only: df counts documents.
 	for i, id := range ids {
 		dup := false
@@ -130,19 +202,133 @@ func (ix *Index) AddSerialized(r entity.Record, text string) int {
 				break
 			}
 		}
-		if !dup {
-			ix.postings[id] = append(ix.postings[id], int32(pos))
+		if dup {
+			continue
+		}
+		switch {
+		case !ix.compressed:
+			ix.postsRaw[id] = append(ix.postsRaw[id], int32(pos))
+		case ix.snap == nil:
+			ix.posts[id].add(int32(pos), -1)
+		default:
+			pl := ix.overlay[id]
+			if pl == nil {
+				pl = &postingList{}
+				ix.overlay[id] = pl
+			}
+			pl.add(int32(pos), ix.overlayBase(id))
 		}
 	}
 	ix.addIDs = ids[:0]
 	return pos
 }
 
-// Len returns the number of indexed records.
-func (ix *Index) Len() int { return len(ix.records) }
+// appendInternIDs tokenizes text for the mapped-index Add path:
+// tokens already in the snapshot's table keep their mapped ID, new
+// ones are interned into the live vocab with IDs offset past the
+// snapshot's.
+func (ix *Index) appendInternIDs(dst []uint32, text string) []uint32 {
+	var sc tokenize.Scanner
+	sc.Reset(text, ix.addBuf)
+	for {
+		tok, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if id, ok := ix.snap.lookup(tok); ok {
+			dst = append(dst, id)
+			continue
+		}
+		dst = append(dst, ix.snap.nTokens+ix.vocab.IDBytes(tok))
+	}
+	ix.addBuf = sc.Buf()
+	return dst
+}
 
-// Record returns the record at an index position.
-func (ix *Index) Record(pos int) entity.Record { return ix.records[pos] }
+// growTokens sizes the per-token parallel slices to the current token
+// count (mapped base + live vocab).
+func (ix *Index) growTokens() {
+	n := int(ix.snapTokens()) + ix.vocab.Len()
+	for len(ix.idfBits) < n {
+		ix.idfBits = append(ix.idfBits, 0)
+		ix.idfAtN = append(ix.idfAtN, 0)
+	}
+	switch {
+	case !ix.compressed:
+		for len(ix.postsRaw) < n {
+			ix.postsRaw = append(ix.postsRaw, nil)
+		}
+	case ix.snap == nil:
+		for len(ix.posts) < n {
+			ix.posts = append(ix.posts, postingList{})
+		}
+	}
+}
+
+// tokenDF returns the document frequency of a token across the mapped
+// base and the live overlay.
+func (ix *Index) tokenDF(id uint32) int {
+	if !ix.compressed {
+		return len(ix.postsRaw[id])
+	}
+	if ix.snap == nil {
+		return int(ix.posts[id].df)
+	}
+	df := 0
+	if id < ix.snap.nTokens {
+		df = int(ix.snap.tokenDF(id))
+	}
+	if pl := ix.overlay[id]; pl != nil {
+		df += int(pl.df)
+	}
+	return df
+}
+
+// overlayBase returns the delta base for the live extension of a
+// token: the mapped segment's last position, or -1 when the token has
+// no mapped postings.
+func (ix *Index) overlayBase(id uint32) int32 {
+	if id < ix.snap.nTokens && ix.snap.tokenDF(id) > 0 {
+		return ix.snap.tokenLastPos(id)
+	}
+	return -1
+}
+
+// initCursor points a cursor at the (up to two) posting segments of a
+// token. Callers only construct cursors for tokens with df > 0.
+func (ix *Index) initCursor(c *plCursor, id uint32) {
+	var segs [2]segView
+	n := 0
+	if ix.snap != nil {
+		if id < ix.snap.nTokens && ix.snap.tokenDF(id) > 0 {
+			segs[n] = ix.snap.tokenSeg(id)
+			n++
+		}
+		if pl := ix.overlay[id]; pl != nil && pl.df > 0 {
+			segs[n] = liveSeg(pl, ix.overlayBase(id))
+			n++
+		}
+	} else if pl := &ix.posts[id]; pl.df > 0 {
+		segs[n] = liveSeg(pl, -1)
+		n++
+	}
+	c.reset(segs, n)
+}
+
+// Len returns the number of indexed records.
+func (ix *Index) Len() int { return ix.snapRecords() + len(ix.records) }
+
+// Record returns the record at an index position. On a mapped index,
+// positions below the snapshot's record count decode from the map per
+// call — bounded queries surface only the top K, so callers touch a
+// handful per query.
+func (ix *Index) Record(pos int) entity.Record {
+	s := ix.snapRecords()
+	if pos < s {
+		return ix.snap.record(pos)
+	}
+	return ix.records[pos-s]
+}
 
 // Candidate is one query result: an index position and its summed IDF
 // overlap score.
@@ -156,14 +342,40 @@ type Candidate struct {
 // by decreasing score (ties broken by position). maxCandidates bounds
 // the result; zero or negative means unbounded.
 func (ix *Index) Query(text string, maxCandidates int, minScore float64) []Candidate {
-	if len(ix.records) == 0 {
+	if ix.Len() == 0 {
 		return nil
 	}
 	sc := ix.scratch.Get().(*queryScratch)
-	sc.ids, sc.buf = ix.vocab.AppendKnownIDs(sc.ids[:0], sc.buf, text)
+	if ix.snap == nil {
+		sc.ids, sc.buf = ix.vocab.AppendKnownIDs(sc.ids[:0], sc.buf, text)
+	} else {
+		ix.appendKnownIDsMapped(sc, text)
+	}
 	out := ix.queryIDs(sc, maxCandidates, minScore)
 	ix.scratch.Put(sc)
 	return out
+}
+
+// appendKnownIDsMapped resolves the tokens of text against the mapped
+// token table first, then the live vocab, into sc.ids. Unknown tokens
+// are skipped (zero document frequency). Read-only on the index.
+func (ix *Index) appendKnownIDsMapped(sc *queryScratch, text string) {
+	sc.ids = sc.ids[:0]
+	sc.scan.Reset(text, sc.buf)
+	for {
+		tok, ok := sc.scan.Next()
+		if !ok {
+			break
+		}
+		if id, ok := ix.snap.lookup(tok); ok {
+			sc.ids = append(sc.ids, id)
+			continue
+		}
+		if id, ok := ix.vocab.LookupBytes(tok); ok {
+			sc.ids = append(sc.ids, ix.snap.nTokens+id)
+		}
+	}
+	sc.buf = sc.scan.Buf()
 }
 
 // QueryTokens is Query over pre-split tokens (as produced by
@@ -171,22 +383,95 @@ func (ix *Index) Query(text string, maxCandidates int, minScore float64) []Candi
 // the sharded store — tokenize once and fan the tokens out. Duplicate
 // tokens are ignored, exactly as Query ignores repeated words.
 func (ix *Index) QueryTokens(tokens []string, maxCandidates int, minScore float64) []Candidate {
-	if len(ix.records) == 0 || len(tokens) == 0 {
+	if ix.Len() == 0 || len(tokens) == 0 {
 		return nil
 	}
 	sc := ix.scratch.Get().(*queryScratch)
-	sc.ids = ix.vocab.AppendKnownTokenIDs(sc.ids[:0], tokens)
+	if ix.snap == nil {
+		sc.ids = ix.vocab.AppendKnownTokenIDs(sc.ids[:0], tokens)
+	} else {
+		sc.ids = sc.ids[:0]
+		for _, t := range tokens {
+			if id, ok := ix.snap.lookupString(t); ok {
+				sc.ids = append(sc.ids, id)
+				continue
+			}
+			if id, ok := ix.vocab.Lookup(t); ok {
+				sc.ids = append(sc.ids, ix.snap.nTokens+id)
+			}
+		}
+	}
 	out := ix.queryIDs(sc, maxCandidates, minScore)
 	ix.scratch.Put(sc)
 	return out
 }
 
-// queryIDs scores the postings of sc.ids into the scratch and selects
-// the ranked result. Read-only on the index, so concurrent queries
-// are safe; sc is owned by this call.
+// wandMinPostings is the scoring-postings volume below which a bounded
+// query skips the WAND machinery: cursor setup, per-round sorting and
+// heap bookkeeping carry a fixed cost that only pruning large posting
+// lists can repay, while the flat accumulator scans a few hundred
+// postings in the same time. Both paths rank identically, so the
+// cutover is purely a cost decision.
+const wandMinPostings = 4 * postingBlock
+
+// wandThreshold is the cutover volume for a bounded query: the fixed
+// floor, or a multiple of the requested K when that is larger (a big K
+// keeps the heap floor low, so pruning starts paying later).
+func wandThreshold(maxCandidates int) int {
+	if t := 8 * maxCandidates; t > wandMinPostings {
+		return t
+	}
+	return wandMinPostings
+}
+
+// queryIDs scores the postings of sc.ids and selects the ranked
+// result. Read-only on the index, so concurrent queries are safe; sc
+// is owned by this call. The filtering pass below feeds both scorers:
+// bounded queries on a pruned index with enough scoring postings
+// (wandThreshold) take the document-at-a-time WAND path; everything
+// else scans term-at-a-time into the flat accumulator — the two
+// produce byte-identical rankings (scores are summed in the same token
+// order), which the differential tests pin.
 func (ix *Index) queryIDs(sc *queryScratch, maxCandidates int, minScore float64) []Candidate {
-	n := len(ix.records)
+	n := ix.Len()
 	nf := float64(n)
+
+	// One filtering pass shared by both scorers: deduplicate the query
+	// tokens, drop unknown and stop tokens (frequent both relatively
+	// and absolutely, so tiny collections keep their vocabulary), and
+	// total the scoring postings — the volume the WAND cutover weighs.
+	terms := sc.terms[:0]
+	var stopSkipped uint64
+	total := 0
+	ids := sc.ids
+	for i, id := range ids {
+		dup := false
+		for _, prev := range ids[:i] {
+			if prev == id {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		df := ix.tokenDF(id)
+		if df == 0 {
+			continue
+		}
+		if float64(df)/nf > ix.stopFrac && df >= stopMinDocs {
+			stopSkipped++
+			continue
+		}
+		terms = append(terms, scoreTerm{id: id, df: int32(df)})
+		total += df
+	}
+	sc.terms = terms
+
+	if ix.pruned && maxCandidates > 0 && total >= wandThreshold(maxCandidates) {
+		return ix.queryWAND(sc, maxCandidates, minScore, stopSkipped)
+	}
+
 	if len(sc.scores) < n {
 		sc.scores = append(sc.scores, make([]float64, n-len(sc.scores))...)
 		sc.epoch = append(sc.epoch, make([]uint32, n-len(sc.epoch))...)
@@ -201,34 +486,48 @@ func (ix *Index) queryIDs(sc *queryScratch, maxCandidates int, minScore float64)
 	// Hot-path accounting stays in registers until the single flush
 	// below — enabled telemetry costs integer adds, never atomics in
 	// the scoring loop.
-	var scanned, stopSkipped, heapPushes uint64
+	var scanned, heapPushes uint64
 
-	ids := sc.ids
-	for i, id := range ids {
-		dup := false
-		for _, prev := range ids[:i] {
-			if prev == id {
-				dup = true
-				break
-			}
-		}
-		if dup {
-			continue
-		}
-		post := ix.postings[id]
-		df := len(post)
-		if df == 0 {
-			continue
-		}
-		// Stop tokens: frequent both relatively and absolutely, so
-		// tiny collections keep their vocabulary.
-		if float64(df)/nf > ix.stopFrac && df >= stopMinDocs {
-			stopSkipped++
-			continue
-		}
+	for _, t := range terms {
+		id, df := t.id, int(t.df)
 		scanned += uint64(df)
 		w := ix.idfWeight(id, n, df)
-		for _, pos := range post {
+		if !ix.compressed {
+			for _, pos := range ix.postsRaw[id] {
+				if sc.epoch[pos] != sc.cur {
+					sc.epoch[pos] = sc.cur
+					sc.scores[pos] = w
+					touched = append(touched, pos)
+				} else {
+					sc.scores[pos] += w
+				}
+			}
+			continue
+		}
+		if ix.snap == nil {
+			// Live list: one heap segment, decoded inline — the cursor's
+			// segment/block state machine costs more than these few
+			// additions for typical short lists.
+			pl := &ix.posts[id]
+			pos, off := int32(-1), 0
+			for k := int32(0); k < pl.df; k++ {
+				d, m := uvarint(pl.stream, off)
+				off += m
+				pos += int32(d)
+				if sc.epoch[pos] != sc.cur {
+					sc.epoch[pos] = sc.cur
+					sc.scores[pos] = w
+					touched = append(touched, pos)
+				} else {
+					sc.scores[pos] += w
+				}
+			}
+			continue
+		}
+		c := &sc.cursor
+		ix.initCursor(c, id)
+		for c.next() {
+			pos := c.cur
 			if sc.epoch[pos] != sc.cur {
 				sc.epoch[pos] = sc.cur
 				sc.scores[pos] = w

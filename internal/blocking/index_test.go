@@ -105,23 +105,37 @@ func TestIndexQueryBounds(t *testing.T) {
 	}
 }
 
-// TestExplicitZeroThresholds covers the zero-value config fix: the
-// zero value still selects the defaults, and negative values request
-// literal zeros.
+// TestExplicitZeroThresholds covers the zero-value config fix across
+// both API generations: the deprecated flat fields keep their sentinel
+// semantics (zero selects the default, ExplicitZero a literal zero),
+// the v1 Opts pointer fields express the same without a sentinel, and
+// a set Opts field wins over a deprecated one.
 func TestExplicitZeroThresholds(t *testing.T) {
 	b := &TokenBlocker{}
 	if got := b.minScore(); got != 1.0 {
 		t.Errorf("zero-value MinScore resolves to %v, want default 1.0", got)
 	}
-	if got := b.stopDocFrac(); got != 0.2 {
+	if got := b.indexOptions().stopDocFrac(); got != 0.2 {
 		t.Errorf("zero-value StopDocFrac resolves to %v, want default 0.2", got)
 	}
 	explicit := &TokenBlocker{MinScore: ExplicitZero, StopDocFrac: ExplicitZero}
 	if got := explicit.minScore(); got != 0 {
 		t.Errorf("ExplicitZero MinScore resolves to %v, want 0", got)
 	}
-	if got := explicit.stopDocFrac(); got != 0 {
+	if got := explicit.indexOptions().stopDocFrac(); got != 0 {
 		t.Errorf("ExplicitZero StopDocFrac resolves to %v, want 0", got)
+	}
+	v1 := &TokenBlocker{Opts: IndexOptions{MinScore: Float(0), StopDocFrac: Float(0)}}
+	if got := v1.minScore(); got != 0 {
+		t.Errorf("Opts.MinScore Float(0) resolves to %v, want 0", got)
+	}
+	if got := v1.indexOptions().stopDocFrac(); got != 0 {
+		t.Errorf("Opts.StopDocFrac Float(0) resolves to %v, want 0", got)
+	}
+	// Precedence: a set Opts field wins over a deprecated flat one.
+	mixed := &TokenBlocker{Opts: IndexOptions{MinScore: Float(2.5)}, MinScore: ExplicitZero}
+	if got := mixed.minScore(); got != 2.5 {
+		t.Errorf("set Opts.MinScore resolves to %v, want 2.5 over the deprecated field", got)
 	}
 
 	// Behavioral check for MinScore: a weak-overlap candidate that the

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package blocking
+
+import (
+	"errors"
+	"os"
+)
+
+// errMmapUnsupported makes OpenMapped fail cleanly on platforms
+// without mmap; callers fall back to rebuilding the index (the resolve
+// store replays its WAL+snapshot exactly as before the mmap path
+// existed).
+var errMmapUnsupported = errors.New("blocking: mmap is not supported on this platform")
+
+func mmapFile(*os.File, int) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnsupported
+}

@@ -7,6 +7,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // File names inside a persistence directory.
@@ -47,6 +48,37 @@ type Snapshot struct {
 	// decisions, so the queue carries the query records needed to
 	// rebuild their prompts. Absent in older snapshots.
 	Deferred []DeferredEntry `json:"deferred,omitempty"`
+	// IndexEpoch and IndexShards bind the per-shard mmap index
+	// snapshots (IndexFileName, written by the blocking layer) to this
+	// snapshot: IndexShards > 0 says the ingested records live in those
+	// files instead of Records, and IndexEpoch names the generation
+	// this snapshot committed — files of any other epoch are leftovers
+	// of an interrupted checkpoint and must be ignored. Zero means a
+	// records-inline snapshot (an older store, or the index snapshot
+	// write failed and the checkpoint fell back).
+	IndexEpoch  uint64 `json:"index_epoch,omitempty"`
+	IndexShards int    `json:"index_shards,omitempty"`
+}
+
+// IndexFileName names one shard's mmap index snapshot within a
+// persistence directory. The epoch in the name is the binding to
+// snapshot.json: the JSON snapshot commits (atomic rename) only after
+// every shard's file of its epoch is fully written, so a crash
+// mid-checkpoint leaves the previous epoch referenced and intact.
+func IndexFileName(epoch uint64, shard int) string {
+	return fmt.Sprintf("index-%d-%03d.emx", epoch, shard)
+}
+
+// RemoveIndexFiles deletes the index snapshots of every epoch except
+// keep — best-effort cleanup of generations no snapshot references.
+func RemoveIndexFiles(dir string, keep uint64) {
+	matches, _ := filepath.Glob(filepath.Join(dir, "index-*.emx"))
+	prefix := fmt.Sprintf("index-%d-", keep)
+	for _, m := range matches {
+		if !strings.HasPrefix(filepath.Base(m), prefix) {
+			os.Remove(m)
+		}
+	}
 }
 
 // WriteSnapshot atomically replaces the snapshot in dir: the state is

@@ -6,10 +6,12 @@ import (
 	"path/filepath"
 	"time"
 
+	"llm4em/internal/blocking"
 	"llm4em/internal/entity"
 	"llm4em/internal/features"
 	"llm4em/internal/llm"
 	"llm4em/internal/persist"
+	"llm4em/internal/telemetry"
 )
 
 // Open returns a store resolving against the client, durably backed
@@ -78,6 +80,16 @@ type persistState struct {
 	sinceSnapshot      int
 	sinceSync          int
 	closed             bool
+	// indexEpoch is the generation of the per-shard mmap index
+	// snapshots the last committed snapshot.json references (zero
+	// before the first mapped checkpoint); mappedShards counts shards
+	// served straight from an mmap at open, and mappedFallback reports
+	// that referenced index snapshots existed but could not be mapped
+	// (torn, truncated, version-mismatched or mmap-unsupported), so
+	// recovery degraded to the JSON snapshot and WAL contents.
+	indexEpoch     uint64
+	mappedShards   int
+	mappedFallback bool
 }
 
 // pairID keys the decision journal. A struct key keeps arbitrary
@@ -90,6 +102,9 @@ type pairID struct {
 // installSnapshot loads a compacted state into a fresh store. Called
 // before the store is shared, so field access needs no locks.
 func (s *Store) installSnapshot(snap *persist.Snapshot) error {
+	if snap.IndexShards > 0 {
+		s.installMapped(snap)
+	}
 	for _, re := range snap.Records {
 		r := re.Record
 		if r.ID == "" {
@@ -97,11 +112,11 @@ func (s *Store) installSnapshot(snap *persist.Snapshot) error {
 		}
 		sh := s.shardFor(r.ID)
 		text := r.Serialize()
-		ext := features.ExtractText(text)
-		sh.insertLocked(r, text, &ext)
+		sh.insertLocked(r, text, s.extractFor(text))
 		s.graph.Add(r.ID)
 	}
 	s.count.Store(int64(s.Len()))
+	s.pstate.recoveredRecords = s.Len()
 	for _, g := range snap.Groups {
 		if len(g) == 0 {
 			continue
@@ -155,10 +170,70 @@ func (s *Store) installSnapshot(snap *persist.Snapshot) error {
 		sel:              strategyTotalsOf(snap.Totals.SelectStrategy),
 		reason:           strategyTotalsOf(snap.Totals.ReasonStrategy),
 	}
-	s.pstate.recoveredRecords += len(snap.Records)
 	s.pstate.recoveredDecisions += len(snap.Journal)
 	s.pstate.recoveredResolves += snap.Resolves
 	return nil
+}
+
+// installMapped adopts the per-shard EMIX index snapshots the JSON
+// snapshot binds to (IndexEpoch/IndexShards): each shard's index —
+// records included — is mmap'ed into place instead of replaying the
+// ingest, so no record is re-serialized, re-extracted or re-indexed at
+// open; extractions materialize lazily as records surface as resolve
+// candidates, and the entity graph's singleton groups rebuild from a
+// cheap ID walk of the maps (non-singleton groups and resolved-query
+// singletons ride snap.Groups as always).
+//
+// Degradation is deliberate and silent at the API: a torn, truncated,
+// missing or version-mismatched index file — or a platform without
+// mmap — leaves the fresh empty shards in place and recovery continues
+// with whatever the JSON snapshot and the WAL carry; a shard-count
+// change re-inserts every mapped record under the new routing (a full
+// rebuild, exactly the pre-mmap cost). Called before the store is
+// shared, so field access needs no locks.
+func (s *Store) installMapped(snap *persist.Snapshot) {
+	dir := s.opts.PersistDir
+	opened := make([]*blocking.Index, 0, snap.IndexShards)
+	for i := 0; i < snap.IndexShards; i++ {
+		ix, err := blocking.OpenMapped(filepath.Join(dir, persist.IndexFileName(snap.IndexEpoch, i)), s.opts.blockingOptions())
+		if err != nil {
+			for _, o := range opened {
+				o.Close()
+			}
+			s.pstate.mappedFallback = true
+			return
+		}
+		opened = append(opened, ix)
+	}
+	s.pstate.indexEpoch = snap.IndexEpoch
+	if snap.IndexShards == len(s.shards) {
+		var bm telemetry.BlockingMetrics
+		if s.opts.Telemetry != nil {
+			bm = s.opts.Telemetry.Blocking
+		}
+		for i, ix := range opened {
+			ix.SetMetrics(bm)
+			sh := s.shards[i]
+			sh.ix = ix
+			n := ix.Len()
+			sh.ext = make([]*features.Extracted, n)
+			for pos := 0; pos < n; pos++ {
+				s.graph.Add(ix.RecordID(pos))
+			}
+			s.pstate.mappedShards++
+		}
+		return
+	}
+	for _, ix := range opened {
+		for pos := 0; pos < ix.Len(); pos++ {
+			r := ix.Record(pos)
+			sh := s.shardFor(r.ID)
+			text := r.Serialize()
+			sh.insertLocked(r, text, s.extractFor(text))
+			s.graph.Add(r.ID)
+		}
+		ix.Close()
+	}
 }
 
 // replay applies WAL entries on top of the snapshot state. Duplicate
@@ -176,12 +251,11 @@ func (s *Store) replay(entries []persist.Entry) error {
 			}
 			r := re.Record
 			sh := s.shardFor(r.ID)
-			if _, dup := sh.recs[r.ID]; dup {
+			if sh.hasLocked(r.ID) {
 				continue // already in the snapshot
 			}
 			text := r.Serialize()
-			ext := features.ExtractText(text)
-			sh.insertLocked(r, text, &ext)
+			sh.insertLocked(r, text, s.extractFor(text))
 			s.count.Add(1)
 			s.graph.Add(r.ID)
 			s.pstate.recoveredRecords++
@@ -387,18 +461,67 @@ func (s *Store) afterAppendLocked() error {
 // resets the WAL. Caller holds persistMu, which blocks concurrent
 // appends; any in-memory mutation not yet journaled lands in the
 // snapshot and its late WAL entry replays idempotently.
+//
+// The ingested records normally go out as per-shard EMIX index
+// snapshots (records, postings and token table in one mmap-ready
+// file), written for the next epoch before snapshot.json commits the
+// binding — the next Open then maps the shards instead of replaying
+// the ingest. Each shard's file is written under its read lock, so
+// Adds to that shard wait out its write. If any index write fails, the
+// checkpoint falls back to inlining the records in the JSON snapshot,
+// exactly the pre-mmap format.
 func (s *Store) checkpointLocked() error {
 	snap := &persist.Snapshot{}
-	for _, sh := range s.shards {
+	epoch := s.pstate.indexEpoch + 1
+	emxOK := true
+	for i, sh := range s.shards {
+		p := filepath.Join(s.opts.PersistDir, persist.IndexFileName(epoch, i))
 		sh.mu.RLock()
-		for _, r := range sh.recs {
-			snap.Records = append(snap.Records, persist.RecordEntry{Record: r})
-		}
+		err := sh.ix.WriteSnapshot(p)
 		sh.mu.RUnlock()
+		if err != nil {
+			emxOK = false
+			break
+		}
+	}
+	if emxOK {
+		snap.IndexEpoch = epoch
+		snap.IndexShards = len(s.shards)
+	} else {
+		// Drop whatever the failed pass wrote of the new epoch (the
+		// previous epoch stays — the committed snapshot references it
+		// until the rename below) and inline the records instead.
+		persist.RemoveIndexFiles(s.opts.PersistDir, s.pstate.indexEpoch)
+		for _, sh := range s.shards {
+			sh.mu.RLock()
+			for pos := 0; pos < sh.ix.Len(); pos++ {
+				snap.Records = append(snap.Records, persist.RecordEntry{Record: sh.ix.Record(pos)})
+			}
+			sh.mu.RUnlock()
+		}
 	}
 	s.graphMu.Lock()
 	snap.Groups = s.graph.Groups()
 	s.graphMu.Unlock()
+	if emxOK {
+		// Singleton groups of stored records rebuild from an ID walk of
+		// the mapped indexes at open — only matched groups and singleton
+		// resolved queries need the JSON to carry them.
+		kept := snap.Groups[:0]
+		for _, g := range snap.Groups {
+			if len(g) == 1 {
+				sh := s.shardFor(g[0])
+				sh.mu.RLock()
+				stored := sh.hasLocked(g[0])
+				sh.mu.RUnlock()
+				if stored {
+					continue
+				}
+			}
+			kept = append(kept, g)
+		}
+		snap.Groups = kept
+	}
 	snap.Journal = make([]persist.DecisionEntry, 0, len(s.journal))
 	for key, je := range s.journal {
 		je.QueryID = key.query
@@ -445,8 +568,18 @@ func (s *Store) checkpointLocked() error {
 		t0 = time.Now()
 	}
 	if err := persist.WriteSnapshot(s.opts.PersistDir, snap); err != nil {
+		if emxOK {
+			// snapshot.json still references the previous epoch — drop
+			// the orphaned new files, keep the referenced generation.
+			persist.RemoveIndexFiles(s.opts.PersistDir, s.pstate.indexEpoch)
+		}
 		return err
 	}
+	// The rename committed: snap.IndexEpoch (or, on fallback, the
+	// inline records) is now authoritative — every other index
+	// generation is garbage.
+	s.pstate.indexEpoch = epoch
+	persist.RemoveIndexFiles(s.opts.PersistDir, snap.IndexEpoch)
 	if err := s.wal.Reset(); err != nil {
 		return err
 	}
@@ -514,6 +647,7 @@ func (s *Store) Close() error {
 		s.disp.Close()
 	}
 	if s.wal == nil {
+		s.closeShards()
 		return nil
 	}
 	s.persistMu.Lock()
@@ -524,10 +658,21 @@ func (s *Store) Close() error {
 	s.pstate.closed = true
 	snapErr := s.checkpointLocked()
 	closeErr := s.wal.Close()
+	s.closeShards()
 	if snapErr != nil {
 		return snapErr
 	}
 	return closeErr
+}
+
+// closeShards releases the shard indexes' mmaps — a no-op per shard
+// unless the store was opened from mapped index snapshots.
+func (s *Store) closeShards() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.ix.Close()
+		sh.mu.Unlock()
+	}
 }
 
 // PersistStats snapshots the durability counters of a store.
@@ -545,6 +690,16 @@ type PersistStats struct {
 	// TruncatedTail reports that recovery dropped a torn final WAL
 	// entry — the signature of a crash mid-append.
 	TruncatedTail bool
+	// MappedShards counts shards served straight from an mmap'ed index
+	// snapshot at open (no ingest replay); MappedFallback reports that
+	// the snapshot referenced index files recovery could not map —
+	// torn, truncated, wrong version or no mmap support — so the store
+	// degraded to the JSON snapshot and WAL contents.
+	MappedShards   int
+	MappedFallback bool
+	// IndexEpoch is the committed generation of the per-shard index
+	// snapshots (zero before the first mapped checkpoint).
+	IndexEpoch uint64
 	// WALEntries and WALBytes describe appends since open; Snapshots
 	// counts compactions since open.
 	WALEntries uint64
@@ -574,6 +729,9 @@ func (s *Store) persistStats() PersistStats {
 		RecoveredDecisions: s.pstate.recoveredDecisions,
 		RecoveredResolves:  s.pstate.recoveredResolves,
 		TruncatedTail:      s.pstate.truncatedTail,
+		MappedShards:       s.pstate.mappedShards,
+		MappedFallback:     s.pstate.mappedFallback,
+		IndexEpoch:         s.pstate.indexEpoch,
 		WALEntries:         s.wal.Entries(),
 		WALBytes:           s.wal.Bytes(),
 		Snapshots:          s.pstate.snapshots,

@@ -74,7 +74,8 @@ const (
 
 // Options configures a Store. The zero value selects sensible
 // defaults throughout; negative MinScore/StopDocFrac request literal
-// zeros (see blocking.ExplicitZero).
+// zeros, and Blocking exposes the index layer's explicit v1 option
+// fields for callers that want to say so without a sentinel.
 type Options struct {
 	// Shards is the number of index shards (default DefaultShards).
 	Shards int
@@ -87,6 +88,20 @@ type Options struct {
 	// StopDocFrac is the stop-token document-frequency fraction of the
 	// shard indexes (default DefaultStopDocFrac; negative means zero).
 	StopDocFrac float64
+	// Blocking configures the shard indexes with the blocking layer's
+	// v1 options: the Compression and Pruning representation knobs plus
+	// explicit MinScore/StopDocFrac pointer fields, which — when set —
+	// win over the flat fields above (blocking.Float(0) expresses a
+	// literal zero without the negative sentinel). Nil keeps the flat
+	// fields and the index defaults (compressed, block-max pruned).
+	Blocking *blocking.IndexOptions
+	// DeferExtraction skips per-record feature extraction at ingest:
+	// Add and AddBatch only serialize and index, and a record's
+	// extraction materializes lazily — and is cached — the first time
+	// the record surfaces as a resolve candidate. Bulk ingest gets
+	// markedly cheaper; the first Resolve touching a cold record pays
+	// the extraction instead. Recovery replay honors it too.
+	DeferExtraction bool
 	// FanoutRecords is the stored-record count at which Resolve starts
 	// querying the shards in parallel (default DefaultFanoutRecords;
 	// negative keeps the fanout serial regardless of size).
@@ -157,6 +172,21 @@ func (o Options) withDefaults() Options {
 	if o.MaxCandidates <= 0 {
 		o.MaxCandidates = DefaultMaxCandidates
 	}
+	// A set Blocking pointer field wins over its flat counterpart; the
+	// explicit values fold into the flat fields' sentinel encoding so
+	// the defaulting below resolves both generations identically.
+	if b := o.Blocking; b != nil {
+		if b.MinScore != nil {
+			if o.MinScore = *b.MinScore; o.MinScore <= 0 {
+				o.MinScore = -1
+			}
+		}
+		if b.StopDocFrac != nil {
+			if o.StopDocFrac = *b.StopDocFrac; o.StopDocFrac <= 0 {
+				o.StopDocFrac = -1
+			}
+		}
+	}
 	if o.MinScore < 0 {
 		o.MinScore = 0
 	} else if o.MinScore == 0 {
@@ -188,6 +218,20 @@ func (o Options) withDefaults() Options {
 		o.DispatchFlush = DefaultDispatchFlush
 	}
 	return o
+}
+
+// blockingOptions is the shard indexes' build configuration: the
+// caller's Blocking overrides with the resolved flat thresholds filled
+// in (withDefaults already folded the precedence between the two
+// generations of fields).
+func (o Options) blockingOptions() blocking.IndexOptions {
+	var b blocking.IndexOptions
+	if o.Blocking != nil {
+		b = *o.Blocking
+	}
+	b.MinScore = blocking.Float(o.MinScore)
+	b.StopDocFrac = blocking.Float(o.StopDocFrac)
+	return b
 }
 
 // Typed errors, for callers (e.g. the HTTP front end) that map
@@ -243,50 +287,113 @@ type Store struct {
 // Records route to shards by ID hash, so concurrent Adds contend only
 // per shard; Resolves read every shard under its read lock.
 type shard struct {
-	mu   sync.RWMutex
-	ix   *blocking.Index
+	mu sync.RWMutex
+	ix *blocking.Index
+	// recs maps the IDs of records inserted since the store was built
+	// or opened. A store restarted from a mapped index snapshot keeps
+	// its base records in the mmap — hasLocked/recordLocked consult the
+	// snapshot's on-disk ID hash for those instead of duplicating them
+	// here.
 	recs map[string]entity.Record
 	// ext caches each record's feature extraction, position-aligned
 	// with ix, so the cascade scores candidates without re-extracting
-	// (or re-serializing) them on every Resolve. Pointers are handed
-	// out to queries and stay valid across append growth; the pointed-
-	// to extractions are immutable once stored — PairFeatures only
-	// reads them.
+	// (or re-serializing) them on every Resolve. Entries are nil for
+	// records whose extraction is deferred (Options.DeferExtraction, or
+	// any record behind a mapped restart) until fillExtracted
+	// materializes them. Pointers are handed out to queries and stay
+	// valid across append growth; the pointed-to extractions are
+	// immutable once stored — PairFeatures only reads them.
 	ext []*features.Extracted
 }
 
-// insertLocked indexes one pre-serialized, pre-extracted record. The
-// caller holds mu (or has exclusive access during recovery) and has
-// already rejected duplicates.
+// insertLocked indexes one pre-serialized record (ext may be nil for
+// deferred extraction). The caller holds mu (or has exclusive access
+// during recovery) and has already rejected duplicates.
 func (sh *shard) insertLocked(r entity.Record, text string, ext *features.Extracted) {
 	sh.recs[r.ID] = r
 	sh.ix.AddSerialized(r, text)
 	sh.ext = append(sh.ext, ext)
 }
 
+// hasLocked reports whether a record ID is stored in the shard —
+// inserted live, or part of the mapped base. Caller holds mu.
+func (sh *shard) hasLocked(id string) bool {
+	if _, ok := sh.recs[id]; ok {
+		return true
+	}
+	_, ok := sh.ix.RecordPos(id)
+	return ok
+}
+
+// recordLocked returns a stored record by ID, decoding from the mapped
+// base when the live map misses. Caller holds mu.
+func (sh *shard) recordLocked(id string) (entity.Record, bool) {
+	if r, ok := sh.recs[id]; ok {
+		return r, true
+	}
+	if pos, ok := sh.ix.RecordPos(id); ok {
+		return sh.ix.Record(pos), true
+	}
+	return entity.Record{}, false
+}
+
 // collect queries one shard for blocking candidates and copies the
 // matching records out under the read lock, appending to dst (a
 // reusable buffer owned by the caller). words is the pre-split query
-// tokenization shared by every shard.
+// tokenization shared by every shard. Candidates whose extraction was
+// deferred are materialized after the read lock drops.
 func (sh *shard) collect(dst []scored, qid string, words []string, maxCandidates int, minScore float64) []scored {
+	start := len(dst)
+	lazy := false
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	for _, c := range sh.ix.QueryTokens(words, maxCandidates, minScore) {
 		r := sh.ix.Record(c.Pos)
 		if r.ID == qid {
 			continue // re-resolving an added record
 		}
-		dst = append(dst, scored{rec: r, ext: sh.ext[c.Pos], score: c.Score})
+		ext := sh.ext[c.Pos]
+		if ext == nil {
+			lazy = true
+		}
+		dst = append(dst, scored{rec: r, ext: ext, score: c.Score, pos: c.Pos})
+	}
+	sh.mu.RUnlock()
+	if lazy {
+		sh.fillExtracted(dst[start:])
 	}
 	return dst
 }
 
+// fillExtracted materializes deferred feature extractions for
+// collected candidates. Extraction (pure, deterministic) runs outside
+// any lock; the result publishes under a brief write lock with a
+// double-check, so concurrent Resolves racing on the same cold record
+// converge on one cached pointer.
+func (sh *shard) fillExtracted(cs []scored) {
+	for i := range cs {
+		if cs[i].ext != nil {
+			continue
+		}
+		e := features.ExtractText(cs[i].rec.Serialize())
+		sh.mu.Lock()
+		if cur := sh.ext[cs[i].pos]; cur != nil {
+			cs[i].ext = cur
+		} else {
+			sh.ext[cs[i].pos] = &e
+			cs[i].ext = &e
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // scored is one blocking candidate copied out of a shard: the record,
-// its cached feature extraction and the summed-IDF blocking score.
+// its cached feature extraction, the summed-IDF blocking score and the
+// shard-index position it came from.
 type scored struct {
 	rec   entity.Record
 	ext   *features.Extracted
 	score float64
+	pos   int
 }
 
 // resolveScratch pools the per-shard candidate buffers of
@@ -465,12 +572,22 @@ func newStore(client llm.Client, opts Options) *Store {
 	s.rscratch.New = func() any { return &resolveScratch{} }
 	for i := range s.shards {
 		s.shards[i] = &shard{
-			ix:   blocking.NewIndex(nil, o.StopDocFrac),
+			ix:   blocking.BuildIndex(nil, o.blockingOptions()),
 			recs: map[string]entity.Record{},
 		}
 		s.shards[i].ix.SetMetrics(bm)
 	}
 	return s
+}
+
+// extractFor runs ingest-time feature extraction — or defers it to the
+// first resolve that surfaces the record (Options.DeferExtraction).
+func (s *Store) extractFor(text string) *features.Extracted {
+	if s.opts.DeferExtraction {
+		return nil
+	}
+	e := features.ExtractText(text)
+	return &e
 }
 
 // shardIndex routes a record ID to its shard slot.
@@ -493,14 +610,14 @@ func (s *Store) Add(r entity.Record) error {
 		return ErrNoID
 	}
 	text := r.Serialize()
-	ext := features.ExtractText(text)
+	ext := s.extractFor(text)
 	sh := s.shardFor(r.ID)
 	sh.mu.Lock()
-	if _, dup := sh.recs[r.ID]; dup {
+	if sh.hasLocked(r.ID) {
 		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrDuplicateID, r.ID)
 	}
-	sh.insertLocked(r, text, &ext)
+	sh.insertLocked(r, text, ext)
 	sh.mu.Unlock()
 	s.count.Add(1)
 
@@ -565,9 +682,8 @@ func (s *Store) AddBatch(rs []entity.Record) error {
 	byShard := make([][]prepared, len(s.shards))
 	for _, r := range rs {
 		text := r.Serialize()
-		ext := features.ExtractText(text)
 		i := s.shardIndex(r.ID)
-		byShard[i] = append(byShard[i], prepared{rec: r, text: text, ext: &ext})
+		byShard[i] = append(byShard[i], prepared{rec: r, text: text, ext: s.extractFor(text)})
 	}
 
 	var inserted []entity.Record
@@ -580,7 +696,7 @@ insert:
 		sh := s.shards[i]
 		sh.mu.Lock()
 		for _, p := range group {
-			if _, dup := sh.recs[p.rec.ID]; dup {
+			if sh.hasLocked(p.rec.ID) {
 				insertErr = fmt.Errorf("%w: %q", ErrDuplicateID, p.rec.ID)
 				sh.mu.Unlock()
 				break insert
@@ -626,7 +742,7 @@ insert:
 func (s *Store) Record(id string) (entity.Record, bool) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	r, ok := sh.recs[id]
+	r, ok := sh.recordLocked(id)
 	sh.mu.RUnlock()
 	return r, ok
 }
@@ -636,7 +752,7 @@ func (s *Store) Len() int {
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		n += len(sh.recs)
+		n += sh.ix.Len()
 		sh.mu.RUnlock()
 	}
 	return n

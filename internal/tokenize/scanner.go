@@ -1,0 +1,56 @@
+package tokenize
+
+import (
+	"unicode"
+	"unicode/utf8"
+)
+
+// Scanner yields the tokens of a string one at a time — maximal
+// lower-cased runs of letters and digits, exactly the split Words and
+// Vocab.AppendIDs apply — without materializing token strings. Callers
+// that map tokens against more than one lookup structure (the blocking
+// index probes an mmap'ed snapshot's token table before its live
+// vocabulary) drive the split themselves through a Scanner instead of
+// the Vocab append helpers.
+//
+// The byte slice Next returns aliases the scanner's scratch buffer and
+// is valid only until the following Next or Reset. A Scanner is
+// single-use state, not safe for concurrent use; pools of query
+// scratch hold one each.
+type Scanner struct {
+	s   string
+	i   int
+	buf []byte
+}
+
+// Reset points the scanner at s. buf is the caller-owned lower-casing
+// scratch to (re)use; retrieve its grown form with Buf after scanning.
+func (sc *Scanner) Reset(s string, buf []byte) {
+	sc.s = s
+	sc.i = 0
+	sc.buf = buf[:0]
+}
+
+// Next returns the next token, or ok == false when the string is
+// exhausted.
+func (sc *Scanner) Next() (tok []byte, ok bool) {
+	buf := sc.buf[:0]
+	for sc.i < len(sc.s) {
+		r, n := utf8.DecodeRuneInString(sc.s[sc.i:])
+		sc.i += n
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			buf = utf8.AppendRune(buf, unicode.ToLower(r))
+			continue
+		}
+		if len(buf) > 0 {
+			sc.buf = buf
+			return buf, true
+		}
+	}
+	sc.buf = buf
+	return buf, len(buf) > 0
+}
+
+// Buf returns the scanner's (possibly grown) scratch buffer so pooled
+// callers can carry it to the next Reset.
+func (sc *Scanner) Buf() []byte { return sc.buf }

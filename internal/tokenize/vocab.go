@@ -53,6 +53,19 @@ func (v *Vocab) Lookup(tok string) (uint32, bool) {
 	return id, ok
 }
 
+// LookupBytes is Lookup over a byte-slice token (as a Scanner yields
+// them), probing the map without allocating. Read-only; safe to call
+// concurrently with other readers.
+func (v *Vocab) LookupBytes(tok []byte) (uint32, bool) {
+	id, ok := v.ids[string(tok)] // no-alloc map probe
+	return id, ok
+}
+
+// IDBytes interns a token given as bytes (as a Scanner yields them),
+// allocating its string only on first sight. Mutation path: callers
+// must serialize it with ID/AppendIDs and with each other.
+func (v *Vocab) IDBytes(tok []byte) uint32 { return v.internBytes(tok) }
+
 // AppendIDs tokenizes s exactly like Words — maximal lower-cased runs
 // of letters and digits — interning every token, and appends the IDs
 // to dst in token order (duplicates included). It allocates only when

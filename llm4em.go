@@ -40,6 +40,7 @@ import (
 	"context"
 	"time"
 
+	"llm4em/internal/blocking"
 	"llm4em/internal/core"
 	"llm4em/internal/datasets"
 	"llm4em/internal/entity"
@@ -167,6 +168,39 @@ type (
 	// cause (e.g. ErrDuplicateRecordID) through Unwrap.
 	BatchError = resolve.BatchError
 )
+
+// Blocking index configuration (v1). Set StoreOptions.Blocking to a
+// BlockingOptions value to tune the candidate index explicitly; the
+// nil-vs-set pointer fields distinguish "use the default" from a
+// literal zero where the old flat float fields could not.
+type (
+	// BlockingOptions is the v1 configuration of the candidate index:
+	// explicit *float64 thresholds (nil selects the default, a set
+	// pointer — including BlockingFloat(0) — is taken literally) plus
+	// the postings Compression and top-K Pruning knobs.
+	BlockingOptions = blocking.IndexOptions
+	// BlockingCompression selects the postings representation of the
+	// candidate index.
+	BlockingCompression = blocking.Compression
+	// BlockingPruning selects the top-K scoring strategy of the
+	// candidate index.
+	BlockingPruning = blocking.Pruning
+)
+
+// Candidate-index compression and pruning modes.
+const (
+	CompressionAuto   = blocking.CompressionAuto
+	CompressionVarint = blocking.CompressionVarint
+	CompressionNone   = blocking.CompressionNone
+	PruningAuto       = blocking.PruningAuto
+	PruningBlockMax   = blocking.PruningBlockMax
+	PruningOff        = blocking.PruningOff
+)
+
+// BlockingFloat returns a pointer to v — the set form the explicit
+// BlockingOptions threshold fields take. BlockingFloat(0) requests a
+// literal zero where nil would select the default.
+func BlockingFloat(v float64) *float64 { return blocking.Float(v) }
 
 // NewStore returns an empty online resolution store over the client.
 // The store is in-memory; use OpenStore for a durable one.

@@ -28,6 +28,16 @@
 #    TELEMETRY_OVERHEAD (default 1.5 = +50%). Relative to a same-run
 #    measurement, the gate is immune to hardware differences that the
 #    absolute baseline gate needs HOTPATH_SLACK for.
+# 6. Measures the compressed vs raw blocking postings at 100k records
+#    (both sides on the SAME host, same run) and fails if the
+#    compressed representation shrinks less than the min_reduction_x
+#    recorded in BENCH_index10m.json (INDEX_MIN_REDUCTION overrides)
+#    or queries more than query_parity_slack slower than raw
+#    (INDEX_QUERY_SLACK overrides).
+# 7. Measures the mmap restart path (BenchmarkOpenMapped, 100k-record
+#    snapshot) against the absolute open_mapped_100k_ns baseline in
+#    BENCH_index10m.json x restart_slack (INDEX_RESTART_SLACK
+#    overrides; like HOTPATH_SLACK, raise it on much slower hosts).
 #
 # With ARTIFACT_DIR set, the full output is teed into
 # $ARTIFACT_DIR/bench_output.txt and the dispatcher gate writes its
@@ -87,6 +97,56 @@ main() {
             exit 1
         }
         print "OK: telemetry instrumentation-cost gate passed"
+    }'
+
+    echo ""
+    echo "== postings compression + query-parity gate vs BENCH_index10m.json =="
+    MIN_REDUCTION="${INDEX_MIN_REDUCTION:-$(python3 -c "import json; print(json.load(open('BENCH_index10m.json'))['gates']['min_reduction_x'])")}"
+    QUERY_SLACK="${INDEX_QUERY_SLACK:-$(python3 -c "import json; print(json.load(open('BENCH_index10m.json'))['gates']['query_parity_slack'])")}"
+    IDX_OUT="$(go test -run '^$' -bench 'BenchmarkIndexQuery(Compressed|Raw)100k' -benchtime=0.5s ./internal/blocking/)"
+    COMP_NS="$(printf '%s\n' "$IDX_OUT" | awk '/^BenchmarkIndexQueryCompressed100k/ {print $3; exit}')"
+    COMP_BPR="$(printf '%s\n' "$IDX_OUT" | awk '/^BenchmarkIndexQueryCompressed100k/ {print $5; exit}')"
+    RAW_NS="$(printf '%s\n' "$IDX_OUT" | awk '/^BenchmarkIndexQueryRaw100k/ {print $3; exit}')"
+    RAW_BPR="$(printf '%s\n' "$IDX_OUT" | awk '/^BenchmarkIndexQueryRaw100k/ {print $5; exit}')"
+    if [ -z "$COMP_NS" ] || [ -z "$COMP_BPR" ] || [ -z "$RAW_NS" ] || [ -z "$RAW_BPR" ]; then
+        echo "FAIL: could not measure the 100k compressed/raw index benchmark pair" >&2
+        exit 1
+    fi
+    awk -v cns="$COMP_NS" -v cbpr="$COMP_BPR" -v rns="$RAW_NS" -v rbpr="$RAW_BPR" \
+        -v minred="$MIN_REDUCTION" -v slack="$QUERY_SLACK" 'BEGIN {
+        red = rbpr / cbpr
+        printf "postings size: compressed %.2f B/record vs raw %.2f (reduction %.2fx, floor %.2fx)\n", cbpr, rbpr, red, minred
+        if (red < minred) {
+            printf "FAIL: compressed postings shrink only %.2fx, below the %.2fx floor\n", red, minred
+            exit 1
+        }
+        limit = rns * slack
+        printf "query parity: compressed %.0f ns/op vs raw %.0f (limit %.0f = raw x %.2f)\n", cns, rns, limit, slack
+        if (cns + 0 > limit) {
+            printf "FAIL: compressed query is more than %.0f%% slower than raw\n", (slack - 1) * 100
+            exit 1
+        }
+        print "OK: postings compression + query-parity gate passed"
+    }'
+
+    echo ""
+    echo "== mmap restart gate vs BENCH_index10m.json =="
+    OPEN_BASE="$(python3 -c "import json; print(json.load(open('BENCH_index10m.json'))['gates']['open_mapped_100k_ns'])")"
+    RESTART_SLACK="${INDEX_RESTART_SLACK:-$(python3 -c "import json; print(json.load(open('BENCH_index10m.json'))['gates']['restart_slack'])")}"
+    OPEN_NS="$(go test -run '^$' -bench 'BenchmarkOpenMapped$' -benchtime=0.5s ./internal/blocking/ \
+        | awk '/^BenchmarkOpenMapped/ {print $3; exit}')"
+    if [ -z "$OPEN_NS" ]; then
+        echo "FAIL: could not measure BenchmarkOpenMapped" >&2
+        exit 1
+    fi
+    awk -v got="$OPEN_NS" -v base="$OPEN_BASE" -v slack="$RESTART_SLACK" 'BEGIN {
+        limit = base * slack
+        printf "OpenMapped (100k snapshot): %.0f ns/op (baseline %.0f, limit %.0f = baseline x %.2f)\n", got, base, limit, slack
+        if (got + 0 > limit) {
+            print "FAIL: mmap restart regressed beyond the slack margin"
+            exit 1
+        }
+        print "OK: mmap restart gate passed"
     }'
 }
 

@@ -7,7 +7,9 @@
 #    `emserve -help` prints is documented in docs/OPERATIONS.md, every
 #    flag the OPERATIONS table documents exists, and every
 #    parenthesized `(-flag)` reference in README.md names a real flag.
-# 3. The testable Example functions of the facade keep compiling and
+# 3. Every route the emserve server registers is documented under its
+#    canonical /v1 path in the OPERATIONS endpoint table.
+# 4. The testable Example functions of the facade keep compiling and
 #    producing their pinned output.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -71,7 +73,24 @@ while IFS= read -r f; do
   fi
 done < <(grep -oE '\(`-[a-z-]+`\)' README.md | grep -oE -- '-[a-z-]+' | sort -u)
 
-# --- 3. the documented examples still run ---------------------------
+# --- 3. emserve /v1 route coverage ----------------------------------
+# Every route the server registers (the routes table in
+# cmd/emserve/server.go) must be documented under its /v1 path in the
+# OPERATIONS endpoint table.
+routes=$(grep -oE '\{"(GET|POST)", "/[^"]*"' cmd/emserve/server.go | sed -E 's/.*, "//; s/"$//')
+if [ -z "$routes" ]; then
+  echo "docs_check: could not parse the route table out of cmd/emserve/server.go" >&2
+  exit 1
+fi
+while IFS= read -r p; do
+  [ -n "$p" ] || continue
+  if ! grep -qF -- "/v1$p" docs/OPERATIONS.md; then
+    echo "docs_check: route /v1$p is missing from docs/OPERATIONS.md" >&2
+    fail=1
+  fi
+done <<<"$routes"
+
+# --- 4. the documented examples still run ---------------------------
 if ! go test . -run Example -count=1 >/dev/null; then
   echo "docs_check: facade Example tests failed (go test . -run Example)" >&2
   fail=1
@@ -81,4 +100,4 @@ if [ "$fail" -ne 0 ]; then
   echo "docs_check: FAILED" >&2
   exit 1
 fi
-echo "docs_check: OK (links, emserve flag tables, examples)"
+echo "docs_check: OK (links, emserve flag tables, /v1 routes, examples)"

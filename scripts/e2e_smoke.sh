@@ -3,7 +3,8 @@
 # runnable locally): builds the binary, starts it with durability and
 # the micro-batching dispatcher enabled, exercises the HTTP API
 # (ingest, resolve — one local and one LLM-escalated — entity
-# read-back, stats), scrapes the observability surface (/metrics
+# read-back, stats) through the canonical /v1 routes plus one
+# deprecated legacy alias, scrapes the observability surface (/metrics
 # exposition, /healthz, /readyz, X-Request-ID, slow-resolve exemplar
 # in the JSON logs), then sends SIGTERM and asserts a clean graceful
 # drain and a non-empty final snapshot.
@@ -47,7 +48,7 @@ SRV_PID=$!
 
 up=""
 for _ in $(seq 1 100); do
-    if curl -fsS "http://$ADDR/stats" >/dev/null 2>&1; then
+    if curl -fsS "http://$ADDR/v1/stats" >/dev/null 2>&1; then
         up=1
         break
     fi
@@ -57,27 +58,36 @@ done
 [ -n "$up" ] || fail "server did not come up on $ADDR within 10s"
 
 echo "== probes =="
-curl -fsS "http://$ADDR/healthz" | jq -e '.status == "ok"' >/dev/null \
+curl -fsS "http://$ADDR/v1/healthz" | jq -e '.status == "ok"' >/dev/null \
     || fail "/healthz is not ok"
-curl -fsS "http://$ADDR/readyz" | jq -e '.status == "ready"' >/dev/null \
+curl -fsS "http://$ADDR/v1/readyz" | jq -e '.status == "ready"' >/dev/null \
     || fail "/readyz is not ready after startup"
 # Healthy backend: the degraded annotation must be absent (it appears
 # with degraded=llm_breaker_open when the LLM breaker is open; see
 # scripts/chaos_smoke.sh for the outage side of this contract).
-curl -fsS "http://$ADDR/readyz" | jq -e 'has("degraded") | not' >/dev/null \
+curl -fsS "http://$ADDR/v1/readyz" | jq -e 'has("degraded") | not' >/dev/null \
     || fail "/readyz carries a degraded annotation on a healthy backend"
-curl -fsSi "http://$ADDR/healthz" | grep -qi '^x-request-id:' \
+curl -fsSi "http://$ADDR/v1/healthz" | grep -qi '^x-request-id:' \
     || fail "response lacks an X-Request-ID header"
 
+echo "== legacy alias answers with Deprecation =="
+curl -fsSi "http://$ADDR/stats" >"$TMP/legacy.txt" || fail "legacy /stats alias broken"
+grep -qi '^deprecation: true' "$TMP/legacy.txt" \
+    || fail "legacy /stats lacks the Deprecation header"
+grep -qi '^link: </v1/stats>; rel="successor-version"' "$TMP/legacy.txt" \
+    || fail "legacy /stats lacks the successor-version Link header"
+curl -fsSi "http://$ADDR/v1/stats" | grep -qi '^deprecation:' \
+    && fail "/v1/stats wrongly carries a Deprecation header"
+
 echo "== ingest records =="
-curl -fsS -X POST "http://$ADDR/records" -d '{"records":[
+curl -fsS -X POST "http://$ADDR/v1/records" -d '{"records":[
   {"id":"r1","attrs":[{"name":"title","value":"sony dsc120b cybershot camera silver"}]},
   {"id":"r2","attrs":[{"name":"title","value":"makita impact drill kit 18v"}]},
   {"id":"r3","attrs":[{"name":"title","value":"alpha beta gamma delta sameent0002"}]}]}' \
     | jq -e '.added == 3' >/dev/null || fail "ingest did not add 3 records"
 
 echo "== resolve a query (local decision) =="
-curl -fsS -X POST "http://$ADDR/resolve" \
+curl -fsS -X POST "http://$ADDR/v1/resolve" \
     -d '{"id":"q1","attrs":[{"name":"title","value":"sony dsc120b cybershot camera silver"}]}' \
     | jq -e '.matched == true and .entity_id == "q1"' >/dev/null \
     || fail "resolve did not match q1 to r1"
@@ -85,30 +95,30 @@ curl -fsS -X POST "http://$ADDR/resolve" \
 echo "== resolve a query (LLM escalation) =="
 # Mid-band similarity to r3: the cascade cannot decide locally and
 # routes the pair through the dispatcher to the model.
-curl -fsS -X POST "http://$ADDR/resolve" \
+curl -fsS -X POST "http://$ADDR/v1/resolve" \
     -d '{"id":"q2","attrs":[{"name":"title","value":"alpha beta epsilon zeta sameent0002"}]}' \
     >/dev/null || fail "escalated resolve failed"
 
 echo "== read entity and stats back =="
-curl -fsS "http://$ADDR/entities/q1" | jq -e '.members | length >= 2' >/dev/null \
+curl -fsS "http://$ADDR/v1/entities/q1" | jq -e '.members | length >= 2' >/dev/null \
     || fail "entity q1 has fewer than 2 members"
-curl -fsS "http://$ADDR/stats" \
+curl -fsS "http://$ADDR/v1/stats" \
     | jq -e '.records == 3 and .resolves == 2 and .dispatch.enabled == true and .persist.enabled == true' >/dev/null \
     || fail "stats do not reflect the workload"
-curl -fsS "http://$ADDR/stats" \
+curl -fsS "http://$ADDR/v1/stats" \
     | jq -e '.telemetry.enabled == true and .telemetry.resolve_total == 2' >/dev/null \
     || fail "stats lack the telemetry block"
 # The fault-tolerance layer is on by default and idle on a healthy
 # backend: breaker closed, nothing shed, deferred queue empty.
-curl -fsS "http://$ADDR/stats" \
+curl -fsS "http://$ADDR/v1/stats" \
     | jq -e '.resilience.enabled == true and .resilience.breaker_state == "closed"
              and .resilience.shed == 0 and .resilience.deferred_queue == 0' >/dev/null \
     || fail "stats lack the resilience block"
-curl -fsSi "http://$ADDR/stats" | grep -qi '^cache-control: no-store' \
+curl -fsSi "http://$ADDR/v1/stats" | grep -qi '^cache-control: no-store' \
     || fail "/stats is missing Cache-Control: no-store"
 
 echo "== scrape /metrics =="
-curl -fsS "http://$ADDR/metrics" >"$TMP/metrics.txt" \
+curl -fsS "http://$ADDR/v1/metrics" >"$TMP/metrics.txt" \
     || fail "could not scrape /metrics"
 metric_nonzero() {
     awk -v name="$1" '$1 == name && $2 + 0 > 0 {found = 1} END {exit !found}' "$TMP/metrics.txt" \
@@ -137,7 +147,12 @@ grep -q "state flushed, bye" "$TMP/server.log" \
 
 echo "== final snapshot =="
 [ -s "$TMP/data/snapshot.json" ] || fail "snapshot.json missing or empty"
-jq -e '(.records | length) == 3' "$TMP/data/snapshot.json" >/dev/null \
-    || fail "snapshot does not contain the 3 ingested records"
+# Records live in the per-shard mmap index snapshots; snapshot.json
+# binds their epoch and keeps only non-reconstructible state inline.
+jq -e '.index_shards > 0 and .index_epoch > 0 and (.records | length) == 0' \
+    "$TMP/data/snapshot.json" >/dev/null \
+    || fail "snapshot does not reference a committed index generation"
+ls "$TMP"/data/index-*.emx >/dev/null 2>&1 \
+    || fail "no mmap index snapshot files on disk"
 
 echo "OK: e2e smoke passed"
