@@ -103,11 +103,13 @@ func newHandler(cfg handlerConfig) http.Handler {
 // deprecatedAlias wraps a handler serving a legacy unprefixed route:
 // the response carries a Deprecation header (RFC 9745) and a Link to
 // the /v1 successor of the exact request path, so clients still on
-// the pre-v1 surface learn where to move without breaking.
+// the pre-v1 surface learn where to move without breaking. The link
+// target uses the escaped path — the percent-decoded r.URL.Path would
+// not round-trip an ID like a%2Fb back to the same resource.
 func deprecatedAlias(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.EscapedPath()))
 		h(w, r)
 	}
 }

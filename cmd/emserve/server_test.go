@@ -179,6 +179,13 @@ func TestAPIVersioning(t *testing.T) {
 		}
 	}
 
+	// The Link target preserves percent-escapes: a decoded path would
+	// point an ID like a%2Fb at a different resource.
+	resp, _ = getJSON(t, srv.URL+"/entities/a%2Fb")
+	if want := `</v1/entities/a%2Fb>; rel="successor-version"`; resp.Header.Get("Link") != want {
+		t.Errorf("escaped-ID alias Link = %q, want %q", resp.Header.Get("Link"), want)
+	}
+
 	// Legacy and /v1 answer from the same store.
 	_, legacy := getJSON(t, srv.URL+"/stats")
 	_, v1 := getJSON(t, srv.URL+"/v1/stats")

@@ -56,8 +56,9 @@ func BenchmarkSnapshotWrite(b *testing.B) {
 }
 
 // BenchmarkOpenMapped measures the restart path: opening a written
-// snapshot into a serving index. The O(1) header walk is what turns a
-// 10M-record restart from an ingest replay into a page-cache mmap.
+// snapshot into a serving index. The header walk plus one token-table
+// sweep is what turns a 10M-record restart from an ingest replay into
+// a page-cache mmap.
 func BenchmarkOpenMapped(b *testing.B) {
 	records := syntheticRecords(100000)
 	ix := BuildIndex(records, IndexOptions{})

@@ -3,6 +3,7 @@ package blocking
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"testing"
@@ -197,5 +198,60 @@ func TestQueryAllocBudget(t *testing.T) {
 	})
 	if avg > 2 {
 		t.Fatalf("Query allocates %.1f times per call, budget 2", avg)
+	}
+}
+
+// TestQuerySparseMatchesDense forces the sparse accumulator (the
+// large-collection exhaustive path, normally gated behind
+// denseScoreRecords) and pins it byte-identical to the reference
+// oracle across every storage mode: fresh compressed, CompressionNone
+// and mmap-snapshot-backed, with bounded, unbounded, floored and
+// tie-heavy workloads.
+func TestQuerySparseMatchesDense(t *testing.T) {
+	old := denseScoreRecords
+	denseScoreRecords = 1 // every query takes the sparse path
+	defer func() { denseScoreRecords = old }()
+
+	rng := detrand.New("sparse-differential")
+	for round := 0; round < 10; round++ {
+		n := 5 + rng.Intn(120)
+		recs := randomRecords(rng, n)
+		stopFrac := []float64{0, 0.2, 0.5, 1}[rng.Intn(4)]
+		fresh := BuildIndex(recs, IndexOptions{StopDocFrac: Float(stopFrac), Pruning: PruningOff})
+		raw := BuildIndex(recs, IndexOptions{
+			StopDocFrac: Float(stopFrac),
+			Compression: CompressionNone,
+			Pruning:     PruningOff,
+		})
+		path := filepath.Join(t.TempDir(), "sparse.emx")
+		if err := fresh.WriteSnapshot(path); err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := OpenMapped(path, IndexOptions{StopDocFrac: Float(stopFrac), Pruning: PruningOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 10; q++ {
+			var text string
+			if rng.Intn(3) == 0 {
+				text = "unknown tokens only zzz"
+			} else {
+				text = recs[rng.Intn(n)].Serialize() + " " + recs[rng.Intn(n)].Serialize()
+			}
+			maxCandidates := []int{0, 1, 3, 10, 1000}[rng.Intn(5)]
+			minScore := []float64{0, 0.5, 1.0}[rng.Intn(3)]
+			want := referenceQuery(recs, stopFrac, text, maxCandidates, minScore)
+			for label, ix := range map[string]*Index{"fresh": fresh, "raw": raw, "mapped": mapped} {
+				got := ix.Query(text, maxCandidates, minScore)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("round %d %s query %q (max=%d min=%v stop=%v):\n got %v\nwant %v",
+						round, label, text, maxCandidates, minScore, stopFrac, got, want)
+				}
+			}
+		}
+		mapped.Close()
 	}
 }

@@ -24,9 +24,11 @@ import (
 // are cached between queries, and bounded results come from top-K heap
 // selection. Bounded queries on a pruned index run document-at-a-time
 // with WAND pruning (wand.go), skipping posting blocks that cannot
-// reach the heap floor; the exhaustive term-at-a-time scan over a
-// pooled flat scratch remains as the unbounded/reference path. Query
-// and QueryTokens allocate only the returned slice.
+// reach the heap floor; the exhaustive term-at-a-time scan remains as
+// the unbounded/reference path, over a pooled flat scratch on small
+// collections and a sparse accumulator on large ones
+// (denseScoreRecords). Query and QueryTokens allocate only the
+// returned slice.
 //
 // An Index comes in two storage modes. A fresh index (BuildIndex)
 // holds everything on the heap. A mapped index (OpenMapped) serves
@@ -117,6 +119,13 @@ type queryScratch struct {
 	cursors []plCursor
 	weights []float64
 	order   []int32
+	// sparse replaces the flat scores/epoch accumulator on collections
+	// larger than denseScoreRecords: the flat arrays cost 12 bytes per
+	// indexed record and live on in the pool after the query, which at
+	// 10M records would retain ~120MB per pooled scratch — multiplied
+	// by concurrent queries. The map's retained size tracks the
+	// documents one query touches instead.
+	sparse map[int32]float64
 }
 
 // scoreTerm is one deduplicated, stop-filtered query token with its
@@ -426,12 +435,14 @@ func wandThreshold(maxCandidates int) int {
 
 // queryIDs scores the postings of sc.ids and selects the ranked
 // result. Read-only on the index, so concurrent queries are safe; sc
-// is owned by this call. The filtering pass below feeds both scorers:
+// is owned by this call. The filtering pass below feeds every scorer:
 // bounded queries on a pruned index with enough scoring postings
 // (wandThreshold) take the document-at-a-time WAND path; everything
-// else scans term-at-a-time into the flat accumulator — the two
-// produce byte-identical rankings (scores are summed in the same token
-// order), which the differential tests pin.
+// else scans term-at-a-time — into the flat accumulator, or into the
+// sparse one when the collection is too large to pool flat arrays for
+// (denseScoreRecords). All paths produce byte-identical rankings
+// (scores are summed in the same token order), which the differential
+// tests pin.
 func (ix *Index) queryIDs(sc *queryScratch, maxCandidates int, minScore float64) []Candidate {
 	n := ix.Len()
 	nf := float64(n)
@@ -470,6 +481,10 @@ func (ix *Index) queryIDs(sc *queryScratch, maxCandidates int, minScore float64)
 
 	if ix.pruned && maxCandidates > 0 && total >= wandThreshold(maxCandidates) {
 		return ix.queryWAND(sc, maxCandidates, minScore, stopSkipped)
+	}
+
+	if n > denseScoreRecords {
+		return ix.querySparse(sc, maxCandidates, minScore, stopSkipped)
 	}
 
 	if len(sc.scores) < n {
@@ -562,6 +577,98 @@ func (ix *Index) queryIDs(sc *queryScratch, maxCandidates int, minScore float64)
 	h := sc.heap[:0]
 	for _, pos := range touched {
 		s := sc.scores[pos]
+		if s < minScore {
+			continue
+		}
+		heapPushes++
+		h = PushBounded(h, maxCandidates, Candidate{Pos: int(pos), Score: s}, candidateBefore)
+	}
+	sc.heap = h[:0]
+	ix.met.Queries.Inc()
+	ix.met.PostingsScanned.Add(scanned)
+	ix.met.StopTokensSkipped.Add(stopSkipped)
+	ix.met.HeapPushes.Add(heapPushes)
+	if len(h) == 0 {
+		return nil
+	}
+	SortTopK(h, candidateBefore)
+	out := make([]Candidate, len(h))
+	copy(out, h)
+	return out
+}
+
+// denseScoreRecords is the record count above which the exhaustive
+// scan accumulates into the sparse map instead of the flat
+// scores/epoch arrays. Below it the arrays cost at most ~3MB per
+// pooled scratch — cheap and branch-free on the hot path; above it
+// their footprint grows with the collection (12 bytes per record,
+// ~120MB at the 10M target) and is retained by the scratch pool for
+// the life of the process, so one rare-token or unbounded query per
+// pooled scratch would pin gigabytes across concurrent queries. A
+// variable only so the differential tests can force the sparse path
+// on small collections.
+var denseScoreRecords = 1 << 18
+
+// querySparse is the exhaustive term-at-a-time scorer over a hash-map
+// accumulator, taken when the flat accumulator would be too large to
+// pool (see denseScoreRecords). Ranking is byte-identical to the flat
+// path and to WAND: each document's weights are summed in the same
+// deduplicated token order (map insertion order never affects a sum),
+// and both the bounded heap and the unbounded sort select by the
+// strict total order candidateBefore, so the map's iteration order
+// cannot leak into the result.
+func (ix *Index) querySparse(sc *queryScratch, maxCandidates int, minScore float64, stopSkipped uint64) []Candidate {
+	n := ix.Len()
+	if sc.sparse == nil {
+		sc.sparse = make(map[int32]float64)
+	} else {
+		clear(sc.sparse)
+	}
+	acc := sc.sparse
+	var scanned, heapPushes uint64
+	for _, t := range sc.terms {
+		id, df := t.id, int(t.df)
+		scanned += uint64(df)
+		w := ix.idfWeight(id, n, df)
+		switch {
+		case !ix.compressed:
+			for _, pos := range ix.postsRaw[id] {
+				acc[pos] += w
+			}
+		case ix.snap == nil:
+			pl := &ix.posts[id]
+			pos, off := int32(-1), 0
+			for k := int32(0); k < pl.df; k++ {
+				d, m := uvarint(pl.stream, off)
+				off += m
+				pos += int32(d)
+				acc[pos] += w
+			}
+		default:
+			c := &sc.cursor
+			ix.initCursor(c, id)
+			for c.next() {
+				acc[c.cur] += w
+			}
+		}
+	}
+
+	if maxCandidates <= 0 {
+		ix.met.Queries.Inc()
+		ix.met.PostingsScanned.Add(scanned)
+		ix.met.StopTokensSkipped.Add(stopSkipped)
+		out := make([]Candidate, 0, len(acc))
+		for pos, s := range acc {
+			if s >= minScore {
+				out = append(out, Candidate{Pos: int(pos), Score: s})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return candidateBefore(out[i], out[j]) })
+		return out
+	}
+
+	h := sc.heap[:0]
+	for pos, s := range acc {
 		if s < minScore {
 			continue
 		}

@@ -44,10 +44,26 @@ import (
 //	              by-ID lookup without rebuilding an in-memory map
 //
 // The writer goes to a temp file and renames into place, so a torn
-// write never shadows a good snapshot; validation at open is O(1)
-// (magic, version, header CRC, section-size consistency) to keep the
-// open instant — data pages are trusted to the atomic rename, exactly
-// as internal/persist trusts its JSON snapshot body.
+// write never shadows a good snapshot; validation at open is the O(1)
+// header pass (magic, version, header CRC, section-size consistency)
+// plus one structural sweep of the token table's per-entry offsets,
+// so damaged data pages (bit rot past the rename's atomicity) that
+// would send tokenSeg out of range surface as ErrSnapshotTorn at
+// open — where callers can rebuild — not as a panic at query time.
+// The hash tables and the record index are range-clamped at each
+// probe/decode instead of swept (keeping the open O(nTokens), which
+// the restart benchmarks gate); only the varint stream bytes stay
+// trusted — validating them would mean decoding every posting, the
+// replay cost the format exists to avoid.
+
+// MmapSupported reports whether this platform can serve index
+// snapshots through OpenMapped. A WriteSnapshot succeeds everywhere
+// (plain file I/O), so a caller about to make an index snapshot the
+// authoritative carrier of its records — the resolve store's
+// checkpoints — must consult this first: committing a snapshot the
+// same build can never map back silently degrades the next open to
+// whatever other state exists.
+const MmapSupported = mmapSupported
 
 // Typed snapshot errors. Callers that open snapshots opportunistically
 // (the resolve store) match these to fall back to an ingest replay.
@@ -142,12 +158,15 @@ func (m *mappedIndex) tokenSeg(id uint32) segView {
 	}
 }
 
-// lookup probes the mapped token hash for a token given as bytes.
+// lookup probes the mapped token hash for a token given as bytes. A
+// slot whose value exceeds the token count is data rot (the hash
+// pages are not CRC-covered) and reads as a miss rather than indexing
+// the token table out of range.
 func (m *mappedIndex) lookup(tok []byte) (uint32, bool) {
 	i := uint32(fnv64(tok)) & m.hashMask
 	for {
 		v := binary.LittleEndian.Uint32(m.tokHash[i*4:])
-		if v == 0 {
+		if v == 0 || v > m.nTokens {
 			return 0, false
 		}
 		if bytes.Equal(m.token(v-1), tok) {
@@ -162,7 +181,7 @@ func (m *mappedIndex) lookupString(tok string) (uint32, bool) {
 	i := uint32(fnv64String(tok)) & m.hashMask
 	for {
 		v := binary.LittleEndian.Uint32(m.tokHash[i*4:])
-		if v == 0 {
+		if v == 0 || v > m.nTokens {
 			return 0, false
 		}
 		if bytesEqString(m.token(v-1), tok) {
@@ -173,15 +192,30 @@ func (m *mappedIndex) lookupString(tok string) (uint32, bool) {
 }
 
 // record decodes the record at a mapped position. Field strings are
-// copied out of the map, so a returned Record outlives Close.
+// copied out of the map, so a returned Record outlives Close. Index
+// offsets that do not frame a slice of the record bytes — data rot in
+// the uncovered record-index pages — decode as an empty record
+// instead of slicing out of range.
 func (m *mappedIndex) record(pos int) entity.Record {
 	off := binary.LittleEndian.Uint64(m.recIdx[pos*8:])
 	end := binary.LittleEndian.Uint64(m.recIdx[(pos+1)*8:])
+	if off > end || end > uint64(len(m.recBytes)) {
+		return entity.Record{}
+	}
 	b := m.recBytes[off:end]
 	var r entity.Record
 	r.ID, b = readLenPrefixed(b)
 	nAttrs, n := binary.Uvarint(b)
+	if n <= 0 {
+		return r
+	}
 	b = b[n:]
+	// An attribute takes at least two bytes, so a count the remaining
+	// bytes cannot hold is data damage — decode what frames cleanly
+	// rather than sizing an allocation from a rotten length.
+	if nAttrs > uint64(len(b))/2 {
+		nAttrs = uint64(len(b)) / 2
+	}
 	r.Attrs = make([]entity.Attr, nAttrs)
 	for i := range r.Attrs {
 		r.Attrs[i].Name, b = readLenPrefixed(b)
@@ -194,19 +228,26 @@ func (m *mappedIndex) record(pos int) entity.Record {
 // aliasing the map — no record decode, no allocation.
 func (m *mappedIndex) recordID(pos int) []byte {
 	off := binary.LittleEndian.Uint64(m.recIdx[pos*8:])
+	if off > uint64(len(m.recBytes)) {
+		return nil // rotten index entry: no ID can match
+	}
 	b := m.recBytes[off:]
 	v, n := binary.Uvarint(b)
+	if n <= 0 || v > uint64(len(b)-n) {
+		return nil // rotten framing: no ID can match
+	}
 	return b[n : n+int(v)]
 }
 
 // recordPos probes the mapped record-ID hash. With duplicate IDs in
 // the snapshotted collection (legal for a bare Index; the resolve
-// store never produces them) the lowest position wins.
+// store never produces them) the lowest position wins. A slot value
+// past the record count is data rot and reads as a miss.
 func (m *mappedIndex) recordPos(id string) (int32, bool) {
 	i := uint32(fnv64String(id)) & m.recMask
 	for {
 		v := binary.LittleEndian.Uint32(m.recHash[i*4:])
-		if v == 0 {
+		if v == 0 || v > m.nRecords {
 			return 0, false
 		}
 		if bytesEqString(m.recordID(int(v-1)), id) {
@@ -216,8 +257,15 @@ func (m *mappedIndex) recordPos(id string) (int32, bool) {
 	}
 }
 
+// readLenPrefixed decodes one uvarint-framed string. A frame the
+// remaining bytes cannot hold — rotten data the structural open-time
+// checks cannot see inside record bytes — yields an empty string and
+// no remainder instead of slicing out of range.
 func readLenPrefixed(b []byte) (string, []byte) {
 	v, n := binary.Uvarint(b)
+	if n <= 0 || v > uint64(len(b)-n) {
+		return "", nil
+	}
 	return string(b[n : n+int(v)]), b[n+int(v):]
 }
 
@@ -641,6 +689,37 @@ func parseMapped(data []byte, unmap func() error) (*mappedIndex, error) {
 	// Positions are int32 and token IDs uint32 throughout the index.
 	if nRecords > 1<<31-1 || nTokens > 1<<32-1 {
 		return nil, fmt.Errorf("%w: counts overflow (%d records, %d tokens)", ErrSnapshotTorn, nRecords, nTokens)
+	}
+	// Per-entry structural validation of the token table. The header
+	// CRC only vouches for the header page; these offsets come from
+	// data pages, and a snapshot whose data rotted (bit damage past the
+	// rename's atomicity) would otherwise slice the map out of range in
+	// tokenSeg at query time — a panic inside serving, where no
+	// fallback exists, instead of a typed error here where callers
+	// rebuild. One 36-bytes-per-token pass keeps the open fast (the
+	// restart benchmarks gate it); the hash tables and the record index
+	// are instead range-clamped at each probe/decode — a branch per
+	// access, not a scan per open — and the varint stream bytes
+	// themselves stay trusted: validating them would mean decoding
+	// every posting, the replay cost the format exists to avoid.
+	postSecLen := uint64(len(sec[secPostings]))
+	tokSecLen := uint64(len(sec[secTokenBytes]))
+	for id, tab := uint64(0), sec[secTokenTable]; id < nTokens; id, tab = id+1, tab[tokEntrySize:] {
+		e := tab[:tokEntrySize]
+		postOff := binary.LittleEndian.Uint64(e[0:8])
+		postLen := uint64(binary.LittleEndian.Uint32(e[8:12]))
+		blockOff := uint64(binary.LittleEndian.Uint32(e[20:24]))
+		tokBlocks := uint64(binary.LittleEndian.Uint32(e[24:28]))
+		tokOff := uint64(binary.LittleEndian.Uint32(e[28:32]))
+		tokLen := uint64(binary.LittleEndian.Uint32(e[32:36]))
+		switch {
+		case postOff > postSecLen || postLen > postSecLen-postOff:
+			return nil, fmt.Errorf("%w: token %d postings [%d:+%d] outside the %d-byte section", ErrSnapshotTorn, id, postOff, postLen, postSecLen)
+		case blockOff > nBlocks || tokBlocks > nBlocks-blockOff:
+			return nil, fmt.Errorf("%w: token %d blocks [%d:+%d] outside the %d-block metadata", ErrSnapshotTorn, id, blockOff, tokBlocks, nBlocks)
+		case tokOff > tokSecLen || tokLen > tokSecLen-tokOff:
+			return nil, fmt.Errorf("%w: token %d bytes [%d:+%d] outside the %d-byte section", ErrSnapshotTorn, id, tokOff, tokLen, tokSecLen)
+		}
 	}
 	return &mappedIndex{
 		data:     data,

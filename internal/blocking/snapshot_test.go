@@ -309,3 +309,98 @@ func TestPostingsBytesCompression(t *testing.T) {
 		t.Fatalf("compressed postings = %d bytes, raw = %d; want >= 2x reduction", c, r)
 	}
 }
+
+// TestSnapshotCorruptEntriesTyped pins the two-tier handling of
+// damaged data pages under an intact header CRC (the CRC covers only
+// the header page). Token-table offsets — the ones tokenSeg slices
+// with — are swept at open and must surface as ErrSnapshotTorn there,
+// where callers fall back to a rebuild. Hash-table entries and the
+// record index are range-clamped at each probe/decode instead: open
+// succeeds, and corrupted entries degrade to lookup misses or empty
+// records. Neither tier may ever reach an out-of-range panic inside
+// serving.
+func TestSnapshotCorruptEntriesTyped(t *testing.T) {
+	rng := detrand.New("snapshot-corrupt-entries")
+	recs := randomRecords(rng, 120)
+	path := writeTestSnapshot(t, BuildIndex(recs, IndexOptions{}))
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secOff := func(b []byte, i int) uint64 { return binary.LittleEndian.Uint64(b[40+i*16:]) }
+	secLen := func(b []byte, i int) uint64 { return binary.LittleEndian.Uint64(b[40+i*16+8:]) }
+	corrupt := func(t *testing.T, name string, f func(b []byte)) string {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), name+".emx")
+		b := append([]byte{}, good...)
+		f(b)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Tier 1: token-table damage fails the open-time sweep.
+	torn := map[string]func(b []byte){
+		"token-postings-offset": func(b []byte) {
+			binary.LittleEndian.PutUint64(b[secOff(b, secTokenTable):], 1<<60)
+		},
+		"token-postings-length": func(b []byte) {
+			binary.LittleEndian.PutUint32(b[secOff(b, secTokenTable)+8:], 1<<31)
+		},
+		"token-block-range": func(b []byte) {
+			binary.LittleEndian.PutUint32(b[secOff(b, secTokenTable)+24:], 1<<30)
+		},
+		"token-bytes-range": func(b []byte) {
+			binary.LittleEndian.PutUint32(b[secOff(b, secTokenTable)+28:], 1<<31)
+		},
+	}
+	for name, f := range torn {
+		p := corrupt(t, name, f)
+		_, err := OpenMapped(p, IndexOptions{})
+		if !errors.Is(err, ErrSnapshotTorn) {
+			t.Fatalf("%s: OpenMapped error = %v, want ErrSnapshotTorn", name, err)
+		}
+	}
+
+	// Tier 2: hash-table and record-index damage opens fine and is
+	// clamped per access — every corrupted slot in the file is hit by
+	// exercising all records and queries, and none may panic.
+	degrade := map[string]func(b []byte){
+		"token-hash-entries": func(b []byte) {
+			off, end := secOff(b, secTokenHash), secOff(b, secTokenHash)+secLen(b, secTokenHash)
+			for o := off; o+4 <= end; o += 4 {
+				binary.LittleEndian.PutUint32(b[o:], 1<<31)
+			}
+		},
+		"record-hash-entries": func(b []byte) {
+			off, end := secOff(b, secRecordHash), secOff(b, secRecordHash)+secLen(b, secRecordHash)
+			for o := off; o+4 <= end; o += 4 {
+				binary.LittleEndian.PutUint32(b[o:], 1<<31)
+			}
+		},
+		"record-index-monotonicity": func(b []byte) {
+			binary.LittleEndian.PutUint64(b[secOff(b, secRecordIndex):], 1<<60)
+		},
+	}
+	for name, f := range degrade {
+		p := corrupt(t, name, f)
+		ix, err := OpenMapped(p, IndexOptions{})
+		if err != nil {
+			t.Fatalf("%s: OpenMapped error = %v, want clamped degrade", name, err)
+		}
+		for pos := 0; pos < ix.Len(); pos++ {
+			_ = ix.Record(pos)   // may be empty; must not panic
+			_ = ix.RecordID(pos) // may be ""; must not panic
+		}
+		for _, r := range recs {
+			_ = ix.Query(r.Serialize(), 10, 0) // may miss; must not panic
+			if _, ok := ix.RecordPos(r.ID); ok && name == "record-hash-entries" {
+				t.Fatalf("%s: RecordPos(%q) hit through a corrupted hash table", name, r.ID)
+			}
+		}
+		if err := ix.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+	}
+}

@@ -268,3 +268,38 @@ func TestEntryCodecs(t *testing.T) {
 		t.Error("malformed resolve payload accepted")
 	}
 }
+
+// TestIndexFileCleanup pins the index-generation housekeeping:
+// MaxIndexEpoch reads the highest epoch off the file names, and
+// RemoveIndexFiles keeps every listed generation — the committed one
+// plus any quarantined unreadable one — while sweeping the rest.
+func TestIndexFileCleanup(t *testing.T) {
+	dir := t.TempDir()
+	if got := MaxIndexEpoch(dir); got != 0 {
+		t.Fatalf("MaxIndexEpoch on empty dir = %d, want 0", got)
+	}
+	for _, name := range []string{
+		IndexFileName(1, 0), IndexFileName(1, 1),
+		IndexFileName(2, 0),
+		IndexFileName(12, 0),
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := MaxIndexEpoch(dir); got != 12 {
+		t.Fatalf("MaxIndexEpoch = %d, want 12", got)
+	}
+	RemoveIndexFiles(dir, 12, 1)
+	for name, want := range map[string]bool{
+		IndexFileName(1, 0):  true,
+		IndexFileName(1, 1):  true,
+		IndexFileName(2, 0):  false,
+		IndexFileName(12, 0): true,
+	} {
+		_, err := os.Stat(filepath.Join(dir, name))
+		if exists := err == nil; exists != want {
+			t.Errorf("%s exists=%v, want %v", name, exists, want)
+		}
+	}
+}

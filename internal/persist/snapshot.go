@@ -69,16 +69,57 @@ func IndexFileName(epoch uint64, shard int) string {
 	return fmt.Sprintf("index-%d-%03d.emx", epoch, shard)
 }
 
-// RemoveIndexFiles deletes the index snapshots of every epoch except
-// keep — best-effort cleanup of generations no snapshot references.
-func RemoveIndexFiles(dir string, keep uint64) {
+// RemoveIndexFiles deletes the index snapshots of every epoch not
+// listed in keep — best-effort cleanup of generations no snapshot
+// references. A store that degraded at open (mappedFallback) passes
+// the generation it could not read as a second keep, quarantining
+// files a differently-versioned binary may still recover instead of
+// turning the degradation into permanent loss.
+func RemoveIndexFiles(dir string, keep ...uint64) {
 	matches, _ := filepath.Glob(filepath.Join(dir, "index-*.emx"))
-	prefix := fmt.Sprintf("index-%d-", keep)
+	prefixes := make([]string, len(keep))
+	for i, k := range keep {
+		prefixes[i] = fmt.Sprintf("index-%d-", k)
+	}
 	for _, m := range matches {
-		if !strings.HasPrefix(filepath.Base(m), prefix) {
+		base := filepath.Base(m)
+		kept := false
+		for _, p := range prefixes {
+			if strings.HasPrefix(base, p) {
+				kept = true
+				break
+			}
+		}
+		if !kept {
 			os.Remove(m)
 		}
 	}
+}
+
+// MaxIndexEpoch reports the highest epoch any index snapshot file in
+// dir carries, zero when there are none. Checkpoint writers derive
+// the next generation from this rather than a purely in-memory
+// counter: after a mapped-fallback open or an interrupted checkpoint
+// the counter can lag the files on disk, and re-using an epoch number
+// that the committed snapshot.json still references would rename new
+// shard files over the referenced generation one by one — a crash
+// midway through would leave a committed snapshot pointing at a mix
+// of generations under one epoch.
+func MaxIndexEpoch(dir string) uint64 {
+	matches, _ := filepath.Glob(filepath.Join(dir, "index-*.emx"))
+	var max uint64
+	for _, m := range matches {
+		rest := strings.TrimPrefix(filepath.Base(m), "index-")
+		dash := strings.IndexByte(rest, '-')
+		if dash < 0 {
+			continue
+		}
+		var e uint64
+		if _, err := fmt.Sscanf(rest[:dash], "%d", &e); err == nil && e > max {
+			max = e
+		}
+	}
+	return max
 }
 
 // WriteSnapshot atomically replaces the snapshot in dir: the state is

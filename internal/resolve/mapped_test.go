@@ -369,3 +369,77 @@ func TestBlockingOptionsPrecedence(t *testing.T) {
 		}
 	}
 }
+
+// TestMappedFallbackQuarantine pins the degraded-open housekeeping: a
+// generation this build cannot read is never garbage-collected (a
+// correctly-versioned binary may still recover it), and the next
+// checkpoint commits a fresh epoch number instead of renaming new
+// shard files over the one snapshot.json still references.
+func TestMappedFallbackQuarantine(t *testing.T) {
+	seed, _ := wdcStoreRecords(t, 10)
+	dir := t.TempDir()
+	a, _ := mustOpen(t, dir, Options{})
+	if err := a.AddBatch(seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil { // commits epoch 1
+		t.Fatal(err)
+	}
+	// Bump the format version of one epoch-1 shard (CRC fixed up) so
+	// only the typed version check rejects it — the version-skew shape
+	// of fallback, where the bytes are valuable to another binary.
+	path := filepath.Join(dir, persist.IndexFileName(1, 0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(raw[8:], 999)
+	end := 8 + 32 + 8*16
+	binary.LittleEndian.PutUint32(raw[end:], crc32.ChecksumIEEE(raw[:end]))
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b, _ := mustOpen(t, dir, Options{})
+	if !b.Stats().Persist.MappedFallback {
+		t.Fatal("damaged generation did not trigger fallback")
+	}
+	if err := b.Add(rec("post-fallback", "added while degraded")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil { // checkpoints a fresh generation
+		t.Fatal(err)
+	}
+
+	// Every epoch-1 file survives, untouched where damaged.
+	for i := 0; i < DefaultShards; i++ {
+		if _, err := os.Stat(filepath.Join(dir, persist.IndexFileName(1, i))); err != nil {
+			t.Errorf("quarantined epoch-1 shard %d missing: %v", i, err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || !reflect.DeepEqual(got, raw) {
+		t.Errorf("quarantined shard file was rewritten (err=%v)", err)
+	}
+
+	// The committed binding moved past the unreadable epoch.
+	snap, ok, err := persist.ReadSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("ReadSnapshot: ok=%v err=%v", ok, err)
+	}
+	if snap.IndexShards == 0 || snap.IndexEpoch <= 1 {
+		t.Fatalf("post-fallback checkpoint bound epoch %d over %d shards, want a fresh epoch > 1",
+			snap.IndexEpoch, snap.IndexShards)
+	}
+
+	// And the fresh generation serves: fully mapped, record intact.
+	c, _ := mustOpen(t, dir, Options{})
+	defer c.Close()
+	ps := c.Stats().Persist
+	if ps.MappedShards != DefaultShards || ps.MappedFallback {
+		t.Fatalf("reopen after quarantine: %+v, want %d mapped shards", ps, DefaultShards)
+	}
+	if _, ok := c.Record("post-fallback"); !ok {
+		t.Error("record added while degraded did not survive")
+	}
+}

@@ -86,10 +86,26 @@ type persistState struct {
 	// served straight from an mmap at open, and mappedFallback reports
 	// that referenced index snapshots existed but could not be mapped
 	// (torn, truncated, version-mismatched or mmap-unsupported), so
-	// recovery degraded to the JSON snapshot and WAL contents.
+	// recovery degraded to the JSON snapshot and WAL contents. On a
+	// fallback, fallbackEpoch records the generation that could not be
+	// read: checkpoints quarantine its files (a binary of the right
+	// version may still recover them) instead of garbage-collecting
+	// them with the other unreferenced epochs.
 	indexEpoch     uint64
 	mappedShards   int
 	mappedFallback bool
+	fallbackEpoch  uint64
+}
+
+// keepEpochs lists the index generations a cleanup pass must retain:
+// the generation primary (normally the one the committed snapshot
+// references), plus — on a store that degraded at open — the
+// generation recovery could not map.
+func (s *Store) keepEpochs(primary uint64) []uint64 {
+	if s.pstate.mappedFallback {
+		return []uint64{primary, s.pstate.fallbackEpoch}
+	}
+	return []uint64{primary}
 }
 
 // pairID keys the decision journal. A struct key keeps arbitrary
@@ -185,10 +201,13 @@ func (s *Store) installSnapshot(snap *persist.Snapshot) error {
 // singletons ride snap.Groups as always).
 //
 // Degradation is deliberate and silent at the API: a torn, truncated,
-// missing or version-mismatched index file — or a platform without
-// mmap — leaves the fresh empty shards in place and recovery continues
-// with whatever the JSON snapshot and the WAL carry; a shard-count
-// change re-inserts every mapped record under the new routing (a full
+// missing or version-mismatched index file — or a directory written
+// by an mmap-capable build opened on a platform without mmap — leaves
+// the fresh empty shards in place and recovery continues with
+// whatever the JSON snapshot and the WAL carry, while the unreadable
+// generation's files are quarantined (never garbage-collected) so a
+// correct binary can still recover them; a shard-count change
+// re-inserts every mapped record under the new routing (a full
 // rebuild, exactly the pre-mmap cost). Called before the store is
 // shared, so field access needs no locks.
 func (s *Store) installMapped(snap *persist.Snapshot) {
@@ -200,7 +219,15 @@ func (s *Store) installMapped(snap *persist.Snapshot) {
 			for _, o := range opened {
 				o.Close()
 			}
+			// The committed generation stays the committed generation even
+			// though this build cannot read it: later checkpoints must not
+			// re-use its epoch number (renaming over still-referenced
+			// files would let a crash commit a mixed-generation store) and
+			// must quarantine its files rather than delete state a
+			// correctly-versioned binary could still recover.
 			s.pstate.mappedFallback = true
+			s.pstate.fallbackEpoch = snap.IndexEpoch
+			s.pstate.indexEpoch = snap.IndexEpoch
 			return
 		}
 		opened = append(opened, ix)
@@ -464,34 +491,49 @@ func (s *Store) afterAppendLocked() error {
 //
 // The ingested records normally go out as per-shard EMIX index
 // snapshots (records, postings and token table in one mmap-ready
-// file), written for the next epoch before snapshot.json commits the
+// file), written for a fresh epoch before snapshot.json commits the
 // binding — the next Open then maps the shards instead of replaying
 // the ingest. Each shard's file is written under its read lock, so
-// Adds to that shard wait out its write. If any index write fails, the
-// checkpoint falls back to inlining the records in the JSON snapshot,
-// exactly the pre-mmap format.
+// Adds to that shard wait out its write. The records are inlined in
+// the JSON snapshot — exactly the pre-mmap format — instead whenever
+// the index files would not be authoritative: on platforms whose
+// OpenMapped cannot read them back (blocking.MmapSupported is false;
+// WriteSnapshot itself is plain file I/O and would succeed), or when
+// any index write fails.
 func (s *Store) checkpointLocked() error {
 	snap := &persist.Snapshot{}
-	epoch := s.pstate.indexEpoch + 1
-	emxOK := true
-	for i, sh := range s.shards {
-		p := filepath.Join(s.opts.PersistDir, persist.IndexFileName(epoch, i))
-		sh.mu.RLock()
-		err := sh.ix.WriteSnapshot(p)
-		sh.mu.RUnlock()
-		if err != nil {
-			emxOK = false
-			break
+	emxOK := blocking.MmapSupported
+	var epoch uint64
+	if emxOK {
+		// The new generation's number must be fresh against both the
+		// committed binding and every file on disk: after a
+		// mapped-fallback open the in-memory counter alone can lag what
+		// snapshot.json references, and renaming shard files over a
+		// still-referenced generation would let a crash mid-checkpoint
+		// commit a mix of generations under one epoch.
+		epoch = s.pstate.indexEpoch + 1
+		if m := persist.MaxIndexEpoch(s.opts.PersistDir); m >= epoch {
+			epoch = m + 1
+		}
+		for i, sh := range s.shards {
+			p := filepath.Join(s.opts.PersistDir, persist.IndexFileName(epoch, i))
+			sh.mu.RLock()
+			err := sh.ix.WriteSnapshot(p)
+			sh.mu.RUnlock()
+			if err != nil {
+				emxOK = false
+				// Drop whatever the failed pass wrote of the new epoch
+				// (the previous epoch stays — the committed snapshot
+				// references it until the rename below).
+				persist.RemoveIndexFiles(s.opts.PersistDir, s.keepEpochs(s.pstate.indexEpoch)...)
+				break
+			}
 		}
 	}
 	if emxOK {
 		snap.IndexEpoch = epoch
 		snap.IndexShards = len(s.shards)
 	} else {
-		// Drop whatever the failed pass wrote of the new epoch (the
-		// previous epoch stays — the committed snapshot references it
-		// until the rename below) and inline the records instead.
-		persist.RemoveIndexFiles(s.opts.PersistDir, s.pstate.indexEpoch)
 		for _, sh := range s.shards {
 			sh.mu.RLock()
 			for pos := 0; pos < sh.ix.Len(); pos++ {
@@ -571,15 +613,15 @@ func (s *Store) checkpointLocked() error {
 		if emxOK {
 			// snapshot.json still references the previous epoch — drop
 			// the orphaned new files, keep the referenced generation.
-			persist.RemoveIndexFiles(s.opts.PersistDir, s.pstate.indexEpoch)
+			persist.RemoveIndexFiles(s.opts.PersistDir, s.keepEpochs(s.pstate.indexEpoch)...)
 		}
 		return err
 	}
 	// The rename committed: snap.IndexEpoch (or, on fallback, the
 	// inline records) is now authoritative — every other index
-	// generation is garbage.
-	s.pstate.indexEpoch = epoch
-	persist.RemoveIndexFiles(s.opts.PersistDir, snap.IndexEpoch)
+	// generation is garbage, except a quarantined unreadable one.
+	s.pstate.indexEpoch = snap.IndexEpoch
+	persist.RemoveIndexFiles(s.opts.PersistDir, s.keepEpochs(snap.IndexEpoch)...)
 	if err := s.wal.Reset(); err != nil {
 		return err
 	}
